@@ -1,0 +1,111 @@
+// Command hyperq runs the Adaptive Data Virtualization gateway: it serves
+// the frontend wire protocol (WP-A) that unmodified Teradata-dialect
+// applications speak and forwards translated requests to a cloud backend
+// over WP-B — the deployment of the paper's Figure 1(b).
+//
+// Usage:
+//
+//	hyperq -listen :7706 -backend localhost:7707 -target CloudA [-schema file.sql]
+//
+// The -schema file (Teradata dialect DDL) populates the gateway catalog at
+// startup, standing in for Hyper-Q's automated schema discovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/odbc"
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+	"hyperq/internal/wire/tdp"
+
+	"hyperq/internal/binder"
+	"hyperq/internal/catalog"
+	"hyperq/internal/hyperq"
+	"hyperq/internal/xtra"
+)
+
+func main() {
+	listen := flag.String("listen", ":7706", "address to serve the frontend wire protocol on")
+	backend := flag.String("backend", "localhost:7707", "backend (cloudsrv) address")
+	target := flag.String("target", "CloudA", "target capability profile (CloudA|CloudB|CloudC|CloudD)")
+	schema := flag.String("schema", "", "Teradata-dialect DDL file imported into the gateway catalog")
+	user := flag.String("backend-user", "hyperq", "user for backend sessions")
+	pass := flag.String("backend-password", "hyperq", "password for backend sessions")
+	flag.Parse()
+
+	prof, err := dialect.ByName(*target)
+	if err != nil {
+		log.Fatalf("hyperq: %v", err)
+	}
+	cat := catalog.New()
+	if *schema != "" {
+		if err := importSchema(cat, *schema); err != nil {
+			log.Fatalf("hyperq: %v", err)
+		}
+		log.Printf("hyperq: imported catalog from %s (%d tables)", *schema, len(cat.Tables()))
+	}
+	g, err := hyperq.New(hyperq.Config{
+		Target:  prof,
+		Driver:  &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
+		Catalog: cat,
+	})
+	if err != nil {
+		log.Fatalf("hyperq: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("hyperq: %v", err)
+	}
+	fmt.Printf("hyperq: virtualizing %s via %s, listening on %s\n", prof.Name, *backend, ln.Addr())
+	log.Fatal(tdp.Serve(ln, g))
+}
+
+// importSchema parses a Teradata DDL script and registers the table and view
+// definitions in the gateway catalog (metadata only; no backend requests).
+func importSchema(cat *catalog.Catalog, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stmts, err := parser.Parse(string(src), parser.Teradata, nil)
+	if err != nil {
+		return fmt.Errorf("schema %s: %w", path, err)
+	}
+	b := binder.New(cat, parser.Teradata, nil)
+	for _, stmt := range stmts {
+		switch stmt.(type) {
+		case *sqlast.CreateTableStmt, *sqlast.CreateViewStmt, *sqlast.CreateMacroStmt:
+		default:
+			continue // non-DDL statements in schema files are skipped
+		}
+		bound, err := b.Bind(stmt)
+		if err != nil {
+			// Macros are gateway objects and bind specially.
+			if cm, ok := stmt.(*sqlast.CreateMacroStmt); ok {
+				m := &catalog.Macro{Name: cm.Name, Body: cm.Body}
+				if err := cat.CreateMacro(m, cm.Replace); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("schema %s: %w", path, err)
+		}
+		switch t := bound.(type) {
+		case *xtra.CreateTable:
+			if err := cat.CreateTable(t.Def); err != nil {
+				return err
+			}
+		case *xtra.CreateView:
+			if err := cat.CreateView(t.Def); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Stress scenario: the §7.3 experiment — a client application opens ten
+// simultaneous sessions against the gateway, each continuously sending the
+// TPC-H mix plus vendor-feature variants, over the real wire protocols
+// (TDP client → gateway → CWP → engine).
+//
+//	go run ./examples/stress [-clients 10] [-requests 30] [-sf 0.002]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+	"hyperq/internal/wire/cwp"
+	"hyperq/internal/wire/tdp"
+	"hyperq/internal/workload/tpch"
+
+	"hyperq/internal/hyperq"
+)
+
+func main() {
+	clients := flag.Int("clients", 10, "simultaneous sessions")
+	requests := flag.Int("requests", 30, "requests per session")
+	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
+	flag.Parse()
+
+	target := dialect.CloudA()
+	eng := engine.New(target)
+	fmt.Printf("loading TPC-H at SF %.3f ...\n", *sf)
+	if err := tpch.SetupEngine(eng.NewSession(), *sf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Backend server on a real socket.
+	beLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = cwp.Serve(beLn, eng) }()
+
+	// Gateway on a real socket in front of it.
+	g, err := hyperq.New(hyperq.Config{
+		Target:  target,
+		Driver:  &odbc.NetworkDriver{Addr: beLn.Addr().String(), User: "gw", Password: "gw"},
+		Catalog: eng.Catalog().Clone(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = tdp.Serve(feLn, g) }()
+
+	mix := make([]string, 0, 27)
+	for _, qn := range tpch.QueryNumbers() {
+		mix = append(mix, tpch.Queries[qn])
+	}
+	mix = append(mix, tpch.VendorVariants...)
+
+	fmt.Printf("running %d sessions x %d requests against %s ...\n", *clients, *requests, feLn.Addr())
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	totalRows := 0
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := tdp.Dial(feLn.Addr().String(), fmt.Sprintf("app%d", c), "pw")
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			defer cl.Close()
+			rows := 0
+			for i := 0; i < *requests; i++ {
+				stmts, err := cl.Request(mix[(i+c)%len(mix)])
+				if err != nil {
+					log.Fatalf("client %d: %v", c, err)
+				}
+				for _, st := range stmts {
+					rows += len(st.Rows)
+				}
+			}
+			mu.Lock()
+			totalRows += rows
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := g.MetricsSnapshot()
+	total := m.Translate + m.Execute + m.Convert
+	fmt.Printf("\n%d requests (%d result rows) in %v wall time\n", m.Requests, totalRows, elapsed.Round(time.Millisecond))
+	fmt.Printf("  query translation:     %12v (%5.2f%%)\n", m.Translate, 100*float64(m.Translate)/float64(total))
+	fmt.Printf("  execution:             %12v (%5.2f%%)\n", m.Execute, 100*float64(m.Execute)/float64(total))
+	fmt.Printf("  result transformation: %12v (%5.2f%%)\n", m.Convert, 100*float64(m.Convert)/float64(total))
+	fmt.Printf("  Hyper-Q overhead: %.2f%% of total query response time (paper: 0.1-0.2%%)\n",
+		100*m.Overhead())
+}

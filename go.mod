@@ -1,0 +1,3 @@
+module hyperq
+
+go 1.22

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/feature"
+)
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	Fig2(&buf)
+	out := buf.String()
+	for _, want := range []string{"QUALIFY", "MERGE", "Vector subqueries", "Macros", "25%", "0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"Health", "Telco", "39731 (3778)", "192753 (10446)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8Scaled(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Fig8(&buf, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Figure 8a shape is exact even when scaled: presence depends only on
+	// which features exist in the workload.
+	w1 := results[0]
+	if w1.PresencePct[feature.ClassTransformation] < 77 || w1.PresencePct[feature.ClassTransformation] > 78 {
+		t.Errorf("W1 transformation presence = %.1f", w1.PresencePct[feature.ClassTransformation])
+	}
+	w2 := results[1]
+	if w2.QueryPct[feature.ClassEmulation] < 70 {
+		t.Errorf("W2 emulation pct = %.1f, want ~79", w2.QueryPct[feature.ClassEmulation])
+	}
+	if !strings.Contains(buf.String(), "Figure 8 (a)") || !strings.Contains(buf.String(), "Figure 8 (b)") {
+		t.Error("figure headers missing")
+	}
+}
+
+func TestFig9aSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9a in short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig9a(&buf, dialect.CloudA(), 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 22 {
+		t.Fatalf("queries = %d", res.Queries)
+	}
+	if res.OverheadPct <= 0 || res.OverheadPct >= 100 {
+		t.Fatalf("overhead = %.2f%%", res.OverheadPct)
+	}
+	if !strings.Contains(buf.String(), "Hyper-Q overhead") {
+		t.Error("output missing overhead line")
+	}
+}
+
+func TestFig9bSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9b in short mode")
+	}
+	var buf bytes.Buffer
+	res, err := Fig9b(&buf, dialect.CloudA(), 0.001, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 4*10 {
+		t.Fatalf("requests = %d", res.Queries)
+	}
+	if res.OverheadPct <= 0 || res.OverheadPct >= 100 {
+		t.Fatalf("overhead = %.2f%%", res.OverheadPct)
+	}
+}

@@ -1,0 +1,614 @@
+package binder
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/feature"
+	"hyperq/internal/parser"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// testCatalog builds the schema used across binder tests, matching the
+// paper's examples (SALES, SALES_HISTORY, PRODUCT, EMP).
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	mustCreate := func(tbl *catalog.Table) {
+		if err := c.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&catalog.Table{Name: "SALES", Columns: []catalog.Column{
+		{Name: "AMOUNT", Type: types.Decimal(12, 2)},
+		{Name: "SALES_DATE", Type: types.Date},
+		{Name: "STORE", Type: types.Int},
+	}})
+	mustCreate(&catalog.Table{Name: "SALES_HISTORY", Columns: []catalog.Column{
+		{Name: "GROSS", Type: types.Decimal(12, 2)},
+		{Name: "NET", Type: types.Decimal(12, 2)},
+	}})
+	mustCreate(&catalog.Table{Name: "PRODUCT", Columns: []catalog.Column{
+		{Name: "PRODUCT_NAME", Type: types.VarChar(40)},
+		{Name: "SALES", Type: types.Decimal(12, 2)},
+		{Name: "STORE", Type: types.Int},
+	}})
+	mustCreate(&catalog.Table{Name: "EMP", Columns: []catalog.Column{
+		{Name: "EMPNO", Type: types.Int},
+		{Name: "MGRNO", Type: types.Int},
+	}})
+	mustCreate(&catalog.Table{Name: "T1", Columns: []catalog.Column{
+		{Name: "A", Type: types.Int},
+		{Name: "B", Type: types.VarChar(10)},
+	}})
+	mustCreate(&catalog.Table{Name: "T2", Columns: []catalog.Column{
+		{Name: "A", Type: types.Int},
+		{Name: "C", Type: types.Float},
+	}})
+	return c
+}
+
+func bindTD(t *testing.T, sql string) (xtra.Statement, feature.Set) {
+	t.Helper()
+	rec := &feature.Recorder{}
+	stmt, err := parser.ParseOne(sql, parser.Teradata, rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b := New(testCatalog(t), parser.Teradata, rec)
+	bound, err := b.Bind(stmt)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	return bound, rec.Set()
+}
+
+func bindErrTD(t *testing.T, sql string) error {
+	t.Helper()
+	stmt, err := parser.ParseOne(sql, parser.Teradata, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b := New(testCatalog(t), parser.Teradata, nil)
+	_, err = b.Bind(stmt)
+	if err == nil {
+		t.Fatalf("bind %q should fail", sql)
+	}
+	return err
+}
+
+func queryRoot(t *testing.T, s xtra.Statement) xtra.Op {
+	t.Helper()
+	q, ok := s.(*xtra.Query)
+	if !ok {
+		t.Fatalf("not a query: %T", s)
+	}
+	return q.Root
+}
+
+func TestBindSimpleProject(t *testing.T) {
+	s, _ := bindTD(t, "SELECT a, b FROM t1")
+	root := queryRoot(t, s)
+	p, ok := root.(*xtra.Project)
+	if !ok {
+		t.Fatalf("root = %T", root)
+	}
+	cols := p.Columns()
+	if len(cols) != 2 || !strings.EqualFold(cols[0].Name, "a") {
+		t.Fatalf("cols = %v", cols)
+	}
+	if cols[0].Type.Kind != types.KindInt || !cols[1].Type.IsString() {
+		t.Errorf("types = %v %v", cols[0].Type, cols[1].Type)
+	}
+}
+
+func TestBindStarExpansion(t *testing.T) {
+	s, _ := bindTD(t, "SELECT * FROM sales")
+	cols := queryRoot(t, s).Columns()
+	if len(cols) != 3 {
+		t.Fatalf("star expanded to %d cols", len(cols))
+	}
+	s, _ = bindTD(t, "SELECT t1.*, t2.c FROM t1, t2")
+	cols = queryRoot(t, s).Columns()
+	if len(cols) != 3 {
+		t.Fatalf("qualified star: %d cols", len(cols))
+	}
+}
+
+func TestBindUnknownColumn(t *testing.T) {
+	err := bindErrTD(t, "SELECT missing FROM t1")
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error = %v", err)
+	}
+	bindErrTD(t, "SELECT a FROM nope")
+}
+
+func TestBindAmbiguousColumn(t *testing.T) {
+	err := bindErrTD(t, "SELECT a FROM t1, t2")
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("error = %v", err)
+	}
+	// Qualification disambiguates.
+	bindTD(t, "SELECT t1.a, t2.a FROM t1, t2")
+}
+
+// Example 1: named expressions, QUALIFY lowering, ORDER BY on hidden key.
+func TestBindExample1(t *testing.T) {
+	s, fs := bindTD(t, `
+	  SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET
+	  FROM PRODUCT
+	  QUALIFY 10 < SUM(SALES) OVER (PARTITION BY STORE)
+	  ORDER BY STORE, PRODUCT_NAME
+	  WHERE CHARS(PRODUCT_NAME) > 4`)
+	if !fs.Has(feature.NamedExprRef) {
+		t.Error("NamedExprRef not recorded")
+	}
+	out := xtra.Format(queryRoot(t, s))
+	// Expect: project over sort over project over select(qualify) over
+	// window over select(where) over get.
+	for _, want := range []string{"window(SUM)", "get(PRODUCT)", "func(CHAR_LENGTH)", "sort["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+	cols := queryRoot(t, s).Columns()
+	if len(cols) != 3 {
+		t.Fatalf("visible cols = %d (hidden order keys must be dropped)", len(cols))
+	}
+	// SALES_OFFSET = decimal + int = decimal.
+	if cols[2].Type.Kind != types.KindDecimal {
+		t.Errorf("SALES_OFFSET type = %v", cols[2].Type)
+	}
+}
+
+// Example 2: vector subquery and DATE/INT comparison survive binding; the
+// transformer rewrites them later.
+func TestBindExample2(t *testing.T) {
+	s, fs := bindTD(t, `
+	  SEL * FROM SALES
+	  WHERE SALES_DATE > 1140101
+	    AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY)
+	  QUALIFY RANK(AMOUNT DESC) <= 10`)
+	for _, want := range []feature.ID{feature.DateIntCompare, feature.VectorSubquery, feature.Qualify, feature.TdRank} {
+		if !fs.Has(want) {
+			t.Errorf("feature %s not recorded", feature.Lookup(want).Name)
+		}
+	}
+	out := xtra.Format(queryRoot(t, s))
+	for _, want := range []string{
+		"window(RANK, DESC, AMOUNT)",
+		"subq(ANY, GT, [GROSS, NET])",
+		"get(SALES)",
+		"get(SALES_HISTORY)",
+		"comp(LE)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBindVectorArityMismatch(t *testing.T) {
+	bindErrTD(t, "SELECT * FROM sales WHERE (amount, amount) > ANY (SELECT gross FROM sales_history)")
+}
+
+func TestBindImplicitJoin(t *testing.T) {
+	s, fs := bindTD(t, "SELECT t1.a FROM t1 WHERE t2.c > 0.5")
+	if !fs.Has(feature.ImplicitJoin) {
+		t.Error("ImplicitJoin not recorded")
+	}
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "get(T2)") || !strings.Contains(out, "join(CROSS)") {
+		t.Errorf("implicit join missing:\n%s", out)
+	}
+}
+
+func TestImplicitJoinRejectedInANSI(t *testing.T) {
+	stmt, err := parser.ParseOne("SELECT t1.a FROM t1 WHERE t2.c > 0.5", parser.ANSI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(testCatalog(t), parser.ANSI, nil)
+	if _, err := b.Bind(stmt); err == nil {
+		t.Fatal("ANSI binder accepted implicit join")
+	}
+}
+
+func TestDateIntCompareRejectedInANSI(t *testing.T) {
+	stmt, err := parser.ParseOne("SELECT * FROM sales WHERE sales_date > 1140101", parser.ANSI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(testCatalog(t), parser.ANSI, nil)
+	if _, err := b.Bind(stmt); err == nil {
+		t.Fatal("ANSI binder accepted DATE/INT comparison")
+	}
+}
+
+func TestBindAggregation(t *testing.T) {
+	s, _ := bindTD(t, "SELECT store, SUM(amount) AS total, COUNT(*) FROM sales GROUP BY store HAVING SUM(amount) > 100")
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "agg[STORE][SUM(AMOUNT), COUNT(*)]") {
+		t.Errorf("agg missing:\n%s", out)
+	}
+	cols := queryRoot(t, s).Columns()
+	if cols[1].Type.Kind != types.KindDecimal || cols[2].Type.Kind != types.KindBigInt {
+		t.Errorf("agg types = %v %v", cols[1].Type, cols[2].Type)
+	}
+}
+
+func TestBindAggregateReuse(t *testing.T) {
+	s, _ := bindTD(t, "SELECT SUM(amount), SUM(amount) + 1 FROM sales")
+	var agg *xtra.Agg
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if a, ok := op.(*xtra.Agg); ok {
+			agg = a
+		}
+		return true
+	})
+	if agg == nil || len(agg.Aggs) != 1 {
+		t.Fatalf("aggregate not reused: %+v", agg)
+	}
+}
+
+func TestBindBareColumnInAggQuery(t *testing.T) {
+	err := bindErrTD(t, "SELECT store, amount FROM sales GROUP BY store")
+	if !strings.Contains(err.Error(), "GROUP BY") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBindOrdinalGroupBy(t *testing.T) {
+	s, fs := bindTD(t, "SELECT store, SUM(amount) FROM sales GROUP BY 1")
+	if !fs.Has(feature.OrdinalGroupBy) {
+		t.Error("OrdinalGroupBy not recorded")
+	}
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "agg[STORE]") {
+		t.Errorf("ordinal not replaced:\n%s", out)
+	}
+	bindErrTD(t, "SELECT store FROM sales GROUP BY 5")
+}
+
+func TestBindGroupByExpression(t *testing.T) {
+	s, _ := bindTD(t, "SELECT EXTRACT(YEAR FROM sales_date), SUM(amount) FROM sales GROUP BY EXTRACT(YEAR FROM sales_date)")
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "agg[EXTRACT(YEAR)]") {
+		t.Errorf("group expr:\n%s", out)
+	}
+}
+
+func TestBindScalarAggregate(t *testing.T) {
+	s, _ := bindTD(t, "SELECT COUNT(*) FROM sales")
+	var agg *xtra.Agg
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if a, ok := op.(*xtra.Agg); ok {
+			agg = a
+		}
+		return true
+	})
+	if agg == nil || len(agg.Groups) != 0 {
+		t.Fatal("scalar aggregate mis-bound")
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	s, _ := bindTD(t, "SELECT DISTINCT store FROM sales ORDER BY store")
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(strings.ToUpper(out), "AGG[STORE][]") {
+		t.Errorf("distinct not lowered to agg:\n%s", out)
+	}
+	bindErrTD(t, "SELECT DISTINCT store FROM sales ORDER BY amount")
+}
+
+func TestBindOrderByAliasAndOrdinal(t *testing.T) {
+	s, fs := bindTD(t, "SELECT amount AS amt FROM sales ORDER BY amt DESC, 1")
+	if !fs.Has(feature.OrdinalGroupBy) {
+		t.Error("ordinal ORDER BY not recorded")
+	}
+	var sort *xtra.Sort
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if so, ok := op.(*xtra.Sort); ok {
+			sort = so
+		}
+		return true
+	})
+	if sort == nil || len(sort.Keys) != 2 || !sort.Keys[0].Desc {
+		t.Fatalf("sort = %+v", sort)
+	}
+	// Teradata default: NULLs low — first on ASC, last on DESC.
+	if sort.Keys[0].NullsFirst || !sort.Keys[1].NullsFirst {
+		t.Errorf("null ordering defaults wrong: %+v", sort.Keys)
+	}
+}
+
+func TestBindTopWithTies(t *testing.T) {
+	s, _ := bindTD(t, "SEL TOP 10 WITH TIES amount FROM sales ORDER BY amount DESC")
+	var lim *xtra.Limit
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if l, ok := op.(*xtra.Limit); ok {
+			lim = l
+		}
+		return true
+	})
+	if lim == nil || lim.N != 10 || !lim.WithTies || len(lim.Keys) != 1 {
+		t.Fatalf("limit = %+v", lim)
+	}
+	bindErrTD(t, "SEL TOP 10 WITH TIES amount FROM sales")
+}
+
+func TestBindSetOpAlignment(t *testing.T) {
+	s, _ := bindTD(t, "SELECT a FROM t1 UNION ALL SELECT c FROM t2")
+	so, ok := queryRoot(t, s).(*xtra.SetOp)
+	if !ok {
+		t.Fatalf("root = %T", queryRoot(t, s))
+	}
+	if so.Cols[0].Type.Kind != types.KindFloat {
+		t.Errorf("aligned type = %v", so.Cols[0].Type)
+	}
+	bindErrTD(t, "SELECT a, b FROM t1 UNION SELECT a FROM t2")
+	bindErrTD(t, "SELECT b FROM t1 UNION SELECT c FROM t2") // varchar vs float
+}
+
+func TestBindCTE(t *testing.T) {
+	s, _ := bindTD(t, "WITH big AS (SELECT amount FROM sales WHERE amount > 100) SELECT * FROM big")
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "get(SALES)") {
+		t.Errorf("CTE not inlined:\n%s", out)
+	}
+}
+
+func TestBindRecursiveCTE(t *testing.T) {
+	s, _ := bindTD(t, `
+	  WITH RECURSIVE reports (empno, mgrno) AS (
+	    SELECT empno, mgrno FROM emp WHERE mgrno = 10
+	    UNION ALL
+	    SELECT emp.empno, emp.mgrno FROM emp, reports WHERE reports.empno = emp.mgrno
+	  )
+	  SELECT empno FROM reports ORDER BY empno`)
+	out := xtra.Format(queryRoot(t, s))
+	for _, want := range []string{"recursive_union", "workscan(reports)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBindRecursiveCTESeedSelfReference(t *testing.T) {
+	bindErrTD(t, `
+	  WITH RECURSIVE r (x) AS (
+	    SELECT empno FROM r
+	    UNION ALL
+	    SELECT empno FROM emp
+	  ) SELECT x FROM r`)
+}
+
+func TestBindCorrelatedSubquery(t *testing.T) {
+	s, _ := bindTD(t, `
+	  SELECT * FROM sales s1
+	  WHERE EXISTS (SELECT 1 FROM sales_history WHERE gross = s1.amount)`)
+	out := xtra.Format(queryRoot(t, s))
+	if !strings.Contains(out, "subq(EXISTS)") {
+		t.Errorf("exists missing:\n%s", out)
+	}
+}
+
+func TestBindScalarSubqueryArity(t *testing.T) {
+	bindErrTD(t, "SELECT (SELECT gross, net FROM sales_history) FROM sales")
+}
+
+func TestBindInsert(t *testing.T) {
+	s, _ := bindTD(t, "INSERT INTO t1 (a, b) VALUES (1, 'x')")
+	ins := s.(*xtra.Insert)
+	if ins.Table != "T1" || len(ins.Ordinals) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	// Type mismatch inserts a cast.
+	s, _ = bindTD(t, "INSERT INTO t1 (a) SELECT c FROM t2")
+	ins = s.(*xtra.Insert)
+	if _, ok := ins.Input.(*xtra.Project); !ok {
+		t.Error("cast projection missing for float->int insert")
+	}
+	bindErrTD(t, "INSERT INTO t1 (a) VALUES (1, 2)")
+	bindErrTD(t, "INSERT INTO t1 (nope) VALUES (1)")
+	bindErrTD(t, "INSERT INTO t1 VALUES (1)")
+}
+
+func TestBindUpdate(t *testing.T) {
+	s, _ := bindTD(t, "UPDATE t1 SET a = a + 1 WHERE b = 'x'")
+	upd := s.(*xtra.Update)
+	if upd.Table != "T1" || len(upd.Assigns) != 1 || upd.Pred == nil {
+		t.Fatalf("update = %+v", upd)
+	}
+	bindErrTD(t, "UPDATE t1 SET nope = 1")
+	bindErrTD(t, "UPDATE t1 SET a = 'text'")
+}
+
+func TestBindUpdateFrom(t *testing.T) {
+	s, _ := bindTD(t, "UPDATE t1 FROM t2 SET a = t2.a WHERE t1.a = t2.a")
+	upd := s.(*xtra.Update)
+	if _, ok := upd.Pred.(*xtra.ExistsExpr); !ok {
+		t.Fatalf("update-from pred = %T", upd.Pred)
+	}
+	if _, ok := upd.Assigns[0].Expr.(*xtra.ScalarSubquery); !ok {
+		t.Fatalf("update-from assign = %T", upd.Assigns[0].Expr)
+	}
+}
+
+func TestBindDelete(t *testing.T) {
+	s, _ := bindTD(t, "DEL FROM t1 WHERE a > 5")
+	del := s.(*xtra.Delete)
+	if del.Table != "T1" || del.Pred == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+	s, _ = bindTD(t, "DEL t1 ALL")
+	if s.(*xtra.Delete).Pred != nil {
+		t.Error("DELETE ALL must have nil predicate")
+	}
+}
+
+func TestBindDMLOnView(t *testing.T) {
+	c := testCatalog(t)
+	if err := c.CreateView(&catalog.View{
+		Name: "V1", SQL: "SELECT a, b FROM t1", Updatable: true, BaseTable: "T1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &feature.Recorder{}
+	stmt, _ := parser.ParseOne("UPDATE v1 SET a = 2 WHERE b = 'x'", parser.Teradata, rec)
+	b := New(c, parser.Teradata, rec)
+	bound, err := b.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.(*xtra.Update).Table != "T1" {
+		t.Error("DML not redirected to base table")
+	}
+	if !rec.Set().Has(feature.DmlOnView) {
+		t.Error("DmlOnView not recorded")
+	}
+}
+
+func TestBindViewReference(t *testing.T) {
+	c := testCatalog(t)
+	if err := c.CreateView(&catalog.View{Name: "BIGSALES", SQL: "SELECT amount FROM sales WHERE amount > 100"}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, _ := parser.ParseOne("SELECT * FROM bigsales", parser.Teradata, nil)
+	b := New(c, parser.Teradata, nil)
+	bound, err := b.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := xtra.Format(bound.(*xtra.Query).Root)
+	if !strings.Contains(out, "get(SALES)") {
+		t.Errorf("view not expanded:\n%s", out)
+	}
+}
+
+func TestBindCreateTable(t *testing.T) {
+	s, _ := bindTD(t, "CREATE TABLE nt (x INT NOT NULL, y DECIMAL(8,2) DEFAULT 0)")
+	ct := s.(*xtra.CreateTable)
+	if len(ct.Def.Columns) != 2 || !ct.Def.Columns[0].NotNull {
+		t.Fatalf("create = %+v", ct.Def)
+	}
+	s, _ = bindTD(t, "CREATE TABLE snap AS (SELECT store, SUM(amount) AS total FROM sales GROUP BY store) WITH DATA")
+	ct = s.(*xtra.CreateTable)
+	if ct.Input == nil || len(ct.Def.Columns) != 2 || !strings.EqualFold(ct.Def.Columns[1].Name, "total") {
+		t.Fatalf("ctas = %+v", ct.Def)
+	}
+}
+
+func TestBindCreateViewUpdatability(t *testing.T) {
+	s, _ := bindTD(t, "CREATE VIEW uv AS SELECT a, b FROM t1")
+	cv := s.(*xtra.CreateView)
+	if !cv.Def.Updatable || cv.Def.BaseTable != "t1" {
+		t.Fatalf("view = %+v", cv.Def)
+	}
+	s, _ = bindTD(t, "CREATE VIEW av AS SELECT store, SUM(amount) AS s FROM sales GROUP BY store")
+	if s.(*xtra.CreateView).Def.Updatable {
+		t.Error("aggregate view marked updatable")
+	}
+}
+
+func TestBindWindowSpecsGrouped(t *testing.T) {
+	s, _ := bindTD(t, `
+	  SELECT RANK() OVER (PARTITION BY store ORDER BY amount DESC),
+	         SUM(amount) OVER (PARTITION BY store ORDER BY amount DESC),
+	         ROW_NUMBER() OVER (ORDER BY amount)
+	  FROM sales`)
+	var windows []*xtra.Window
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if w, ok := op.(*xtra.Window); ok {
+			windows = append(windows, w)
+		}
+		return true
+	})
+	if len(windows) != 2 {
+		t.Fatalf("window ops = %d, want 2 (shared spec + distinct spec)", len(windows))
+	}
+	total := 0
+	for _, w := range windows {
+		total += len(w.Funcs)
+	}
+	if total != 3 {
+		t.Errorf("window funcs = %d", total)
+	}
+}
+
+func TestBindQualifyWithoutWindowErrors(t *testing.T) {
+	// QUALIFY referencing no window function still binds (it is just a
+	// filter over window output columns); but a window in WHERE must fail.
+	bindErrTD(t, "SELECT amount FROM sales WHERE RANK() OVER (ORDER BY amount) < 10")
+}
+
+func TestBindAggInWhereErrors(t *testing.T) {
+	bindErrTD(t, "SELECT store FROM sales WHERE SUM(amount) > 10 GROUP BY store")
+}
+
+func TestBindNestedAggErrors(t *testing.T) {
+	bindErrTD(t, "SELECT SUM(COUNT(*)) FROM sales")
+}
+
+func TestBindCircularNamedExpr(t *testing.T) {
+	err := bindErrTD(t, "SEL a + b AS x, x + 1 AS y FROM t1 WHERE y > 0 AND x < 5 AND a = a")
+	_ = err // x/y are fine; make an actual cycle:
+	err = bindErrTD(t, "SEL y + 1 AS x, x + 1 AS y FROM t1")
+	if !strings.Contains(err.Error(), "circular") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBindNamedExprInWhere(t *testing.T) {
+	// Teradata allows WHERE to reference select aliases.
+	s, fs := bindTD(t, "SEL amount * 2 AS dbl FROM sales WHERE dbl > 10")
+	_ = s
+	if !fs.Has(feature.NamedExprRef) {
+		t.Error("NamedExprRef not recorded for WHERE use")
+	}
+}
+
+func TestBindGroupingSetsPreserved(t *testing.T) {
+	s, _ := bindTD(t, "SELECT store, SUM(amount) FROM sales GROUP BY ROLLUP(store)")
+	var agg *xtra.Agg
+	xtra.WalkOps(queryRoot(t, s), func(op xtra.Op) bool {
+		if a, ok := op.(*xtra.Agg); ok {
+			agg = a
+		}
+		return true
+	})
+	if agg == nil || agg.GroupingSets == nil || len(agg.GroupingSets) != 2 {
+		t.Fatalf("grouping sets = %+v", agg)
+	}
+}
+
+func TestBindCaseTypeDerivation(t *testing.T) {
+	s, _ := bindTD(t, "SELECT CASE WHEN a > 0 THEN 1 ELSE 2.5 END FROM t1")
+	cols := queryRoot(t, s).Columns()
+	if cols[0].Type.Kind != types.KindDecimal {
+		t.Errorf("case type = %v", cols[0].Type)
+	}
+	bindErrTD(t, "SELECT CASE WHEN a > 0 THEN 1 ELSE 'x' END FROM t1")
+}
+
+func TestBindSimpleCaseDesugar(t *testing.T) {
+	s, _ := bindTD(t, "SELECT CASE a WHEN 1 THEN 'one' ELSE 'other' END FROM t1")
+	_ = s // binding without error is the assertion; operand desugared to a = 1
+}
+
+func TestBindCollectStatsEliminated(t *testing.T) {
+	s, _ := bindTD(t, "COLLECT STATISTICS ON sales")
+	if _, ok := s.(*xtra.NoOp); !ok {
+		t.Fatalf("COLLECT STATISTICS bound as %T, want NoOp", s)
+	}
+}
+
+func TestBindSelectWithoutFrom(t *testing.T) {
+	s, _ := bindTD(t, "SELECT 1 + 1 AS two, 'x' AS s")
+	cols := queryRoot(t, s).Columns()
+	if len(cols) != 2 || cols[0].Name != "two" {
+		t.Fatalf("cols = %v", cols)
+	}
+}

@@ -1,0 +1,284 @@
+// Package catalog holds the metadata layer shared by the Hyper-Q gateway and
+// the cloud-engine substrate: table, view and macro definitions, plus the
+// gateway-side "DTM catalog" the paper uses to remember column properties the
+// target system cannot represent (Table 2, "Unsupported column properties").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hyperq/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type types.T
+	// NotNull marks a NOT NULL constraint.
+	NotNull bool
+	// Default is the textual default expression, if any. Non-constant
+	// defaults are one of the "unsupported column properties" Hyper-Q keeps
+	// in its own catalog when the target cannot store them.
+	Default string
+	// CaseInsensitive marks Teradata NOT CASESPECIFIC text columns.
+	CaseInsensitive bool
+}
+
+// TableKind distinguishes persistent tables from the temporary flavors the
+// dialects support.
+type TableKind uint8
+
+// Table kinds.
+const (
+	KindPersistent TableKind = iota
+	// KindGlobalTemporary is a Teradata Global Temporary Table: the
+	// definition is persistent, the contents are per session.
+	KindGlobalTemporary
+	// KindVolatile is a session-scoped table (Teradata VOLATILE, or the
+	// engine-side TEMP tables Hyper-Q creates during emulation).
+	KindVolatile
+)
+
+// Table is a table definition.
+type Table struct {
+	Name    string
+	Columns []Column
+	Kind    TableKind
+	// Set reports Teradata SET semantics (duplicate rows rejected). Targets
+	// without set tables emulate this with unique constraints; the binder
+	// records the property here.
+	Set bool
+	// PrimaryIndex lists the column names of the primary index, if any.
+	PrimaryIndex []string
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the table definition.
+func (t *Table) Clone() *Table {
+	c := *t
+	c.Columns = append([]Column(nil), t.Columns...)
+	c.PrimaryIndex = append([]string(nil), t.PrimaryIndex...)
+	return &c
+}
+
+// View is a named stored query. The definition is kept as SQL text in the
+// originating dialect and re-bound on reference.
+type View struct {
+	Name    string
+	Columns []string // optional explicit column list
+	SQL     string
+	// Updatable marks views eligible for the DML-on-views emulation.
+	Updatable bool
+	// BaseTable is the single base table of an updatable view.
+	BaseTable string
+}
+
+// Macro is a Teradata macro: a named, parameterized sequence of SQL
+// statements. Targets without macros require mid-tier emulation (§7.1: 79.1%
+// of Customer 2's queries call macros).
+type Macro struct {
+	Name   string
+	Params []MacroParam
+	// Body is the raw statement list between the BEGIN/END (or parenthesized
+	// form), still in the source dialect. Parameters appear as :name.
+	Body string
+}
+
+// MacroParam is a single macro parameter.
+type MacroParam struct {
+	Name string
+	Type types.T
+}
+
+// Catalog is a concurrency-safe metadata store. A Catalog instance backs the
+// cloud engine; the Hyper-Q gateway keeps a second, gateway-side Catalog for
+// objects the target cannot represent (macros, column properties).
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+	macros map[string]*Macro
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+		macros: make(map[string]*Macro),
+	}
+}
+
+func key(name string) string { return strings.ToUpper(name) }
+
+// CreateTable registers a table definition.
+func (c *Catalog) CreateTable(t *Table) error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %s has no columns", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		k := key(col.Name)
+		if seen[k] {
+			return fmt.Errorf("catalog: duplicate column %s in table %s", col.Name, t.Name)
+		}
+		seen[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: %s already exists as a view", t.Name)
+	}
+	c.tables[k] = t.Clone()
+	return nil
+}
+
+// DropTable removes a table definition.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Table looks up a table definition.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateView registers a view.
+func (c *Catalog) CreateView(v *View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(v.Name)
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: view %s already exists", v.Name)
+	}
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: %s already exists as a table", v.Name)
+	}
+	cp := *v
+	c.views[k] = &cp
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.views[k]; !ok {
+		return fmt.Errorf("catalog: view %s does not exist", name)
+	}
+	delete(c.views, k)
+	return nil
+}
+
+// View looks up a view.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// CreateMacro registers a macro (REPLACE semantics when replace is true).
+func (c *Catalog) CreateMacro(m *Macro, replace bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(m.Name)
+	if _, ok := c.macros[k]; ok && !replace {
+		return fmt.Errorf("catalog: macro %s already exists", m.Name)
+	}
+	cp := *m
+	cp.Params = append([]MacroParam(nil), m.Params...)
+	c.macros[k] = &cp
+	return nil
+}
+
+// DropMacro removes a macro.
+func (c *Catalog) DropMacro(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.macros[k]; !ok {
+		return fmt.Errorf("catalog: macro %s does not exist", name)
+	}
+	delete(c.macros, k)
+	return nil
+}
+
+// Macro looks up a macro.
+func (c *Catalog) Macro(name string) (*Macro, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.macros[key(name)]
+	return m, ok
+}
+
+// Macros returns all macro names in sorted order.
+func (c *Catalog) Macros() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.macros))
+	for _, m := range c.macros {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the catalog; used to give each engine session
+// an isolated view of global-temporary definitions.
+func (c *Catalog) Clone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := New()
+	for k, t := range c.tables {
+		n.tables[k] = t.Clone()
+	}
+	for k, v := range c.views {
+		cp := *v
+		n.views[k] = &cp
+	}
+	for k, m := range c.macros {
+		cp := *m
+		n.macros[k] = &cp
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package catalog
+
+import (
+	"testing"
+
+	"hyperq/internal/types"
+)
+
+func sampleTable(name string) *Table {
+	return &Table{
+		Name: name,
+		Columns: []Column{
+			{Name: "ID", Type: types.Int, NotNull: true},
+			{Name: "NAME", Type: types.VarChar(30)},
+		},
+		PrimaryIndex: []string{"ID"},
+	}
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(sampleTable("emp")); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup is case-insensitive.
+	got, ok := c.Table("EMP")
+	if !ok || got.Name != "emp" {
+		t.Fatalf("Table lookup failed: %v %v", got, ok)
+	}
+	if got.ColumnIndex("name") != 1 || got.ColumnIndex("missing") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if err := c.CreateTable(sampleTable("Emp")); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(&Table{Name: "t"}); err == nil {
+		t.Error("empty table accepted")
+	}
+	bad := &Table{Name: "t", Columns: []Column{{Name: "a"}, {Name: "A"}}}
+	if err := c.CreateTable(bad); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	if err := c.DropTable("nope"); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+	_ = c.CreateTable(sampleTable("t1"))
+	if err := c.DropTable("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t1"); ok {
+		t.Error("table survived drop")
+	}
+}
+
+func TestTableCloneIsolation(t *testing.T) {
+	c := New()
+	src := sampleTable("t")
+	_ = c.CreateTable(src)
+	src.Columns[0].Name = "MUTATED"
+	got, _ := c.Table("t")
+	if got.Columns[0].Name != "ID" {
+		t.Error("catalog stored a shared reference, not a clone")
+	}
+	got.Columns[0].Name = "ALSO_MUTATED"
+	again, _ := c.Table("t")
+	_ = again // Table returns the stored pointer; callers must not mutate.
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	v := &View{Name: "v1", SQL: "SELECT 1", Updatable: true, BaseTable: "t"}
+	if err := c.CreateView(v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.View("V1")
+	if !ok || got.SQL != "SELECT 1" || !got.Updatable {
+		t.Fatalf("view lookup: %+v %v", got, ok)
+	}
+	if err := c.CreateView(v); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	if err := c.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v1"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestNameCollisionAcrossKinds(t *testing.T) {
+	c := New()
+	_ = c.CreateTable(sampleTable("x"))
+	if err := c.CreateView(&View{Name: "X", SQL: "SELECT 1"}); err == nil {
+		t.Error("view created over existing table name")
+	}
+	c2 := New()
+	_ = c2.CreateView(&View{Name: "x", SQL: "SELECT 1"})
+	if err := c2.CreateTable(sampleTable("X")); err == nil {
+		t.Error("table created over existing view name")
+	}
+}
+
+func TestMacros(t *testing.T) {
+	c := New()
+	m := &Macro{
+		Name:   "monthly_report",
+		Params: []MacroParam{{Name: "mon", Type: types.Int}},
+		Body:   "SEL * FROM sales WHERE month = :mon;",
+	}
+	if err := c.CreateMacro(m, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateMacro(m, false); err == nil {
+		t.Error("duplicate macro without REPLACE accepted")
+	}
+	m2 := *m
+	m2.Body = "SEL 2;"
+	if err := c.CreateMacro(&m2, true); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Macro("MONTHLY_REPORT")
+	if !ok || got.Body != "SEL 2;" {
+		t.Fatalf("macro replace failed: %+v", got)
+	}
+	if names := c.Macros(); len(names) != 1 || names[0] != "monthly_report" {
+		t.Errorf("Macros() = %v", names)
+	}
+	if err := c.DropMacro("monthly_report"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropMacro("monthly_report"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.CreateTable(sampleTable(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Tables()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables() = %v", got)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := New()
+	_ = c.CreateTable(sampleTable("t"))
+	_ = c.CreateView(&View{Name: "v", SQL: "SELECT 1"})
+	_ = c.CreateMacro(&Macro{Name: "m", Body: "SEL 1;"}, false)
+	cl := c.Clone()
+	if err := cl.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t"); !ok {
+		t.Error("dropping in clone affected original")
+	}
+	if _, ok := cl.View("v"); !ok {
+		t.Error("clone lost view")
+	}
+	if _, ok := cl.Macro("m"); !ok {
+		t.Error("clone lost macro")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = c.CreateTable(sampleTable("t"))
+			_ = c.DropTable("t")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c.Table("t")
+		c.Tables()
+	}
+	<-done
+}

@@ -1,0 +1,242 @@
+// Package dialect models the capability surface of the source and target
+// database systems. Each Profile declares which query features a system
+// supports natively; the profiles drive three things:
+//
+//   - the Figure 2 reproduction (percentage of modeled cloud targets
+//     supporting selected Teradata features),
+//   - the Serializer's choice of serialization-time rewrites (§5.3: the
+//     vector-subquery transformation "is system specific ... it needs to be
+//     triggered right before serialization"), and
+//   - capability enforcement in the cloud-engine substrate, which rejects
+//     unsupported constructs exactly like a real cloud target would.
+package dialect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Capability names one query feature a system may support natively.
+type Capability uint8
+
+// The modeled capabilities. The first block mirrors the "select Teradata
+// features" of Figure 2; the rest parameterize serializer behaviour.
+const (
+	// CapQualify is the QUALIFY clause.
+	CapQualify Capability = iota
+	// CapImplicitJoin allows referencing tables absent from FROM.
+	CapImplicitJoin
+	// CapNamedExprRef allows referencing a select-list alias in the same block.
+	CapNamedExprRef
+	// CapOrdinalGroupBy allows GROUP BY/ORDER BY column positions.
+	CapOrdinalGroupBy
+	// CapGroupingSets is native ROLLUP/CUBE/GROUPING SETS.
+	CapGroupingSets
+	// CapDateIntCompare allows comparing DATE with INTEGER directly.
+	CapDateIntCompare
+	// CapDateArith allows DATE +/- integer arithmetic.
+	CapDateArith
+	// CapVectorSubquery is the quantified vector comparison (a,b) > ANY (...).
+	CapVectorSubquery
+	// CapRecursive is native WITH RECURSIVE.
+	CapRecursive
+	// CapMerge is the MERGE statement.
+	CapMerge
+	// CapMacros is stored parameterized statement sequences.
+	CapMacros
+	// CapSetTables is SET-table duplicate elimination.
+	CapSetTables
+	// CapGlobalTempTables is GLOBAL TEMPORARY TABLE semantics.
+	CapGlobalTempTables
+	// CapPeriodType is the compound PERIOD data type.
+	CapPeriodType
+	// CapDerivedColAliases is a column list on a derived-table alias.
+	CapDerivedColAliases
+	// CapTop is the TOP n [WITH TIES] clause.
+	CapTop
+	// CapUpdatableViews allows DML against single-table views.
+	CapUpdatableViews
+	// CapNullsOrdering is explicit NULLS FIRST/LAST in ORDER BY.
+	CapNullsOrdering
+	// CapHelpCommands is the HELP SESSION/TABLE informational family.
+	CapHelpCommands
+
+	numCapabilities
+)
+
+// Count is the number of modeled capabilities.
+const Count = int(numCapabilities)
+
+var capNames = [Count]string{
+	"QUALIFY", "Implicit joins", "Named expressions", "Ordinal GROUP BY",
+	"OLAP grouping extensions", "Date-Integer comparison", "Date arithmetics",
+	"Vector subqueries", "Recursive queries", "MERGE", "Macros", "SET tables",
+	"Global temporary tables", "PERIOD type", "Derived table column aliases",
+	"TOP clause", "Updatable views", "NULLS ordering", "HELP commands",
+}
+
+func (c Capability) String() string {
+	if int(c) < Count {
+		return capNames[c]
+	}
+	return fmt.Sprintf("Capability(%d)", uint8(c))
+}
+
+// All lists every capability.
+func All() []Capability {
+	out := make([]Capability, Count)
+	for i := range out {
+		out[i] = Capability(i)
+	}
+	return out
+}
+
+// Figure2Features is the subset of capabilities shown in the paper's
+// Figure 2 support matrix.
+var Figure2Features = []Capability{
+	CapQualify, CapImplicitJoin, CapNamedExprRef, CapOrdinalGroupBy,
+	CapGroupingSets, CapDateIntCompare, CapVectorSubquery, CapRecursive,
+	CapMerge, CapMacros, CapSetTables, CapDerivedColAliases,
+}
+
+// Profile describes one database system.
+type Profile struct {
+	// Name is the marketing-neutral system name.
+	Name string
+	// IsSource marks the on-premises source system (Teradata model).
+	IsSource bool
+	caps     map[Capability]bool
+	// FuncNames maps canonical builtin names to the system's spelling.
+	// Unlisted functions keep the canonical name.
+	FuncNames map[string]string
+	// AddMonthsStyle selects how month arithmetic serializes:
+	// "add_months" keeps the function, "dateadd" uses DATEADD(MONTH, n, d).
+	AddMonthsStyle string
+	// LimitStyle selects row limiting syntax: "top" or "limit".
+	LimitStyle string
+}
+
+// Supports reports whether the profile has the capability.
+func (p *Profile) Supports(c Capability) bool { return p.caps[c] }
+
+// Capabilities returns the supported set, sorted.
+func (p *Profile) Capabilities() []Capability {
+	var out []Capability
+	for c, ok := range p.caps {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FuncName resolves the target spelling of a canonical builtin.
+func (p *Profile) FuncName(canonical string) string {
+	if n, ok := p.FuncNames[canonical]; ok {
+		return n
+	}
+	return canonical
+}
+
+func newProfile(name string, caps ...Capability) *Profile {
+	m := make(map[Capability]bool, len(caps))
+	for _, c := range caps {
+		m[c] = true
+	}
+	return &Profile{Name: name, caps: m, AddMonthsStyle: "add_months", LimitStyle: "limit"}
+}
+
+// TeradataProfile models the source system: everything is supported.
+func TeradataProfile() *Profile {
+	p := newProfile("Teradata", All()...)
+	p.IsSource = true
+	p.LimitStyle = "top"
+	return p
+}
+
+// The four modeled cloud targets. The support mixes follow the 2018-era
+// shape of Figure 2: vendor-specific extensions (QUALIFY, implicit joins,
+// named expressions, SET tables, macros, vector subqueries) are supported by
+// few or none of the targets, while partially standardized features (MERGE,
+// grouping sets, ordinal GROUP BY, recursion) are supported by some.
+
+// CloudA models a columnar MPP warehouse (Redshift-like, 2018).
+func CloudA() *Profile {
+	p := newProfile("CloudA",
+		CapOrdinalGroupBy, CapDerivedColAliases, CapNullsOrdering, CapDateArith,
+	)
+	p.FuncNames = map[string]string{"CHAR_LENGTH": "LEN", "POSITION": "STRPOS"}
+	p.AddMonthsStyle = "add_months"
+	return p
+}
+
+// CloudB models a serverless query service (BigQuery-like, 2018).
+func CloudB() *Profile {
+	p := newProfile("CloudB",
+		CapOrdinalGroupBy, CapGroupingSets, CapNullsOrdering,
+	)
+	p.FuncNames = map[string]string{"SUBSTR": "SUBSTR", "CHAR_LENGTH": "LENGTH", "POSITION": "STRPOS"}
+	p.AddMonthsStyle = "dateadd"
+	return p
+}
+
+// CloudC models an elastic SQL DW (Azure SQL DW-like, 2018).
+func CloudC() *Profile {
+	p := newProfile("CloudC",
+		CapGroupingSets, CapMerge, CapDerivedColAliases, CapTop, CapUpdatableViews,
+	)
+	p.FuncNames = map[string]string{"CHAR_LENGTH": "LEN", "POSITION": "CHARINDEX"}
+	p.AddMonthsStyle = "dateadd"
+	p.LimitStyle = "top"
+	return p
+}
+
+// CloudD models a cloud-native elastic warehouse (Snowflake-like).
+func CloudD() *Profile {
+	p := newProfile("CloudD",
+		CapQualify, CapOrdinalGroupBy, CapGroupingSets, CapRecursive, CapMerge,
+		CapDerivedColAliases, CapNullsOrdering, CapTop, CapUpdatableViews, CapDateArith,
+	)
+	p.FuncNames = map[string]string{"CHAR_LENGTH": "LENGTH", "POSITION": "POSITION"}
+	p.AddMonthsStyle = "add_months"
+	return p
+}
+
+// CloudTargets lists the modeled cloud systems in presentation order.
+func CloudTargets() []*Profile {
+	return []*Profile{CloudA(), CloudB(), CloudC(), CloudD()}
+}
+
+// ByName resolves a profile by name (case-sensitive).
+func ByName(name string) (*Profile, error) {
+	switch name {
+	case "Teradata", "teradata":
+		return TeradataProfile(), nil
+	case "CloudA", "clouda":
+		return CloudA(), nil
+	case "CloudB", "cloudb":
+		return CloudB(), nil
+	case "CloudC", "cloudc":
+		return CloudC(), nil
+	case "CloudD", "cloudd":
+		return CloudD(), nil
+	}
+	return nil, fmt.Errorf("dialect: unknown profile %q", name)
+}
+
+// SupportPct computes, per feature, the percentage of the given targets that
+// support it — the Figure 2 measurement.
+func SupportPct(features []Capability, targets []*Profile) map[Capability]float64 {
+	out := make(map[Capability]float64, len(features))
+	for _, f := range features {
+		n := 0
+		for _, t := range targets {
+			if t.Supports(f) {
+				n++
+			}
+		}
+		out[f] = 100 * float64(n) / float64(len(targets))
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package dialect
+
+import (
+	"testing"
+)
+
+func TestTeradataSupportsEverything(t *testing.T) {
+	p := TeradataProfile()
+	if !p.IsSource {
+		t.Error("Teradata must be the source profile")
+	}
+	for _, c := range All() {
+		if !p.Supports(c) {
+			t.Errorf("source profile missing %s", c)
+		}
+	}
+}
+
+func TestCloudTargetsShapeMatchesFigure2(t *testing.T) {
+	targets := CloudTargets()
+	if len(targets) != 4 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	pct := SupportPct(Figure2Features, targets)
+	// Vendor-specific extensions: (almost) nobody supports them.
+	for _, c := range []Capability{CapImplicitJoin, CapNamedExprRef, CapVectorSubquery, CapMacros, CapSetTables, CapDateIntCompare} {
+		if pct[c] != 0 {
+			t.Errorf("%s support = %v%%, want 0%%", c, pct[c])
+		}
+	}
+	// QUALIFY: exactly one modeled target (the Snowflake-like one).
+	if pct[CapQualify] != 25 {
+		t.Errorf("QUALIFY support = %v%%, want 25%%", pct[CapQualify])
+	}
+	// Partially standardized features: somewhere strictly between 0 and 100.
+	for _, c := range []Capability{CapMerge, CapGroupingSets, CapOrdinalGroupBy, CapRecursive, CapDerivedColAliases} {
+		if pct[c] <= 0 || pct[c] >= 100 {
+			t.Errorf("%s support = %v%%, want partial", c, pct[c])
+		}
+	}
+}
+
+func TestNoCloudTargetIsFullySource(t *testing.T) {
+	// Every cloud target must be missing at least 3 of the Figure 2
+	// features — otherwise the migration problem would be trivial.
+	for _, p := range CloudTargets() {
+		missing := 0
+		for _, c := range Figure2Features {
+			if !p.Supports(c) {
+				missing++
+			}
+		}
+		if missing < 3 {
+			t.Errorf("%s is missing only %d features", p.Name, missing)
+		}
+		if p.IsSource {
+			t.Errorf("%s marked as source", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"Teradata", "CloudA", "CloudB", "CloudC", "CloudD", "cloudd"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("OracleXE"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestFuncNameMapping(t *testing.T) {
+	a := CloudA()
+	if got := a.FuncName("CHAR_LENGTH"); got != "LEN" {
+		t.Errorf("CloudA CHAR_LENGTH = %q", got)
+	}
+	if got := a.FuncName("COALESCE"); got != "COALESCE" {
+		t.Errorf("unmapped name changed: %q", got)
+	}
+}
+
+func TestCapabilitiesSorted(t *testing.T) {
+	caps := CloudD().Capabilities()
+	for i := 1; i < len(caps); i++ {
+		if caps[i-1] >= caps[i] {
+			t.Fatalf("capabilities not sorted: %v", caps)
+		}
+	}
+}
+
+func TestCapabilityStrings(t *testing.T) {
+	for _, c := range All() {
+		if c.String() == "" || c.String()[0] == 'C' && len(c.String()) > 10 && c.String()[:10] == "Capability" {
+			t.Errorf("capability %d lacks a name", c)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package emulate implements the paper's Emulation class (§6): features
+// "completely missing in the target database" are broken down "into smaller
+// units such that running these units in combination gives the application
+// exactly the same behavior of the main feature". The helpers here produce
+// the decomposed statement sequences; the gateway drives their execution and
+// maintains the mid-tier state.
+package emulate
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/sqlast"
+	"hyperq/internal/types"
+)
+
+// RenameTables returns a deep-rewritten copy of q in which every reference
+// to table `from` is replaced by `to`. It is the substitution step of the
+// recursive-query emulation (Figure 7, step 5: "Substitute references of
+// REPORTS with WorkTable in main query").
+func RenameTables(q *sqlast.QueryExpr, from, to string) *sqlast.QueryExpr {
+	if q == nil {
+		return nil
+	}
+	out := &sqlast.QueryExpr{OrderBy: renameOrderItems(q.OrderBy, from, to), Limit: q.Limit}
+	if q.With != nil {
+		w := &sqlast.WithClause{Recursive: q.With.Recursive}
+		for _, cte := range q.With.CTEs {
+			w.CTEs = append(w.CTEs, sqlast.CTE{
+				Name:    cte.Name,
+				Columns: cte.Columns,
+				Query:   RenameTables(cte.Query, from, to),
+			})
+		}
+		out.With = w
+	}
+	out.Body = renameBody(q.Body, from, to)
+	return out
+}
+
+func renameBody(b sqlast.QueryBody, from, to string) sqlast.QueryBody {
+	switch t := b.(type) {
+	case *sqlast.SelectCore:
+		core := *t
+		core.From = nil
+		for _, te := range t.From {
+			core.From = append(core.From, renameTableExpr(te, from, to))
+		}
+		core.Where = renameExpr(t.Where, from, to)
+		core.Having = renameExpr(t.Having, from, to)
+		core.Qualify = renameExpr(t.Qualify, from, to)
+		core.Items = nil
+		for _, it := range t.Items {
+			core.Items = append(core.Items, sqlast.SelectItem{Expr: renameExpr(it.Expr, from, to), Alias: it.Alias})
+		}
+		core.GroupBy = nil
+		for _, g := range t.GroupBy {
+			core.GroupBy = append(core.GroupBy, renameExpr(g, from, to))
+		}
+		return &core
+	case *sqlast.SetOpBody:
+		return &sqlast.SetOpBody{Op: t.Op, All: t.All, L: renameBody(t.L, from, to), R: renameBody(t.R, from, to)}
+	case *sqlast.QueryExpr:
+		return RenameTables(t, from, to)
+	}
+	return b
+}
+
+func renameTableExpr(te sqlast.TableExpr, from, to string) sqlast.TableExpr {
+	switch t := te.(type) {
+	case *sqlast.TableRef:
+		if strings.EqualFold(t.Name, from) {
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name // keep the original name addressable
+			}
+			return &sqlast.TableRef{Name: to, Alias: alias, ColAliases: t.ColAliases}
+		}
+		return t
+	case *sqlast.DerivedTable:
+		return &sqlast.DerivedTable{Query: RenameTables(t.Query, from, to), Alias: t.Alias, ColAliases: t.ColAliases}
+	case *sqlast.JoinExpr:
+		return &sqlast.JoinExpr{
+			Kind: t.Kind,
+			L:    renameTableExpr(t.L, from, to),
+			R:    renameTableExpr(t.R, from, to),
+			On:   renameExpr(t.On, from, to),
+		}
+	}
+	return te
+}
+
+func renameOrderItems(items []sqlast.OrderItem, from, to string) []sqlast.OrderItem {
+	var out []sqlast.OrderItem
+	for _, it := range items {
+		out = append(out, sqlast.OrderItem{Expr: renameExpr(it.Expr, from, to), Desc: it.Desc, NullsFirst: it.NullsFirst})
+	}
+	return out
+}
+
+// renameExpr rewrites table references inside subqueries nested in an
+// expression. Column qualifiers keep the original correlation name (the
+// rewritten TableRef retains the old name as its alias).
+func renameExpr(e sqlast.Expr, from, to string) sqlast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sqlast.Subquery:
+		return &sqlast.Subquery{Query: RenameTables(x.Query, from, to)}
+	case *sqlast.ExistsExpr:
+		return &sqlast.ExistsExpr{Not: x.Not, Query: RenameTables(x.Query, from, to)}
+	case *sqlast.InExpr:
+		out := *x
+		if x.Query != nil {
+			out.Query = RenameTables(x.Query, from, to)
+		}
+		return &out
+	case *sqlast.QuantifiedCmp:
+		out := *x
+		out.Query = RenameTables(x.Query, from, to)
+		return &out
+	case *sqlast.BinExpr:
+		return &sqlast.BinExpr{Op: x.Op, L: renameExpr(x.L, from, to), R: renameExpr(x.R, from, to)}
+	case *sqlast.UnaryExpr:
+		return &sqlast.UnaryExpr{Op: x.Op, X: renameExpr(x.X, from, to)}
+	case *sqlast.FuncCall:
+		out := *x
+		out.Args = nil
+		for _, a := range x.Args {
+			out.Args = append(out.Args, renameExpr(a, from, to))
+		}
+		return &out
+	case *sqlast.CaseExpr:
+		out := &sqlast.CaseExpr{Operand: renameExpr(x.Operand, from, to), Else: renameExpr(x.Else, from, to)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlast.CaseWhen{Cond: renameExpr(w.Cond, from, to), Then: renameExpr(w.Then, from, to)})
+		}
+		return out
+	case *sqlast.CastExpr:
+		return &sqlast.CastExpr{X: renameExpr(x.X, from, to), To: x.To}
+	case *sqlast.ExtractExpr:
+		return &sqlast.ExtractExpr{Field: x.Field, X: renameExpr(x.X, from, to)}
+	}
+	return e
+}
+
+// RecursivePlan describes the decomposition of one WITH RECURSIVE query
+// into the temporary-table protocol of Figure 7.
+type RecursivePlan struct {
+	// CTEName is the recursive common table expression's name.
+	CTEName string
+	// Columns are the declared CTE column names.
+	Columns []string
+	// Seed is the non-recursive branch.
+	Seed *sqlast.QueryExpr
+	// Recursive is the self-referencing branch.
+	Recursive *sqlast.QueryExpr
+	// Main is the outer query still referencing CTEName.
+	Main *sqlast.QueryExpr
+}
+
+// PlanRecursive analyzes a query with a recursive WITH clause and extracts
+// the seed/recursive/main decomposition. It returns (nil, nil) when the
+// query has no recursive CTE (no emulation needed).
+func PlanRecursive(q *sqlast.QueryExpr) (*RecursivePlan, error) {
+	if q.With == nil || !q.With.Recursive {
+		return nil, nil
+	}
+	var plan *RecursivePlan
+	var rest []sqlast.CTE
+	for _, cte := range q.With.CTEs {
+		if !queryReferences(cte.Query, cte.Name) {
+			rest = append(rest, cte)
+			continue
+		}
+		if plan != nil {
+			return nil, fmt.Errorf("emulate: multiple recursive CTEs are not supported")
+		}
+		body, ok := cte.Query.Body.(*sqlast.SetOpBody)
+		if !ok || body.Op != sqlast.SetUnion || !body.All {
+			return nil, fmt.Errorf("emulate: recursive CTE %s must be 'seed UNION ALL recursive'", cte.Name)
+		}
+		if bodyReferences(body.L, cte.Name) {
+			return nil, fmt.Errorf("emulate: recursive CTE %s references itself in the seed", cte.Name)
+		}
+		if !bodyReferences(body.R, cte.Name) {
+			rest = append(rest, cte)
+			continue
+		}
+		plan = &RecursivePlan{
+			CTEName:   cte.Name,
+			Columns:   cte.Columns,
+			Seed:      &sqlast.QueryExpr{Body: body.L},
+			Recursive: &sqlast.QueryExpr{Body: body.R},
+		}
+	}
+	if plan == nil {
+		return nil, nil
+	}
+	main := &sqlast.QueryExpr{Body: q.Body, OrderBy: q.OrderBy, Limit: q.Limit}
+	if len(rest) > 0 {
+		main.With = &sqlast.WithClause{CTEs: rest}
+	}
+	plan.Main = main
+	return plan, nil
+}
+
+func queryReferences(q *sqlast.QueryExpr, name string) bool {
+	return bodyReferences(q.Body, name)
+}
+
+func bodyReferences(b sqlast.QueryBody, name string) bool {
+	switch t := b.(type) {
+	case *sqlast.SelectCore:
+		for _, te := range t.From {
+			if tableExprReferences(te, name) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.SetOpBody:
+		return bodyReferences(t.L, name) || bodyReferences(t.R, name)
+	case *sqlast.QueryExpr:
+		return bodyReferences(t.Body, name)
+	}
+	return false
+}
+
+func tableExprReferences(te sqlast.TableExpr, name string) bool {
+	switch t := te.(type) {
+	case *sqlast.TableRef:
+		return strings.EqualFold(t.Name, name)
+	case *sqlast.DerivedTable:
+		return bodyReferences(t.Query.Body, name)
+	case *sqlast.JoinExpr:
+		return tableExprReferences(t.L, name) || tableExprReferences(t.R, name)
+	}
+	return false
+}
+
+// DecomposeMerge lowers a MERGE statement into an UPDATE (or DELETE) for the
+// matched branch plus an INSERT ... SELECT ... WHERE NOT EXISTS for the
+// not-matched branch — the paper's "decomposed into UPDATE + INSERT"
+// emulation. The returned statements must execute in order.
+func DecomposeMerge(m *sqlast.MergeStmt) ([]sqlast.Statement, error) {
+	targetAlias := m.TargetAlias
+	if targetAlias == "" {
+		targetAlias = m.Target
+	}
+	var out []sqlast.Statement
+	if len(m.Matched) > 0 {
+		// UPDATE target FROM source SET ... WHERE on — the binder rewrites
+		// the FROM form into correlated subqueries per assignment.
+		out = append(out, &sqlast.UpdateStmt{
+			Table: m.Target,
+			Alias: targetAlias,
+			From:  []sqlast.TableExpr{m.Source},
+			Set:   m.Matched,
+			Where: m.On,
+		})
+	}
+	if m.MatchedDelete {
+		out = append(out, &sqlast.DeleteStmt{
+			Table: m.Target,
+			Alias: targetAlias,
+			Where: &sqlast.ExistsExpr{Query: selectOneFrom(m.Source, m.On)},
+		})
+	}
+	if m.HasNotMatched {
+		// INSERT INTO target (cols) SELECT vals FROM source
+		// WHERE NOT EXISTS (SELECT 1 FROM target AS alias WHERE on).
+		antiJoin := &sqlast.ExistsExpr{
+			Not: true,
+			Query: selectOneFrom(
+				&sqlast.TableRef{Name: m.Target, Alias: targetAlias},
+				m.On,
+			),
+		}
+		var items []sqlast.SelectItem
+		for _, v := range m.NotMatchedVals {
+			items = append(items, sqlast.SelectItem{Expr: v})
+		}
+		sel := &sqlast.QueryExpr{Body: &sqlast.SelectCore{
+			Items: items,
+			From:  []sqlast.TableExpr{m.Source},
+			Where: antiJoin,
+		}}
+		out = append(out, &sqlast.InsertStmt{
+			Table:   m.Target,
+			Columns: m.NotMatchedCols,
+			Query:   sel,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("emulate: MERGE has no actionable branches")
+	}
+	return out, nil
+}
+
+// selectOneFrom builds SELECT 1 FROM te WHERE cond.
+func selectOneFrom(te sqlast.TableExpr, cond sqlast.Expr) *sqlast.QueryExpr {
+	return &sqlast.QueryExpr{Body: &sqlast.SelectCore{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.Const{Val: oneDatum}}},
+		From:  []sqlast.TableExpr{te},
+		Where: cond,
+	}}
+}
+
+// DeduplicateInsert rewrites an INSERT into a SET table so duplicate rows
+// are eliminated mid-tier (Table 2: SET tables): the source becomes a
+// DISTINCT selection anti-joined against the existing table contents on all
+// target columns.
+func DeduplicateInsert(ins *sqlast.InsertStmt, allColumns []string) (*sqlast.InsertStmt, error) {
+	cols := ins.Columns
+	if len(cols) == 0 {
+		cols = allColumns
+	}
+	// Build the source as a derived table.
+	var src *sqlast.QueryExpr
+	switch {
+	case ins.Query != nil:
+		src = ins.Query
+	case len(ins.Rows) > 0:
+		// VALUES rows become a UNION ALL of single-row selects.
+		var body sqlast.QueryBody
+		for _, row := range ins.Rows {
+			var items []sqlast.SelectItem
+			for i, e := range row {
+				items = append(items, sqlast.SelectItem{Expr: e, Alias: cols[i]})
+			}
+			core := &sqlast.SelectCore{Items: items}
+			if body == nil {
+				body = core
+			} else {
+				body = &sqlast.SetOpBody{Op: sqlast.SetUnion, All: true, L: body, R: core}
+			}
+		}
+		src = &sqlast.QueryExpr{Body: body}
+	default:
+		return nil, fmt.Errorf("emulate: INSERT without source")
+	}
+	derivedAlias := "hq_src"
+	var eqs sqlast.Expr
+	for _, c := range cols {
+		eq := sqlast.Expr(&sqlast.BinExpr{
+			Op: sqlast.BinEQ,
+			L:  &sqlast.Ident{Parts: []string{"hq_existing", c}},
+			R:  &sqlast.Ident{Parts: []string{derivedAlias, c}},
+		})
+		if eqs == nil {
+			eqs = eq
+		} else {
+			eqs = &sqlast.BinExpr{Op: sqlast.BinAnd, L: eqs, R: eq}
+		}
+	}
+	anti := &sqlast.ExistsExpr{
+		Not:   true,
+		Query: selectOneFrom(&sqlast.TableRef{Name: ins.Table, Alias: "hq_existing"}, eqs),
+	}
+	var items []sqlast.SelectItem
+	for _, c := range cols {
+		items = append(items, sqlast.SelectItem{Expr: &sqlast.Ident{Parts: []string{derivedAlias, c}}})
+	}
+	dedup := &sqlast.QueryExpr{Body: &sqlast.SelectCore{
+		Distinct: true,
+		Items:    items,
+		From:     []sqlast.TableExpr{&sqlast.DerivedTable{Query: src, Alias: derivedAlias, ColAliases: cols}},
+		Where:    anti,
+	}}
+	return &sqlast.InsertStmt{Table: ins.Table, Columns: cols, Query: dedup}, nil
+}
+
+var oneDatum = oneValue()
+
+// oneValue builds the constant 1 used by SELECT 1 subqueries.
+func oneValue() types.Datum { return types.NewInt(1) }

@@ -1,0 +1,239 @@
+package emulate
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+)
+
+func parseQuery(t *testing.T, sql string) *sqlast.QueryExpr {
+	t.Helper()
+	stmt, err := parser.ParseOne(sql, parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt.(*sqlast.SelectStmt).Query
+}
+
+func TestRenameTables(t *testing.T) {
+	q := parseQuery(t, `
+	  SELECT r.a FROM reports r, emp
+	  WHERE emp.x = r.a
+	    AND EXISTS (SELECT 1 FROM reports WHERE reports.a = emp.x)`)
+	out := RenameTables(q, "reports", "hq_work")
+	core := out.Body.(*sqlast.SelectCore)
+	tr := core.From[0].(*sqlast.TableRef)
+	if tr.Name != "hq_work" || tr.Alias != "r" {
+		t.Fatalf("from[0] = %+v", tr)
+	}
+	if core.From[1].(*sqlast.TableRef).Name != "emp" {
+		t.Fatal("unrelated table renamed")
+	}
+	// The nested EXISTS reference is renamed with the original name kept as
+	// alias so qualified columns still resolve.
+	and := core.Where.(*sqlast.BinExpr)
+	ex := and.R.(*sqlast.ExistsExpr)
+	inner := ex.Query.Body.(*sqlast.SelectCore).From[0].(*sqlast.TableRef)
+	if inner.Name != "hq_work" || inner.Alias != "reports" {
+		t.Fatalf("nested ref = %+v", inner)
+	}
+	// Original AST untouched.
+	if q.Body.(*sqlast.SelectCore).From[0].(*sqlast.TableRef).Name != "reports" {
+		t.Fatal("rename mutated the input")
+	}
+}
+
+func TestPlanRecursiveExample4(t *testing.T) {
+	q := parseQuery(t, `
+	  WITH RECURSIVE reports (empno, mgrno) AS (
+	    SELECT empno, mgrno FROM emp WHERE mgrno = 10
+	    UNION ALL
+	    SELECT emp.empno, emp.mgrno FROM emp, reports WHERE reports.empno = emp.mgrno
+	  )
+	  SELECT empno FROM reports ORDER BY empno`)
+	plan, err := PlanRecursive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("no plan for recursive query")
+	}
+	if plan.CTEName != "reports" || len(plan.Columns) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Seed == nil || plan.Recursive == nil || plan.Main == nil {
+		t.Fatal("incomplete decomposition")
+	}
+	if len(plan.Main.OrderBy) != 1 {
+		t.Error("main query lost ORDER BY")
+	}
+}
+
+func TestPlanRecursiveNonRecursive(t *testing.T) {
+	q := parseQuery(t, "WITH c AS (SELECT 1 AS x) SELECT x FROM c")
+	plan, err := PlanRecursive(q)
+	if err != nil || plan != nil {
+		t.Fatalf("plan = %v, err = %v", plan, err)
+	}
+	// RECURSIVE keyword without self-reference also yields no plan.
+	q2 := parseQuery(t, "WITH RECURSIVE c (x) AS (SELECT 1 UNION ALL SELECT 2) SELECT x FROM c")
+	plan, err = PlanRecursive(q2)
+	if err != nil || plan != nil {
+		t.Fatalf("plan = %v, err = %v", plan, err)
+	}
+}
+
+func TestPlanRecursiveRejectsBadShapes(t *testing.T) {
+	q := parseQuery(t, `
+	  WITH RECURSIVE r (x) AS (
+	    SELECT a FROM t UNION SELECT a FROM r
+	  ) SELECT x FROM r`)
+	if _, err := PlanRecursive(q); err == nil {
+		t.Error("UNION (not ALL) accepted")
+	}
+	q2 := parseQuery(t, `
+	  WITH RECURSIVE r (x) AS (
+	    SELECT a FROM r UNION ALL SELECT a FROM t
+	  ) SELECT x FROM r`)
+	if _, err := PlanRecursive(q2); err == nil {
+		t.Error("self-referencing seed accepted")
+	}
+}
+
+func TestDecomposeMergeFull(t *testing.T) {
+	stmt, err := parser.ParseOne(`
+	  MERGE INTO tgt USING src ON tgt.k = src.k
+	  WHEN MATCHED THEN UPDATE SET v = src.v
+	  WHEN NOT MATCHED THEN INSERT (k, v) VALUES (src.k, src.v)`, parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := DecomposeMerge(stmt.(*sqlast.MergeStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	upd, ok := stmts[0].(*sqlast.UpdateStmt)
+	if !ok || upd.Table != "tgt" || len(upd.From) != 1 {
+		t.Fatalf("update = %+v", stmts[0])
+	}
+	ins, ok := stmts[1].(*sqlast.InsertStmt)
+	if !ok || ins.Table != "tgt" || ins.Query == nil {
+		t.Fatalf("insert = %+v", stmts[1])
+	}
+	// The insert's anti-join must reference the target.
+	core := ins.Query.Body.(*sqlast.SelectCore)
+	ex, ok := core.Where.(*sqlast.ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("anti-join = %#v", core.Where)
+	}
+}
+
+func TestDecomposeMergeDelete(t *testing.T) {
+	stmt, err := parser.ParseOne(`
+	  MERGE INTO tgt USING src ON tgt.k = src.k
+	  WHEN MATCHED THEN DELETE`, parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := DecomposeMerge(stmt.(*sqlast.MergeStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	del, ok := stmts[0].(*sqlast.DeleteStmt)
+	if !ok || del.Table != "tgt" {
+		t.Fatalf("delete = %+v", stmts[0])
+	}
+	if _, ok := del.Where.(*sqlast.ExistsExpr); !ok {
+		t.Fatalf("delete pred = %#v", del.Where)
+	}
+}
+
+func TestDeduplicateInsertValues(t *testing.T) {
+	stmt, err := parser.ParseOne("INSERT INTO st (a, b) VALUES (1, 2), (1, 2), (3, 4)", parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DeduplicateInsert(stmt.(*sqlast.InsertStmt), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Query == nil {
+		t.Fatal("rewritten insert lost its query")
+	}
+	core := out.Query.Body.(*sqlast.SelectCore)
+	if !core.Distinct {
+		t.Error("DISTINCT missing")
+	}
+	ex, ok := core.Where.(*sqlast.ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("anti-join = %#v", core.Where)
+	}
+	dt, ok := core.From[0].(*sqlast.DerivedTable)
+	if !ok || len(dt.ColAliases) != 2 {
+		t.Fatalf("source = %#v", core.From[0])
+	}
+	// Union of the three value rows.
+	if _, ok := dt.Query.Body.(*sqlast.SetOpBody); !ok {
+		t.Fatalf("values body = %T", dt.Query.Body)
+	}
+}
+
+func TestDeduplicateInsertQuery(t *testing.T) {
+	stmt, err := parser.ParseOne("INSERT INTO st SELECT a, b FROM src", parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DeduplicateInsert(stmt.(*sqlast.InsertStmt), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Columns) != 2 {
+		t.Fatalf("columns = %v", out.Columns)
+	}
+}
+
+func TestRenameTablePreservesText(t *testing.T) {
+	// A query with every clause shape survives the rewrite structurally.
+	q := parseQuery(t, `
+	  SELECT a, COUNT(*) FROM r JOIN s ON r.a = s.a
+	  WHERE r.a IN (SELECT a FROM r)
+	  GROUP BY a HAVING COUNT(*) > 1 ORDER BY a`)
+	out := RenameTables(q, "r", "w")
+	if !strings.Contains(renderedTables(out), "w") {
+		t.Error("rename missed")
+	}
+}
+
+func renderedTables(q *sqlast.QueryExpr) string {
+	var names []string
+	var walkBody func(sqlast.QueryBody)
+	var walkTE func(sqlast.TableExpr)
+	walkTE = func(te sqlast.TableExpr) {
+		switch t := te.(type) {
+		case *sqlast.TableRef:
+			names = append(names, t.Name)
+		case *sqlast.JoinExpr:
+			walkTE(t.L)
+			walkTE(t.R)
+		case *sqlast.DerivedTable:
+			walkBody(t.Query.Body)
+		}
+	}
+	walkBody = func(b sqlast.QueryBody) {
+		if core, ok := b.(*sqlast.SelectCore); ok {
+			for _, te := range core.From {
+				walkTE(te)
+			}
+		}
+	}
+	walkBody(q.Body)
+	return strings.Join(names, ",")
+}

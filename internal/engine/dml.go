@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// execInsert evaluates the input relation and appends rows to the target,
+// applying defaults and NOT NULL checks.
+func (s *Session) execInsert(ex *executor, ins *xtra.Insert) (*Result, error) {
+	td, tbl, temp, err := s.lookupData(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ex.exec(ins.Input, nil)
+	if err != nil {
+		return nil, err
+	}
+	newRows := make([][]types.Datum, 0, len(rs.rows))
+	for _, src := range rs.rows {
+		row := make([]types.Datum, len(tbl.Columns))
+		filled := make([]bool, len(tbl.Columns))
+		for i, ord := range ins.Ordinals {
+			d := src[i]
+			if d.Null {
+				d = types.NewNull(tbl.Columns[ord].Type.Kind)
+			}
+			row[ord] = d
+			filled[ord] = true
+		}
+		for i, col := range tbl.Columns {
+			if !filled[i] {
+				d, err := evalDefault(&col)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = d
+			}
+			if col.NotNull && row[i].Null {
+				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", tbl.Name, col.Name)
+			}
+		}
+		newRows = append(newRows, row)
+	}
+	s.appendRows(td, temp, newRows)
+	return &Result{RowsAffected: int64(len(newRows)), Command: "INSERT"}, nil
+}
+
+func (s *Session) appendRows(td *tableData, temp bool, rows [][]types.Datum) {
+	if temp {
+		s.mu.Lock()
+		td.rows = append(td.rows, rows...)
+		s.mu.Unlock()
+		return
+	}
+	s.eng.mu.Lock()
+	td.rows = append(td.rows, rows...)
+	s.eng.mu.Unlock()
+}
+
+// evalDefault produces a column's default value. Supported forms: literal
+// numbers and strings, DATE 'lit', and CURRENT_DATE.
+func evalDefault(col *catalog.Column) (types.Datum, error) {
+	text := strings.TrimSpace(col.Default)
+	if text == "" {
+		return types.NewNull(col.Type.Kind), nil
+	}
+	switch {
+	case strings.EqualFold(text, "CURRENT_DATE"):
+		now := time.Now().UTC()
+		return types.NewDate(now.Year(), int(now.Month()), now.Day()), nil
+	case strings.EqualFold(text, "CURRENT_TIMESTAMP"):
+		return types.NewTimestamp(time.Now().UnixMicro()), nil
+	case strings.EqualFold(text, "NULL"):
+		return types.NewNull(col.Type.Kind), nil
+	case strings.HasPrefix(text, "'") && strings.HasSuffix(text, "'"):
+		inner := strings.ReplaceAll(text[1:len(text)-1], "''", "'")
+		return types.Cast(types.NewString(inner), col.Type)
+	case strings.HasPrefix(strings.ToUpper(text), "DATE '"):
+		return types.ParseDateLiteral(strings.Trim(text[5:], " '"))
+	default:
+		return types.Cast(types.NewString(text), col.Type)
+	}
+}
+
+// execUpdate applies assignments to matching rows.
+func (s *Session) execUpdate(ex *executor, upd *xtra.Update) (*Result, error) {
+	td, tbl, temp, err := s.lookupData(upd.Table)
+	if err != nil {
+		return nil, err
+	}
+	rs := newRowset(upd.Cols)
+	e := &env{rs: rs}
+	// Serialize DML statements, but never hold the data lock across
+	// expression evaluation: correlated subqueries in the predicate or
+	// assignments re-enter the executor and take read snapshots themselves.
+	if !temp {
+		s.eng.dmlMu.Lock()
+		defer s.eng.dmlMu.Unlock()
+	}
+	snapshot := snapshotUnderLock(s, td, temp)
+	var affected int64
+	newRows := make([][]types.Datum, len(snapshot))
+	for i, row := range snapshot {
+		e.row = row
+		match := true
+		if upd.Pred != nil {
+			d, err := ex.eval(upd.Pred, e)
+			if err != nil {
+				return nil, err
+			}
+			match = d.Bool()
+		}
+		if !match {
+			newRows[i] = row
+			continue
+		}
+		nr := append([]types.Datum(nil), row...)
+		for _, a := range upd.Assigns {
+			d, err := ex.eval(a.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			if d.Null {
+				d = types.NewNull(tbl.Columns[a.Ordinal].Type.Kind)
+			}
+			if tbl.Columns[a.Ordinal].NotNull && d.Null {
+				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", tbl.Name, tbl.Columns[a.Ordinal].Name)
+			}
+			nr[a.Ordinal] = d
+		}
+		newRows[i] = nr
+		affected++
+	}
+	lock(s, temp)
+	td.rows = newRows
+	unlock(s, temp)
+	return &Result{RowsAffected: affected, Command: "UPDATE"}, nil
+}
+
+// snapshotUnderLock reads the current row slice header under the data lock.
+func snapshotUnderLock(s *Session, td *tableData, temp bool) [][]types.Datum {
+	lock(s, temp)
+	defer unlock(s, temp)
+	return td.rows
+}
+
+func lock(s *Session, temp bool) {
+	if temp {
+		s.mu.Lock()
+	} else {
+		s.eng.mu.Lock()
+	}
+}
+
+func unlock(s *Session, temp bool) {
+	if temp {
+		s.mu.Unlock()
+	} else {
+		s.eng.mu.Unlock()
+	}
+}
+
+// execDelete removes matching rows.
+func (s *Session) execDelete(ex *executor, del *xtra.Delete) (*Result, error) {
+	td, _, temp, err := s.lookupData(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	rs := newRowset(del.Cols)
+	e := &env{rs: rs}
+	if !temp {
+		s.eng.dmlMu.Lock()
+		defer s.eng.dmlMu.Unlock()
+	}
+	snapshot := snapshotUnderLock(s, td, temp)
+	var kept [][]types.Datum
+	var affected int64
+	for _, row := range snapshot {
+		e.row = row
+		match := true
+		if del.Pred != nil {
+			d, err := ex.eval(del.Pred, e)
+			if err != nil {
+				return nil, err
+			}
+			match = d.Bool()
+		}
+		if match {
+			affected++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	lock(s, temp)
+	td.rows = kept
+	unlock(s, temp)
+	return &Result{RowsAffected: affected, Command: "DELETE"}, nil
+}
+
+// execCreateTable registers a table (session-temporary for volatile kinds)
+// and optionally populates it from a CTAS input.
+func (s *Session) execCreateTable(ex *executor, ct *xtra.CreateTable) (*Result, error) {
+	def := ct.Def.Clone()
+	isTemp := def.Kind == catalog.KindVolatile
+	target := s.eng.cat
+	if isTemp {
+		target = s.tempCat
+	}
+	if ct.IfNotExists {
+		if _, ok := target.Table(def.Name); ok {
+			return &Result{Command: "CREATE TABLE"}, nil
+		}
+	}
+	if err := target.CreateTable(def); err != nil {
+		return nil, err
+	}
+	if isTemp {
+		s.mu.Lock()
+		s.tempData[strings.ToUpper(def.Name)] = &tableData{}
+		s.mu.Unlock()
+	}
+	var affected int64
+	if ct.Input != nil {
+		rs, err := ex.exec(ct.Input, nil)
+		if err != nil {
+			_ = target.DropTable(def.Name)
+			return nil, err
+		}
+		td, _, temp, err := s.lookupData(def.Name)
+		if err != nil {
+			return nil, err
+		}
+		s.appendRows(td, temp, rs.rows)
+		affected = int64(len(rs.rows))
+	}
+	return &Result{RowsAffected: affected, Command: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execDropTable(dt *xtra.DropTable) (*Result, error) {
+	key := strings.ToUpper(dt.Name)
+	if _, ok := s.tempCat.Table(dt.Name); ok {
+		if err := s.tempCat.DropTable(dt.Name); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		delete(s.tempData, key)
+		s.mu.Unlock()
+		return &Result{Command: "DROP TABLE"}, nil
+	}
+	if err := s.eng.cat.DropTable(dt.Name); err != nil {
+		if dt.IfExists {
+			return &Result{Command: "DROP TABLE"}, nil
+		}
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	delete(s.eng.data, key)
+	s.eng.mu.Unlock()
+	return &Result{Command: "DROP TABLE"}, nil
+}
+
+func (s *Session) execCreateView(cv *xtra.CreateView) (*Result, error) {
+	if cv.Replace {
+		_ = s.eng.cat.DropView(cv.Def.Name)
+	}
+	if err := s.eng.cat.CreateView(cv.Def); err != nil {
+		return nil, err
+	}
+	return &Result{Command: "CREATE VIEW"}, nil
+}

@@ -1,0 +1,349 @@
+// Package engine implements the cloud data warehouse substrate: an
+// in-memory analytical SQL engine that executes XTRA plans. It stands in for
+// the paper's backend systems (§7 provisions "one of the leading cloud
+// databases"): the gateway connects to it over a wire protocol, sends the
+// serialized SQL-B text, and receives typed result sets.
+//
+// The engine enforces the capability profile of the cloud target it models —
+// constructs outside the profile are rejected exactly as the real system
+// would reject them, which is what makes Hyper-Q's rewrites observable
+// end-to-end.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/dialect"
+	"hyperq/internal/parser"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+
+	"hyperq/internal/binder"
+)
+
+// tableData holds the rows of one table. Rows are immutable once stored;
+// updates replace whole row slices.
+type tableData struct {
+	rows [][]types.Datum
+}
+
+// Engine is one database instance.
+type Engine struct {
+	// mu guards the data map and row slices; held only for brief snapshot
+	// and swap operations, never across expression evaluation.
+	mu sync.RWMutex
+	// dmlMu serializes whole UPDATE/DELETE statements against shared tables
+	// so their read-compute-swap cycle is atomic with respect to other DML.
+	dmlMu   sync.Mutex
+	cat     *catalog.Catalog
+	data    map[string]*tableData
+	profile *dialect.Profile
+	// noOptimize disables the pre-execution plan rewrites (predicate
+	// pushdown); used by the ablation benchmarks only.
+	noOptimize bool
+}
+
+// SetOptimizerEnabled toggles the engine-side plan rewrites (ablation knob).
+func (e *Engine) SetOptimizerEnabled(on bool) { e.noOptimize = !on }
+
+// New creates an empty engine modeling the given target profile.
+func New(profile *dialect.Profile) *Engine {
+	return &Engine{
+		cat:     catalog.New(),
+		data:    map[string]*tableData{},
+		profile: profile,
+	}
+}
+
+// Catalog exposes the shared catalog (for test setup and HELP emulation).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Profile returns the modeled capability profile.
+func (e *Engine) Profile() *dialect.Profile { return e.profile }
+
+// Session is one client connection's state: session-scoped temporary tables
+// overlaying the shared catalog.
+type Session struct {
+	eng      *Engine
+	mu       sync.Mutex
+	tempCat  *catalog.Catalog
+	tempData map[string]*tableData
+	user     string
+}
+
+// NewSession opens a session.
+func (e *Engine) NewSession() *Session {
+	return &Session{
+		eng:      e,
+		tempCat:  catalog.New(),
+		tempData: map[string]*tableData{},
+		user:     "dbadmin",
+	}
+}
+
+// SetUser records the authenticated user (reported by USER()).
+func (s *Session) SetUser(u string) { s.user = u }
+
+// Table implements binder.Resolver with session-temporary overlay.
+func (s *Session) Table(name string) (*catalog.Table, bool) {
+	if t, ok := s.tempCat.Table(name); ok {
+		return t, true
+	}
+	return s.eng.cat.Table(name)
+}
+
+// View implements binder.Resolver.
+func (s *Session) View(name string) (*catalog.View, bool) {
+	return s.eng.cat.View(name)
+}
+
+var _ binder.Resolver = (*Session)(nil)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols describe the result set columns; nil for non-SELECT statements.
+	Cols []xtra.Col
+	// Rows hold the result data.
+	Rows [][]types.Datum
+	// RowsAffected is the DML activity count.
+	RowsAffected int64
+	// Command tags the statement kind, e.g. "SELECT", "INSERT", "CREATE TABLE".
+	Command string
+}
+
+// ExecSQL parses (ANSI dialect), binds, capability-checks and executes a
+// SQL script, returning one result per statement. On error, statements
+// before the failing one have already taken effect (auto-commit per
+// statement, like the modeled cloud targets).
+func (s *Session) ExecSQL(sql string) ([]*Result, error) {
+	stmts, err := parser.Parse(sql, parser.ANSI, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		b := binder.New(s, parser.ANSI, nil)
+		bound, err := b.Bind(stmt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.ExecPlan(bound)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// QuerySQL executes a single-statement query and returns its result.
+func (s *Session) QuerySQL(sql string) (*Result, error) {
+	rs, err := s.ExecSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != 1 {
+		return nil, fmt.Errorf("engine: expected one statement, got %d", len(rs))
+	}
+	return rs[0], nil
+}
+
+// ExecPlan executes a bound statement (used in-process by tests and the
+// benchmark harness; the wire path goes through ExecSQL).
+func (s *Session) ExecPlan(stmt xtra.Statement) (*Result, error) {
+	if err := s.checkCapabilities(stmt); err != nil {
+		return nil, err
+	}
+	ex := &executor{sess: s, work: map[int][][]types.Datum{}}
+	switch t := stmt.(type) {
+	case *xtra.Query:
+		// Performance transformation (§4.3): push filter conjuncts below
+		// joins so comma-join trees execute as hash equijoins.
+		if !s.eng.noOptimize {
+			optimized, err := optimizeQuery(t)
+			if err != nil {
+				return nil, err
+			}
+			t = optimized
+		}
+		rs, err := ex.exec(t.Root, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: rs.cols, Rows: rs.rows, RowsAffected: int64(len(rs.rows)), Command: "SELECT"}, nil
+	case *xtra.Insert:
+		return s.execInsert(ex, t)
+	case *xtra.Update:
+		return s.execUpdate(ex, t)
+	case *xtra.Delete:
+		return s.execDelete(ex, t)
+	case *xtra.CreateTable:
+		return s.execCreateTable(ex, t)
+	case *xtra.DropTable:
+		return s.execDropTable(t)
+	case *xtra.CreateView:
+		return s.execCreateView(t)
+	case *xtra.DropView:
+		if err := s.eng.cat.DropView(t.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Command: "DROP VIEW"}, nil
+	case *xtra.Txn:
+		// Requests auto-commit; transaction control succeeds as a no-op.
+		return &Result{Command: t.Kind}, nil
+	case *xtra.NoOp:
+		return &Result{Command: "OK"}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// checkCapabilities rejects plan constructs outside the modeled target's
+// capability profile, mirroring the feature gaps of Figure 2.
+func (s *Session) checkCapabilities(stmt xtra.Statement) error {
+	p := s.eng.profile
+	var err error
+	check := func(op xtra.Op) bool {
+		switch o := op.(type) {
+		case *xtra.RecursiveUnion:
+			if !p.Supports(dialect.CapRecursive) {
+				err = fmt.Errorf("engine(%s): recursive queries are not supported", p.Name)
+				return false
+			}
+		case *xtra.Agg:
+			if o.GroupingSets != nil && !p.Supports(dialect.CapGroupingSets) {
+				err = fmt.Errorf("engine(%s): ROLLUP/CUBE/GROUPING SETS are not supported", p.Name)
+				return false
+			}
+		}
+		for _, sc := range op.Scalars() {
+			xtra.WalkScalar(sc, func(x xtra.Scalar) bool {
+				switch q := x.(type) {
+				case *xtra.SubqueryCmp:
+					if len(q.Left) > 1 && !p.Supports(dialect.CapVectorSubquery) {
+						err = fmt.Errorf("engine(%s): vector comparison in subquery is not supported", p.Name)
+						return false
+					}
+				case *xtra.ArithExpr:
+					if q.T.Kind == types.KindDate && !p.Supports(dialect.CapDateArith) {
+						lk, rk := q.L.Type().Kind, q.R.Type().Kind
+						if (lk == types.KindDate) != (rk == types.KindDate) {
+							err = fmt.Errorf("engine(%s): date +/- integer arithmetic is not supported", p.Name)
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	var roots []xtra.Op
+	switch t := stmt.(type) {
+	case *xtra.Query:
+		roots = append(roots, t.Root)
+	case *xtra.Insert:
+		roots = append(roots, t.Input)
+	case *xtra.Update:
+		for _, a := range t.Assigns {
+			roots = append(roots, xtra.SubOps(a.Expr)...)
+		}
+		if t.Pred != nil {
+			roots = append(roots, xtra.SubOps(t.Pred)...)
+		}
+	case *xtra.Delete:
+		if t.Pred != nil {
+			roots = append(roots, xtra.SubOps(t.Pred)...)
+		}
+	case *xtra.CreateTable:
+		if t.Def.Kind == catalog.KindGlobalTemporary && !p.Supports(dialect.CapGlobalTempTables) {
+			return fmt.Errorf("engine(%s): global temporary tables are not supported", p.Name)
+		}
+		if t.Def.Set && !p.Supports(dialect.CapSetTables) {
+			return fmt.Errorf("engine(%s): SET tables are not supported", p.Name)
+		}
+		if t.Input != nil {
+			roots = append(roots, t.Input)
+		}
+	}
+	for _, r := range roots {
+		xtra.WalkOps(r, check)
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// lookupData resolves table contents, session temporaries first.
+func (s *Session) lookupData(name string) (*tableData, *catalog.Table, bool, error) {
+	key := strings.ToUpper(name)
+	if t, ok := s.tempCat.Table(name); ok {
+		return s.tempData[key], t, true, nil
+	}
+	if t, ok := s.eng.cat.Table(name); ok {
+		s.eng.mu.Lock()
+		td, ok := s.eng.data[key]
+		if !ok {
+			td = &tableData{}
+			s.eng.data[key] = td
+		}
+		s.eng.mu.Unlock()
+		return td, t, false, nil
+	}
+	return nil, nil, false, fmt.Errorf("engine: table %s does not exist", name)
+}
+
+// snapshotRows returns a stable view of a table's rows.
+func (s *Session) snapshotRows(name string) ([][]types.Datum, error) {
+	td, _, temp, err := s.lookupData(name)
+	if err != nil {
+		return nil, err
+	}
+	if temp {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return td.rows, nil
+	}
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	return td.rows, nil
+}
+
+// RowCount reports the number of rows in a table (test/bench helper).
+func (s *Session) RowCount(name string) (int, error) {
+	rows, err := s.snapshotRows(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// InsertRows bulk-loads pre-built rows (used by workload generators to load
+// data without going through the SQL layer).
+func (s *Session) InsertRows(name string, rows [][]types.Datum) error {
+	td, tbl, temp, err := s.lookupData(name)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != len(tbl.Columns) {
+			return fmt.Errorf("engine: row arity %d != %d for table %s", len(r), len(tbl.Columns), name)
+		}
+	}
+	if temp {
+		s.mu.Lock()
+		td.rows = append(td.rows, rows...)
+		s.mu.Unlock()
+		return nil
+	}
+	s.eng.mu.Lock()
+	td.rows = append(td.rows, rows...)
+	s.eng.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,631 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// rowset is a materialized relation: positional rows plus a ColumnID layout.
+type rowset struct {
+	cols   []xtra.Col
+	layout map[xtra.ColumnID]int
+	rows   [][]types.Datum
+}
+
+func newRowset(cols []xtra.Col) *rowset {
+	l := make(map[xtra.ColumnID]int, len(cols))
+	for i, c := range cols {
+		l[c.ID] = i
+	}
+	return &rowset{cols: cols, layout: l}
+}
+
+// env resolves ColumnIDs to values for the current row, chaining to outer
+// query rows for correlated subqueries.
+type env struct {
+	rs     *rowset
+	row    []types.Datum
+	parent *env
+}
+
+func (e *env) lookup(id xtra.ColumnID) (types.Datum, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.rs != nil {
+			if idx, ok := cur.rs.layout[id]; ok {
+				return cur.row[idx], true
+			}
+		}
+	}
+	return types.Datum{}, false
+}
+
+// maxRecursion bounds RecursiveUnion iterations.
+const maxRecursion = 100000
+
+// executor evaluates operator trees. One executor serves one statement.
+type executor struct {
+	sess *Session
+	// work maps RecursiveUnion WorkIDs to the current iteration's rows.
+	work map[int][][]types.Datum
+	// subqCache memoizes results of uncorrelated subquery inputs so an IN
+	// or EXISTS over a constant subquery executes once, not per outer row.
+	subqCache map[xtra.Op]*rowset
+	// uncorr caches the correlation analysis per subquery op.
+	uncorr map[xtra.Op]bool
+}
+
+// execSubquery evaluates a subquery input, memoizing uncorrelated ones.
+func (ex *executor) execSubquery(op xtra.Op, outer *env) (*rowset, error) {
+	if ex.subqCache == nil {
+		ex.subqCache = map[xtra.Op]*rowset{}
+		ex.uncorr = map[xtra.Op]bool{}
+	}
+	if rs, ok := ex.subqCache[op]; ok {
+		return rs, nil
+	}
+	u, ok := ex.uncorr[op]
+	if !ok {
+		// WorkScans inside recursive branches read loop state and must not
+		// be cached even when uncorrelated.
+		hasWork := false
+		xtra.WalkOps(op, func(o xtra.Op) bool {
+			if _, w := o.(*xtra.WorkScan); w {
+				hasWork = true
+				return false
+			}
+			return true
+		})
+		u = !hasWork && len(xtra.FreeRefsOfOp(op)) == 0
+		ex.uncorr[op] = u
+	}
+	rs, err := ex.exec(op, outer)
+	if err != nil {
+		return nil, err
+	}
+	if u {
+		ex.subqCache[op] = rs
+	}
+	return rs, nil
+}
+
+func (ex *executor) exec(op xtra.Op, outer *env) (*rowset, error) {
+	switch o := op.(type) {
+	case *xtra.Get:
+		rows, err := ex.sess.snapshotRows(o.Table)
+		if err != nil {
+			return nil, err
+		}
+		rs := newRowset(o.Cols)
+		rs.rows = rows
+		return rs, nil
+	case *xtra.WorkScan:
+		rs := newRowset(o.Cols)
+		rs.rows = ex.work[o.WorkID]
+		return rs, nil
+	case *xtra.Select:
+		return ex.execSelect(o, outer)
+	case *xtra.Project:
+		return ex.execProject(o, outer)
+	case *xtra.Join:
+		return ex.execJoin(o, outer)
+	case *xtra.Agg:
+		return ex.execAgg(o, outer)
+	case *xtra.Window:
+		return ex.execWindow(o, outer)
+	case *xtra.Sort:
+		return ex.execSort(o, outer)
+	case *xtra.Limit:
+		return ex.execLimit(o, outer)
+	case *xtra.SetOp:
+		return ex.execSetOp(o, outer)
+	case *xtra.Values:
+		return ex.execValues(o, outer)
+	case *xtra.RecursiveUnion:
+		return ex.execRecursive(o, outer)
+	}
+	return nil, fmt.Errorf("engine: unsupported operator %T", op)
+}
+
+func (ex *executor) execSelect(o *xtra.Select, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(in.cols)
+	e := &env{rs: in, parent: outer}
+	for _, row := range in.rows {
+		e.row = row
+		d, err := ex.eval(o.Pred, e)
+		if err != nil {
+			return nil, err
+		}
+		if d.Bool() {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) execProject(o *xtra.Project, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(o.Columns())
+	e := &env{rs: in, parent: outer}
+	for _, row := range in.rows {
+		e.row = row
+		nr := make([]types.Datum, len(o.Exprs))
+		for i, ns := range o.Exprs {
+			d, err := ex.eval(ns.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = d
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+func (ex *executor) execValues(o *xtra.Values, outer *env) (*rowset, error) {
+	out := newRowset(o.Cols)
+	e := &env{parent: outer}
+	for _, row := range o.Rows {
+		nr := make([]types.Datum, len(row))
+		for i, s := range row {
+			d, err := ex.eval(s, e)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = d
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+// equiKey describes one equijoin conjunct usable for hashing.
+type equiKey struct {
+	l, r xtra.Scalar // l evaluates over the left side, r over the right
+}
+
+// splitJoinPred extracts hashable equality conjuncts from the join predicate
+// and returns the residual conjuncts.
+func splitJoinPred(pred xtra.Scalar, l, r *rowset) (keys []equiKey, residual []xtra.Scalar) {
+	var conjuncts []xtra.Scalar
+	if be, ok := pred.(*xtra.BoolExpr); ok && be.Op == xtra.BoolAnd {
+		conjuncts = be.Args
+	} else if pred != nil {
+		conjuncts = []xtra.Scalar{pred}
+	}
+	sideOf := func(s xtra.Scalar) int {
+		// 0 unknown/mixed, 1 left-only, 2 right-only
+		refs := xtra.ColRefsIn(s)
+		if len(refs) == 0 {
+			return 0
+		}
+		left, right := false, false
+		for id := range refs {
+			switch {
+			case hasID(l, id):
+				left = true
+			case hasID(r, id):
+				right = true
+			default:
+				return 0 // correlated or unknown: not hashable
+			}
+		}
+		switch {
+		case left && !right:
+			return 1
+		case right && !left:
+			return 2
+		}
+		return 0
+	}
+	for _, c := range conjuncts {
+		if cmp, ok := c.(*xtra.CompExpr); ok && cmp.Op == xtra.CmpEQ {
+			ls, rs := sideOf(cmp.L), sideOf(cmp.R)
+			switch {
+			case ls == 1 && rs == 2:
+				keys = append(keys, equiKey{l: cmp.L, r: cmp.R})
+				continue
+			case ls == 2 && rs == 1:
+				keys = append(keys, equiKey{l: cmp.R, r: cmp.L})
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, residual
+}
+
+func hasID(rs *rowset, id xtra.ColumnID) bool {
+	_, ok := rs.layout[id]
+	return ok
+}
+
+func (ex *executor) execJoin(o *xtra.Join, outer *env) (*rowset, error) {
+	// RIGHT join executes as a flipped LEFT join with column reordering.
+	if o.Kind == xtra.JoinRight {
+		flipped := &xtra.Join{Kind: xtra.JoinLeft, L: o.R, R: o.L, Pred: o.Pred}
+		rs, err := ex.execJoin(flipped, outer)
+		if err != nil {
+			return nil, err
+		}
+		out := newRowset(o.Columns())
+		nl := len(o.L.Columns())
+		nr := len(o.R.Columns())
+		for _, row := range rs.rows {
+			nrow := make([]types.Datum, 0, nl+nr)
+			nrow = append(nrow, row[nr:]...)
+			nrow = append(nrow, row[:nr]...)
+			out.rows = append(out.rows, nrow)
+		}
+		return out, nil
+	}
+	l, err := ex.exec(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.exec(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(o.Columns())
+	nullsR := nullRow(o.R.Columns())
+	nullsL := nullRow(o.L.Columns())
+
+	keys, residual := splitJoinPred(o.Pred, l, r)
+	resPred := xtra.MakeAnd(residual...)
+	matchedR := make([]bool, len(r.rows))
+
+	emit := func(lr, rr []types.Datum) {
+		nrow := make([]types.Datum, 0, len(lr)+len(rr))
+		nrow = append(nrow, lr...)
+		nrow = append(nrow, rr...)
+		out.rows = append(out.rows, nrow)
+	}
+
+	if len(keys) > 0 {
+		// Hash join: build on the right side.
+		build := make(map[string][]int, len(r.rows))
+		re := &env{rs: r, parent: outer}
+		for i, rr := range r.rows {
+			re.row = rr
+			hk, null, err := ex.hashKeys(keys, re, false)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // NULL keys never match
+			}
+			build[hk] = append(build[hk], i)
+		}
+		le := &env{rs: l, parent: outer}
+		both := &env{rs: r, parent: &env{rs: l, parent: outer}}
+		for _, lr := range l.rows {
+			le.row = lr
+			matched := false
+			hk, null, err := ex.hashKeys(keys, le, true)
+			if err != nil {
+				return nil, err
+			}
+			if !null {
+				for _, ri := range build[hk] {
+					rr := r.rows[ri]
+					both.row = rr
+					both.parent.row = lr
+					if resPred != nil {
+						d, err := ex.eval(resPred, both)
+						if err != nil {
+							return nil, err
+						}
+						if !d.Bool() {
+							continue
+						}
+					}
+					matched = true
+					matchedR[ri] = true
+					emit(lr, rr)
+				}
+			}
+			if !matched && (o.Kind == xtra.JoinLeft || o.Kind == xtra.JoinFull) {
+				emit(lr, nullsR)
+			}
+		}
+	} else {
+		// Nested loop join.
+		both := &env{rs: r, parent: &env{rs: l, parent: outer}}
+		for _, lr := range l.rows {
+			matched := false
+			for ri, rr := range r.rows {
+				both.row = rr
+				both.parent.row = lr
+				ok := true
+				if o.Pred != nil {
+					d, err := ex.eval(o.Pred, both)
+					if err != nil {
+						return nil, err
+					}
+					ok = d.Bool()
+				}
+				if ok {
+					matched = true
+					matchedR[ri] = true
+					emit(lr, rr)
+				}
+			}
+			if !matched && (o.Kind == xtra.JoinLeft || o.Kind == xtra.JoinFull) {
+				emit(lr, nullsR)
+			}
+		}
+	}
+	if o.Kind == xtra.JoinFull {
+		for ri, rr := range r.rows {
+			if !matchedR[ri] {
+				emit(nullsL, rr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// hashKeys evaluates the join key expressions on one side; null reports a
+// NULL key (which never matches).
+func (ex *executor) hashKeys(keys []equiKey, e *env, left bool) (string, bool, error) {
+	var b []byte
+	for _, k := range keys {
+		s := k.r
+		if left {
+			s = k.l
+		}
+		d, err := ex.eval(s, e)
+		if err != nil {
+			return "", false, err
+		}
+		if d.Null {
+			return "", true, nil
+		}
+		b = append(b, d.HashKey()...)
+		b = append(b, 0)
+	}
+	return string(b), false, nil
+}
+
+func nullRow(cols []xtra.Col) []types.Datum {
+	out := make([]types.Datum, len(cols))
+	for i, c := range cols {
+		out[i] = types.NewNull(c.Type.Kind)
+	}
+	return out
+}
+
+func (ex *executor) execSort(o *xtra.Sort, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	keyVals, err := ex.evalSortKeys(o.Keys, in, outer)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(in.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		c, err := compareKeyRows(o.Keys, keyVals[idx[a]], keyVals[idx[b]])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := newRowset(in.cols)
+	out.rows = make([][]types.Datum, len(in.rows))
+	for i, j := range idx {
+		out.rows[i] = in.rows[j]
+	}
+	return out, nil
+}
+
+func (ex *executor) evalSortKeys(keys []xtra.SortKey, in *rowset, outer *env) ([][]types.Datum, error) {
+	vals := make([][]types.Datum, len(in.rows))
+	e := &env{rs: in, parent: outer}
+	for i, row := range in.rows {
+		e.row = row
+		kv := make([]types.Datum, len(keys))
+		for j, k := range keys {
+			d, err := ex.eval(k.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			kv[j] = d
+		}
+		vals[i] = kv
+	}
+	return vals, nil
+}
+
+// compareKeyRows orders two key tuples under the sort specification.
+func compareKeyRows(keys []xtra.SortKey, a, b []types.Datum) (int, error) {
+	for i, k := range keys {
+		av, bv := a[i], b[i]
+		switch {
+		case av.Null && bv.Null:
+			continue
+		case av.Null:
+			if k.NullsFirst {
+				return -1, nil
+			}
+			return 1, nil
+		case bv.Null:
+			if k.NullsFirst {
+				return 1, nil
+			}
+			return -1, nil
+		}
+		c, err := types.Compare(av, bv)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			if k.Desc {
+				return -c, nil
+			}
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+func (ex *executor) execLimit(o *xtra.Limit, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(in.cols)
+	n := int(o.N)
+	if n >= len(in.rows) {
+		out.rows = in.rows
+		return out, nil
+	}
+	out.rows = in.rows[:n]
+	if o.WithTies && n > 0 && len(o.Keys) > 0 {
+		keyVals, err := ex.evalSortKeys(o.Keys, in, outer)
+		if err != nil {
+			return nil, err
+		}
+		last := keyVals[n-1]
+		for i := n; i < len(in.rows); i++ {
+			c, err := compareKeyRows(o.Keys, keyVals[i], last)
+			if err != nil {
+				return nil, err
+			}
+			if c != 0 {
+				break
+			}
+			out.rows = append(out.rows, in.rows[i])
+		}
+	}
+	return out, nil
+}
+
+func rowKey(row []types.Datum) string {
+	var b []byte
+	for _, d := range row {
+		b = append(b, d.HashKey()...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
+	l, err := ex.exec(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.exec(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(o.Cols)
+	switch o.Kind {
+	case xtra.SetUnion:
+		if o.All {
+			out.rows = append(append(out.rows, l.rows...), r.rows...)
+			return out, nil
+		}
+		seen := map[string]bool{}
+		for _, rows := range [][][]types.Datum{l.rows, r.rows} {
+			for _, row := range rows {
+				k := rowKey(row)
+				if !seen[k] {
+					seen[k] = true
+					out.rows = append(out.rows, row)
+				}
+			}
+		}
+		return out, nil
+	case xtra.SetIntersect:
+		counts := map[string]int{}
+		for _, row := range r.rows {
+			counts[rowKey(row)]++
+		}
+		emitted := map[string]bool{}
+		for _, row := range l.rows {
+			k := rowKey(row)
+			if counts[k] > 0 {
+				if o.All {
+					counts[k]--
+					out.rows = append(out.rows, row)
+				} else if !emitted[k] {
+					emitted[k] = true
+					out.rows = append(out.rows, row)
+				}
+			}
+		}
+		return out, nil
+	case xtra.SetExcept:
+		counts := map[string]int{}
+		for _, row := range r.rows {
+			counts[rowKey(row)]++
+		}
+		emitted := map[string]bool{}
+		for _, row := range l.rows {
+			k := rowKey(row)
+			if o.All {
+				if counts[k] > 0 {
+					counts[k]--
+					continue
+				}
+				out.rows = append(out.rows, row)
+			} else {
+				if counts[k] == 0 && !emitted[k] {
+					emitted[k] = true
+					out.rows = append(out.rows, row)
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("engine: unknown set operation")
+}
+
+// execRecursive implements native WITH RECURSIVE for targets with the
+// recursion capability: seed rows initialize both the result and the work
+// table; the recursive branch re-executes against the shrinking work table
+// until no new rows appear (the same fixpoint the gateway emulates with
+// temporary tables on targets without the capability, Figure 7).
+func (ex *executor) execRecursive(o *xtra.RecursiveUnion, outer *env) (*rowset, error) {
+	seed, err := ex.exec(o.Seed, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(o.Cols)
+	out.rows = append(out.rows, seed.rows...)
+	work := seed.rows
+	for iter := 0; len(work) > 0; iter++ {
+		if iter > maxRecursion {
+			return nil, fmt.Errorf("engine: recursion exceeded %d iterations", maxRecursion)
+		}
+		saved := ex.work[o.WorkID]
+		ex.work[o.WorkID] = work
+		next, err := ex.exec(o.Recursive, outer)
+		ex.work[o.WorkID] = saved
+		if err != nil {
+			return nil, err
+		}
+		out.rows = append(out.rows, next.rows...)
+		work = next.rows
+	}
+	return out, nil
+}

@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	def      *xtra.AggDef
+	count    int64
+	sumI     int64 // BIGINT / DECIMAL (scaled) accumulator
+	sumF     float64
+	min, max types.Datum
+	distinct map[string]bool
+	seen     bool
+}
+
+func newAggState(def *xtra.AggDef) *aggState {
+	s := &aggState{def: def}
+	if def.Distinct {
+		s.distinct = map[string]bool{}
+	}
+	return s
+}
+
+// add folds one input value into the accumulator.
+func (s *aggState) add(d types.Datum) error {
+	if !s.def.Star && d.Null {
+		return nil
+	}
+	if s.distinct != nil {
+		k := d.HashKey()
+		if s.distinct[k] {
+			return nil
+		}
+		s.distinct[k] = true
+	}
+	s.count++
+	switch s.def.Func {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		switch s.def.Out.Type.Kind {
+		case types.KindFloat:
+			s.sumF += d.AsFloat()
+		case types.KindDecimal:
+			s.sumI += d.DecimalScaled(s.def.Out.Type.Scale)
+		default:
+			s.sumI += d.AsInt()
+		}
+		return nil
+	case "MIN", "MAX":
+		if !s.seen {
+			s.min, s.max = d, d
+			s.seen = true
+			return nil
+		}
+		c, err := types.Compare(d, s.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			s.min = d
+		}
+		c, err = types.Compare(d, s.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			s.max = d
+		}
+		return nil
+	}
+	return fmt.Errorf("engine: unknown aggregate %s", s.def.Func)
+}
+
+// result finalizes the aggregate value.
+func (s *aggState) result() types.Datum {
+	t := s.def.Out.Type
+	switch s.def.Func {
+	case "COUNT":
+		return types.NewBigInt(s.count)
+	case "SUM":
+		if s.count == 0 {
+			return types.NewNull(t.Kind)
+		}
+		switch t.Kind {
+		case types.KindFloat:
+			return types.NewFloat(s.sumF)
+		case types.KindDecimal:
+			return types.NewDecimal(s.sumI, t.Scale)
+		default:
+			return types.NewBigInt(s.sumI)
+		}
+	case "AVG":
+		if s.count == 0 {
+			return types.NewNull(t.Kind)
+		}
+		switch t.Kind {
+		case types.KindDecimal:
+			return types.NewDecimal(s.sumI/s.count, t.Scale)
+		default:
+			return types.NewFloat(s.sumF / float64(s.count))
+		}
+	case "MIN":
+		if !s.seen {
+			return types.NewNull(t.Kind)
+		}
+		return s.min
+	case "MAX":
+		if !s.seen {
+			return types.NewNull(t.Kind)
+		}
+		return s.max
+	}
+	return types.NewNull(types.KindNull)
+}
+
+// aggInput extracts the value an aggregate folds for the current row. AVG
+// over floats accumulates via sumF; integer AVG also uses sumF, so convert.
+func (ex *executor) aggInput(def *xtra.AggDef, e *env) (types.Datum, error) {
+	if def.Star {
+		return types.NewInt(1), nil
+	}
+	d, err := ex.eval(def.Arg, e)
+	if err != nil {
+		return types.Datum{}, err
+	}
+	if def.Func == "AVG" && def.Out.Type.Kind == types.KindFloat && !d.Null {
+		return types.NewFloat(d.AsFloat()), nil
+	}
+	return d, nil
+}
+
+func (ex *executor) execAgg(o *xtra.Agg, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	if o.GroupingSets != nil {
+		return ex.execGroupingSets(o, in, outer)
+	}
+	full := make([]int, len(o.Groups))
+	for i := range full {
+		full[i] = i
+	}
+	return ex.aggregateSet(o, in, outer, full, nil)
+}
+
+// execGroupingSets evaluates each grouping set and unions the results,
+// padding non-grouped columns with NULL (native ROLLUP/CUBE execution for
+// targets with the capability).
+func (ex *executor) execGroupingSets(o *xtra.Agg, in *rowset, outer *env) (*rowset, error) {
+	out := newRowset(o.Columns())
+	for _, set := range o.GroupingSets {
+		rs, err := ex.aggregateSet(o, in, outer, set, out.cols)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = append(out.rows, rs.rows...)
+	}
+	return out, nil
+}
+
+// aggregateSet performs hash aggregation grouping on the given subset of
+// o.Groups (indexes). Columns outside the subset yield NULL.
+func (ex *executor) aggregateSet(o *xtra.Agg, in *rowset, outer *env, set []int, _ []xtra.Col) (*rowset, error) {
+	inSet := make([]bool, len(o.Groups))
+	for _, i := range set {
+		inSet[i] = true
+	}
+	type group struct {
+		keys []types.Datum
+		aggs []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	e := &env{rs: in, parent: outer}
+	for _, row := range in.rows {
+		e.row = row
+		keys := make([]types.Datum, len(o.Groups))
+		var kb []byte
+		for i, g := range o.Groups {
+			if !inSet[i] {
+				keys[i] = types.NewNull(g.Out.Type.Kind)
+				continue
+			}
+			d, err := ex.eval(g.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = d
+			kb = append(kb, d.HashKey()...)
+			kb = append(kb, 0)
+		}
+		k := string(kb)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{keys: keys}
+			for i := range o.Aggs {
+				grp.aggs = append(grp.aggs, newAggState(&o.Aggs[i]))
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for _, as := range grp.aggs {
+			d, err := ex.aggInput(as.def, e)
+			if err != nil {
+				return nil, err
+			}
+			if err := as.add(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Scalar aggregation over empty input yields one row of defaults.
+	if len(o.Groups) == 0 && len(groups) == 0 {
+		grp := &group{}
+		for i := range o.Aggs {
+			grp.aggs = append(grp.aggs, newAggState(&o.Aggs[i]))
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+	out := newRowset(o.Columns())
+	for _, k := range order {
+		grp := groups[k]
+		row := make([]types.Datum, 0, len(o.Groups)+len(o.Aggs))
+		row = append(row, grp.keys...)
+		for _, as := range grp.aggs {
+			row = append(row, as.result())
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// execWindow evaluates window functions: rows are partitioned, ordered
+// within partitions, and each function computes rank-style numbering or
+// running/total aggregates over peer groups.
+func (ex *executor) execWindow(o *xtra.Window, outer *env) (*rowset, error) {
+	in, err := ex.exec(o.Input, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := newRowset(o.Columns())
+	out.rows = make([][]types.Datum, len(in.rows))
+
+	// Evaluate partition keys and order keys per row.
+	e := &env{rs: in, parent: outer}
+	partKey := make([]string, len(in.rows))
+	orderVals := make([][]types.Datum, len(in.rows))
+	for i, row := range in.rows {
+		e.row = row
+		var kb []byte
+		for _, p := range o.PartitionBy {
+			d, err := ex.eval(p, e)
+			if err != nil {
+				return nil, err
+			}
+			kb = append(kb, d.HashKey()...)
+			kb = append(kb, 0)
+		}
+		partKey[i] = string(kb)
+		kv := make([]types.Datum, len(o.OrderBy))
+		for j, k := range o.OrderBy {
+			d, err := ex.eval(k.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			kv[j] = d
+		}
+		orderVals[i] = kv
+	}
+	parts := map[string][]int{}
+	var partOrder []string
+	for i := range in.rows {
+		if _, ok := parts[partKey[i]]; !ok {
+			partOrder = append(partOrder, partKey[i])
+		}
+		parts[partKey[i]] = append(parts[partKey[i]], i)
+	}
+
+	nf := len(o.Funcs)
+	winVals := make([][]types.Datum, len(in.rows))
+	for i := range winVals {
+		winVals[i] = make([]types.Datum, nf)
+	}
+	for _, pk := range partOrder {
+		idxs := parts[pk]
+		if len(o.OrderBy) > 0 {
+			var sortErr error
+			sort.SliceStable(idxs, func(a, b int) bool {
+				c, err := compareKeyRows(o.OrderBy, orderVals[idxs[a]], orderVals[idxs[b]])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				return c < 0
+			})
+			if sortErr != nil {
+				return nil, sortErr
+			}
+		}
+		for fi := range o.Funcs {
+			if err := ex.windowFunc(&o.Funcs[fi], o.OrderBy, in, outer, idxs, orderVals, winVals, fi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, row := range in.rows {
+		nr := make([]types.Datum, 0, len(row)+nf)
+		nr = append(nr, row...)
+		nr = append(nr, winVals[i]...)
+		out.rows[i] = nr
+	}
+	return out, nil
+}
+
+// windowFunc computes one window function over one ordered partition.
+func (ex *executor) windowFunc(def *xtra.WindowDef, orderBy []xtra.SortKey, in *rowset, outer *env,
+	idxs []int, orderVals [][]types.Datum, winVals [][]types.Datum, fi int) error {
+	samePeers := func(a, b int) bool {
+		if len(orderBy) == 0 {
+			return true
+		}
+		c, err := compareKeyRows(orderBy, orderVals[a], orderVals[b])
+		return err == nil && c == 0
+	}
+	switch def.Name {
+	case "ROW_NUMBER":
+		for n, i := range idxs {
+			winVals[i][fi] = types.NewBigInt(int64(n + 1))
+		}
+		return nil
+	case "RANK":
+		rank := int64(1)
+		for n, i := range idxs {
+			if n > 0 && !samePeers(idxs[n-1], i) {
+				rank = int64(n + 1)
+			}
+			winVals[i][fi] = types.NewBigInt(rank)
+		}
+		return nil
+	case "DENSE_RANK":
+		rank := int64(0)
+		for n, i := range idxs {
+			if n == 0 || !samePeers(idxs[n-1], i) {
+				rank++
+			}
+			winVals[i][fi] = types.NewBigInt(rank)
+		}
+		return nil
+	}
+	// Aggregate window. Without ORDER BY the frame is the whole partition;
+	// with ORDER BY it is the running frame up to and including peers.
+	e := &env{rs: in, parent: outer}
+	adef := &xtra.AggDef{Out: def.Out, Func: def.Name, Star: def.Star}
+	if len(def.Args) == 1 {
+		adef.Arg = def.Args[0]
+	}
+	if len(orderBy) == 0 {
+		state := newAggState(adef)
+		for _, i := range idxs {
+			e.row = in.rows[i]
+			d, err := ex.aggInput(adef, e)
+			if err != nil {
+				return err
+			}
+			if err := state.add(d); err != nil {
+				return err
+			}
+		}
+		v := state.result()
+		for _, i := range idxs {
+			winVals[i][fi] = v
+		}
+		return nil
+	}
+	state := newAggState(adef)
+	n := 0
+	for n < len(idxs) {
+		// Extend the frame over the current peer group.
+		m := n
+		for m < len(idxs) && samePeers(idxs[n], idxs[m]) {
+			e.row = in.rows[idxs[m]]
+			d, err := ex.aggInput(adef, e)
+			if err != nil {
+				return err
+			}
+			if err := state.add(d); err != nil {
+				return err
+			}
+			m++
+		}
+		v := state.result()
+		for j := n; j < m; j++ {
+			winVals[idxs[j]][fi] = v
+		}
+		n = m
+	}
+	return nil
+}

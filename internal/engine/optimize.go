@@ -1,0 +1,18 @@
+package engine
+
+import (
+	"hyperq/internal/transform"
+	"hyperq/internal/xtra"
+)
+
+// optimizeQuery applies the engine-side performance transformations before
+// execution: predicate pushdown turns comma-style join trees (cross join
+// plus a filter above) into hashable equijoins.
+func optimizeQuery(q *xtra.Query) (*xtra.Query, error) {
+	c := transform.NewContext(nil, nil, 1<<30)
+	out, err := transform.Pushdown().Statement(q, c)
+	if err != nil {
+		return nil, err
+	}
+	return out.(*xtra.Query), nil
+}

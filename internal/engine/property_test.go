@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/types"
+)
+
+// randomSession loads two small tables with seeded random data.
+func randomSession(t *testing.T, seed int64, rows int) *Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := New(dialect.TeradataProfile())
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE p (k INT, v INT, s VARCHAR(8))")
+	mustExec(t, s, "CREATE TABLE q (k INT, w INT)")
+	var pRows, qRows [][]types.Datum
+	words := []string{"ant", "bee", "cat", "dog", "elk"}
+	for i := 0; i < rows; i++ {
+		v := types.NewInt(int64(rng.Intn(50)))
+		if rng.Intn(10) == 0 {
+			v = types.NewNull(types.KindInt)
+		}
+		pRows = append(pRows, []types.Datum{
+			types.NewInt(int64(rng.Intn(20))), v, types.NewString(words[rng.Intn(len(words))]),
+		})
+		qRows = append(qRows, []types.Datum{
+			types.NewInt(int64(rng.Intn(20))), types.NewInt(int64(rng.Intn(100))),
+		})
+	}
+	if err := s.InsertRows("p", pRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertRows("q", qRows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func resultKeyMultiset(r *Result) []string {
+	out := rowsToStrings(r)
+	sort.Strings(out)
+	return out
+}
+
+// Property: the predicate-pushdown optimizer never changes query results.
+func TestOptimizerEquivalenceProperty(t *testing.T) {
+	queries := []string{
+		"SELECT p.k, q.w FROM p, q WHERE p.k = q.k AND p.v > 10",
+		"SELECT COUNT(*) FROM p, q WHERE p.k = q.k AND q.w < 50 AND p.s LIKE 'c%'",
+		"SELECT p.s, SUM(q.w) FROM p, q WHERE p.k = q.k GROUP BY p.s",
+		"SELECT p.k FROM p LEFT JOIN q ON p.k = q.k WHERE p.v > 5",
+		"SELECT p.k FROM p, q WHERE p.k = q.k AND (p.v > 40 OR p.v < 5) AND q.w > 10",
+		"SELECT DISTINCT p.k FROM p, q WHERE p.k = q.k AND EXISTS (SELECT 1 FROM q q2 WHERE q2.k = p.k AND q2.w > 90)",
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, q := range queries {
+			s1 := randomSession(t, seed, 120)
+			s1.eng.SetOptimizerEnabled(true)
+			r1, err := s1.QuerySQL(q)
+			if err != nil {
+				t.Fatalf("seed %d optimized %q: %v", seed, q, err)
+			}
+			s2 := randomSession(t, seed, 120)
+			s2.eng.SetOptimizerEnabled(false)
+			r2, err := s2.QuerySQL(q)
+			if err != nil {
+				t.Fatalf("seed %d unoptimized %q: %v", seed, q, err)
+			}
+			a, b := resultKeyMultiset(r1), resultKeyMultiset(r2)
+			if strings.Join(a, "\n") != strings.Join(b, "\n") {
+				t.Fatalf("seed %d: optimizer changed results of %q:\n%v\nvs\n%v", seed, q, a, b)
+			}
+		}
+	}
+}
+
+// Property: ORDER BY yields a sorted permutation of the unsorted result.
+func TestSortIsPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSession(t, seed%1000, 60)
+		sorted, err := s.QuerySQL("SELECT v FROM p ORDER BY v NULLS FIRST")
+		if err != nil {
+			return false
+		}
+		unsorted, err := s.QuerySQL("SELECT v FROM p")
+		if err != nil {
+			return false
+		}
+		// Permutation check.
+		a, b := resultKeyMultiset(sorted), resultKeyMultiset(unsorted)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Sortedness check (NULLs first, then ascending).
+		rows := sorted.Rows
+		for i := 1; i < len(rows); i++ {
+			prev, cur := rows[i-1][0], rows[i][0]
+			if prev.Null {
+				continue
+			}
+			if cur.Null {
+				return false // NULL after non-NULL
+			}
+			if c, _ := types.Compare(prev, cur); c > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UNION ALL cardinality is the sum; UNION is deduplicated and a
+// subset of UNION ALL.
+func TestSetOpCardinalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSession(t, seed%1000, 40)
+		all, err := s.QuerySQL("SELECT k FROM p UNION ALL SELECT k FROM q")
+		if err != nil {
+			return false
+		}
+		dedup, err := s.QuerySQL("SELECT k FROM p UNION SELECT k FROM q")
+		if err != nil {
+			return false
+		}
+		if len(all.Rows) != 80 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, row := range dedup.Rows {
+			k := row[0].HashKey()
+			if seen[k] {
+				return false // duplicate survived UNION
+			}
+			seen[k] = true
+		}
+		return len(dedup.Rows) <= len(all.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LIMIT n returns at most n rows and a prefix of the ordered
+// result.
+func TestLimitPrefixProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		s := randomSession(t, seed%1000, 50)
+		full, err := s.QuerySQL("SELECT k, v FROM p ORDER BY k, v NULLS FIRST, s")
+		if err != nil {
+			return false
+		}
+		limited, err := s.QuerySQL(fmt.Sprintf("SELECT k, v FROM p ORDER BY k, v NULLS FIRST, s LIMIT %d", n))
+		if err != nil {
+			return false
+		}
+		if len(limited.Rows) > n {
+			return false
+		}
+		for i, row := range limited.Rows {
+			for j := range row {
+				if row[j].String() != full.Rows[i][j].String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GROUP BY k partitions the rows — the group counts sum to the
+// table cardinality.
+func TestGroupCountSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSession(t, seed%1000, 70)
+		grouped, err := s.QuerySQL("SELECT k, COUNT(*) FROM p GROUP BY k")
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, row := range grouped.Rows {
+			sum += row[1].I
+		}
+		return sum == 70
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a windowed running COUNT over the whole relation ends at the
+// relation's cardinality on every ordering.
+func TestWindowRunningCountProperty(t *testing.T) {
+	s := randomSession(t, 7, 40)
+	r, err := s.QuerySQL("SELECT COUNT(*) OVER (ORDER BY k, v NULLS FIRST, s) AS c FROM p ORDER BY c DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 40 {
+		t.Fatalf("running count max = %v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,156 @@
+package feature
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if Count != 27 {
+		t.Fatalf("Count = %d, want 27", Count)
+	}
+	for _, c := range Classes {
+		if got := len(ByClass(c)); got != 9 {
+			t.Errorf("class %s has %d features, want 9", c, got)
+		}
+	}
+	seen := map[string]bool{}
+	for _, f := range All() {
+		if f.Name == "" || f.Component == "" || f.Desc == "" {
+			t.Errorf("feature %d has empty metadata", f.ID)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate feature name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	var s Set
+	if !s.Empty() {
+		t.Error("zero set not empty")
+	}
+	s.Add(Qualify)
+	s.Add(Macro)
+	if !s.Has(Qualify) || !s.Has(Macro) || s.Has(SelAbbrev) {
+		t.Error("membership wrong")
+	}
+	if !s.HasClass(ClassTransformation) || !s.HasClass(ClassEmulation) || s.HasClass(ClassTranslation) {
+		t.Error("class membership wrong")
+	}
+	ids := s.IDs()
+	if len(ids) != 2 || ids[0] != Qualify || ids[1] != Macro {
+		t.Errorf("IDs = %v", ids)
+	}
+	var o Set
+	o.Add(SelAbbrev)
+	s.Union(o)
+	if !s.Has(SelAbbrev) {
+		t.Error("union failed")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Qualify) // must not panic
+	if !r.Set().Empty() {
+		t.Error("nil recorder recorded something")
+	}
+	r.Reset()
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	r.Record(Qualify)
+	r.Record(Qualify)
+	r.Record(DateIntCompare)
+	s := r.Set()
+	if len(s.IDs()) != 2 {
+		t.Errorf("IDs = %v", s.IDs())
+	}
+	r.Reset()
+	if !r.Set().Empty() {
+		t.Error("Reset failed")
+	}
+}
+
+func TestStatsFigure8Semantics(t *testing.T) {
+	st := NewStats()
+	// Query 1: one translation + one transformation feature.
+	var q1 Set
+	q1.Add(SelAbbrev)
+	q1.Add(Qualify)
+	st.Observe(q1)
+	// Query 2: two transformation features (counted once for the class).
+	var q2 Set
+	q2.Add(Qualify)
+	q2.Add(DateIntCompare)
+	st.Observe(q2)
+	// Query 3: nothing tracked.
+	st.Observe(0)
+	// Query 4: emulation.
+	var q4 Set
+	q4.Add(Macro)
+	st.Observe(q4)
+
+	if st.Queries() != 4 {
+		t.Fatalf("Queries = %d", st.Queries())
+	}
+	qp := st.ClassQueryPct()
+	if qp[ClassTranslation] != 25 {
+		t.Errorf("translation query pct = %v", qp[ClassTranslation])
+	}
+	if qp[ClassTransformation] != 50 {
+		t.Errorf("transformation query pct = %v", qp[ClassTransformation])
+	}
+	if qp[ClassEmulation] != 25 {
+		t.Errorf("emulation query pct = %v", qp[ClassEmulation])
+	}
+	pp := st.ClassPresencePct()
+	// 1/9 translation, 2/9 transformation, 1/9 emulation features present.
+	if pp[ClassTranslation] < 11 || pp[ClassTranslation] > 12 {
+		t.Errorf("translation presence pct = %v", pp[ClassTranslation])
+	}
+	if pp[ClassTransformation] < 22 || pp[ClassTransformation] > 23 {
+		t.Errorf("transformation presence pct = %v", pp[ClassTransformation])
+	}
+	counts := st.FeatureQueryCounts()
+	if counts[0].Info.ID != Qualify || counts[0].Count != 2 {
+		t.Errorf("top feature = %+v", counts[0])
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	st := NewStats()
+	for _, v := range st.ClassQueryPct() {
+		if v != 0 {
+			t.Error("non-zero pct on empty stats")
+		}
+	}
+}
+
+// Property: for any random feature subset, a class query percentage is 100%
+// exactly when every observed query had a feature of the class.
+func TestStatsClassConsistency(t *testing.T) {
+	f := func(raw []uint8) bool {
+		st := NewStats()
+		all := true
+		for _, b := range raw {
+			var s Set
+			s.Add(ID(b % uint8(Count)))
+			st.Observe(s)
+			if !s.HasClass(ClassTranslation) {
+				all = false
+			}
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		pct := st.ClassQueryPct()[ClassTranslation]
+		return (pct == 100) == all
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package hyperq
+
+import (
+	"strings"
+
+	"hyperq/internal/sqlast"
+)
+
+// execUnit is one backend execution unit of a request. For a batched run of
+// single-row INSERTs, perStmtRows records each original statement's row
+// count so the gateway can synthesize the per-statement responses the
+// frontend protocol requires.
+type execUnit struct {
+	stmt        sqlast.Statement
+	perStmtRows []int // nil for pass-through units
+}
+
+// batchDML implements the §4.3 performance transformation: "if the target
+// database incurs a large overhead in executing single-row DML requests, a
+// transformation that groups a large number of contiguous single-row DML
+// statements into one large statement could be applied." Contiguous VALUES
+// inserts into the same table with the same column list coalesce into one
+// multi-row INSERT; the application still receives one success response per
+// original statement.
+func batchDML(stmts []sqlast.Statement) []execUnit {
+	var out []execUnit
+	i := 0
+	for i < len(stmts) {
+		ins, ok := stmts[i].(*sqlast.InsertStmt)
+		if !ok || ins.Query != nil || len(ins.Rows) == 0 {
+			out = append(out, execUnit{stmt: stmts[i]})
+			i++
+			continue
+		}
+		// Extend the run of compatible inserts.
+		j := i + 1
+		for j < len(stmts) {
+			next, ok := stmts[j].(*sqlast.InsertStmt)
+			if !ok || next.Query != nil || len(next.Rows) == 0 ||
+				!strings.EqualFold(next.Table, ins.Table) ||
+				!sameColumns(next.Columns, ins.Columns) {
+				break
+			}
+			j++
+		}
+		if j-i < 2 {
+			out = append(out, execUnit{stmt: stmts[i]})
+			i++
+			continue
+		}
+		merged := &sqlast.InsertStmt{Table: ins.Table, Columns: ins.Columns}
+		var counts []int
+		for k := i; k < j; k++ {
+			rows := stmts[k].(*sqlast.InsertStmt).Rows
+			merged.Rows = append(merged.Rows, rows...)
+			counts = append(counts, len(rows))
+		}
+		out = append(out, execUnit{stmt: merged, perStmtRows: counts})
+		i = j
+	}
+	return out
+}
+
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

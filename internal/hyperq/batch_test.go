@@ -1,0 +1,63 @@
+package hyperq
+
+import (
+	"testing"
+
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+)
+
+func parseStmts(t *testing.T, sql string) []sqlast.Statement {
+	t.Helper()
+	stmts, err := parser.Parse(sql, parser.Teradata, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts
+}
+
+func TestBatchDMLMergesRuns(t *testing.T) {
+	stmts := parseStmts(t, "INS t (1); INS t (2); INS t (3);")
+	units := batchDML(stmts)
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	merged := units[0].stmt.(*sqlast.InsertStmt)
+	if len(merged.Rows) != 3 || len(units[0].perStmtRows) != 3 {
+		t.Fatalf("merged = %d rows, %v", len(merged.Rows), units[0].perStmtRows)
+	}
+}
+
+func TestBatchDMLBoundaries(t *testing.T) {
+	// Different tables break the run.
+	units := batchDML(parseStmts(t, "INS t (1); INS u (2); INS u (3);"))
+	if len(units) != 2 {
+		t.Fatalf("units = %d", len(units))
+	}
+	if units[0].perStmtRows != nil {
+		t.Error("single insert wrongly marked as batch")
+	}
+	if units[1].perStmtRows == nil {
+		t.Error("u-run not batched")
+	}
+	// A SELECT in between breaks the run.
+	units = batchDML(parseStmts(t, "INS t (1); SEL 1; INS t (2);"))
+	if len(units) != 3 {
+		t.Fatalf("units = %d", len(units))
+	}
+	// INSERT ... SELECT is never merged.
+	units = batchDML(parseStmts(t, "INSERT INTO t SELECT a FROM u; INSERT INTO t SELECT a FROM u;"))
+	if len(units) != 2 {
+		t.Fatalf("insert-select merged: %d units", len(units))
+	}
+}
+
+func TestBatchDMLMultiRowStatements(t *testing.T) {
+	units := batchDML(parseStmts(t, "INSERT INTO t (a) VALUES (1), (2); INSERT INTO t (a) VALUES (3);"))
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	if got := units[0].perStmtRows; len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("perStmtRows = %v", got)
+	}
+}

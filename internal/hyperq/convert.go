@@ -1,0 +1,136 @@
+package hyperq
+
+import (
+	"fmt"
+	"sync"
+
+	"hyperq/internal/tdf"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/cwp"
+	"hyperq/internal/wire/tdp"
+	"hyperq/internal/xtra"
+)
+
+// convertResult implements the Result Converter (§4.6): backend TDF batches
+// are buffered through the Result Store (spilling to disk past the memory
+// budget, since the frontend protocol announces row counts up front) and
+// converted in parallel into the frontend's column types and names.
+func (s *Session) convertResult(frontCols []xtra.Col, br *cwp.StatementResult) ([]tdp.ColumnDef, [][]types.Datum, error) {
+	if len(br.Cols) != len(frontCols) {
+		return nil, nil, fmt.Errorf("backend returned %d columns, expected %d", len(br.Cols), len(frontCols))
+	}
+	cols := make([]tdp.ColumnDef, len(frontCols))
+	for i, c := range frontCols {
+		cols[i] = tdp.ColumnDef{Name: c.Name, Type: c.Type}
+	}
+	// Buffer batches through the Result Store.
+	store := tdf.NewStore(s.g.cfg.ResultBudget)
+	defer store.Close()
+	for _, b := range br.Batches {
+		if err := store.Append(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := store.Seal(); err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]types.Datum, 0, store.TotalRows())
+	var batches []*tdf.Batch
+	if err := store.Drain(func(b *tdf.Batch) error {
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, b := range batches {
+		converted, err := s.convertBatch(frontCols, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, converted...)
+	}
+	return cols, rows, nil
+}
+
+// convertBatch converts one batch's rows, splitting the work across the
+// configured number of workers ("each process handles the conversion of a
+// subset of the result rows", §4.6). Order is preserved.
+func (s *Session) convertBatch(frontCols []xtra.Col, b *tdf.Batch) ([][]types.Datum, error) {
+	n := len(b.Rows)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := s.g.cfg.ConvertWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([][]types.Datum, n)
+		for i, row := range b.Rows {
+			nr, err := convertRow(frontCols, row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = nr
+		}
+		return out, nil
+	}
+	out := make([][]types.Datum, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				nr, err := convertRow(frontCols, b.Rows[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = nr
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// convertRow coerces one backend row into the frontend column types.
+func convertRow(frontCols []xtra.Col, row []types.Datum) ([]types.Datum, error) {
+	if len(row) != len(frontCols) {
+		return nil, fmt.Errorf("row arity %d != %d", len(row), len(frontCols))
+	}
+	out := make([]types.Datum, len(row))
+	for i, d := range row {
+		want := frontCols[i].Type
+		if d.Null {
+			out[i] = types.NewNull(want.Kind)
+			continue
+		}
+		if d.K == want.Kind && (want.Kind != types.KindDecimal || int(d.Scale) == want.Scale) {
+			out[i] = d
+			continue
+		}
+		cast, err := types.Cast(d, want)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %v", frontCols[i].Name, err)
+		}
+		out[i] = cast
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+// Package hyperq implements the core of the system: the Adaptive Data
+// Virtualization gateway of the paper. It terminates the frontend wire
+// protocol (WP-A), runs each request through the Algebrizer → Transformer →
+// Serializer pipeline, executes the translated SQL-B on the backend through
+// the ODBC Server abstraction, and converts results back into the binary
+// format the unmodified application expects — emulating missing target
+// features (recursive queries, macros, MERGE, catalog commands) with
+// multi-request protocols and gateway-side state (§4, Figure 3).
+package hyperq
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/dialect"
+	"hyperq/internal/feature"
+	"hyperq/internal/odbc"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/tdp"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Target is the cloud system profile the gateway translates for.
+	Target *dialect.Profile
+	// Driver creates backend sessions (one per frontend session).
+	Driver odbc.Driver
+	// Catalog is the gateway-side metadata store. Hyper-Q automates schema
+	// discovery/transfer (§4); in this reproduction the catalog is either
+	// populated through gateway DDL or imported from the backend at startup.
+	Catalog *catalog.Catalog
+	// ResultBudget is the Result Store's in-memory byte budget before
+	// buffered results spill to disk (§4.6). 0 selects 64 MiB.
+	ResultBudget int
+	// ConvertWorkers is the parallel result-conversion degree (§4.6:
+	// "conversion operation happens in parallel"). 0 selects GOMAXPROCS.
+	ConvertWorkers int
+	// Stats, when non-nil, accumulates per-request feature statistics (the
+	// §7.1 instrumentation).
+	Stats *feature.Stats
+}
+
+// Metrics aggregates the three timing components of Figure 9: query
+// translation time, backend execution time, and result transformation time.
+type Metrics struct {
+	translateNs int64
+	executeNs   int64
+	convertNs   int64
+	requests    int64
+	statements  int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the gateway metrics.
+type MetricsSnapshot struct {
+	Translate  time.Duration
+	Execute    time.Duration
+	Convert    time.Duration
+	Requests   int64
+	Statements int64
+}
+
+// Overhead returns the fraction of total time spent in the gateway
+// (translation + conversion) — the Figure 9 measurement.
+func (m MetricsSnapshot) Overhead() float64 {
+	total := m.Translate + m.Execute + m.Convert
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Translate+m.Convert) / float64(total)
+}
+
+// Gateway is one Hyper-Q instance. It implements tdp.Handler.
+type Gateway struct {
+	cfg     Config
+	cat     *catalog.Catalog
+	metrics Metrics
+}
+
+// New creates a gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("hyperq: target profile required")
+	}
+	if cfg.Driver == nil {
+		return nil, fmt.Errorf("hyperq: backend driver required")
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = catalog.New()
+	}
+	if cfg.ResultBudget == 0 {
+		cfg.ResultBudget = 64 << 20
+	}
+	if cfg.ConvertWorkers == 0 {
+		cfg.ConvertWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Gateway{cfg: cfg, cat: cfg.Catalog}, nil
+}
+
+// Catalog exposes the gateway-side metadata store.
+func (g *Gateway) Catalog() *catalog.Catalog { return g.cat }
+
+// Target reports the configured target profile.
+func (g *Gateway) Target() *dialect.Profile { return g.cfg.Target }
+
+// MetricsSnapshot returns current cumulative metrics.
+func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Translate:  time.Duration(atomic.LoadInt64(&g.metrics.translateNs)),
+		Execute:    time.Duration(atomic.LoadInt64(&g.metrics.executeNs)),
+		Convert:    time.Duration(atomic.LoadInt64(&g.metrics.convertNs)),
+		Requests:   atomic.LoadInt64(&g.metrics.requests),
+		Statements: atomic.LoadInt64(&g.metrics.statements),
+	}
+}
+
+// SetStats attaches (or detaches, with nil) the feature-statistics
+// collector. Workload studies provision their schema first, then attach
+// stats so setup statements stay out of the measurement.
+func (g *Gateway) SetStats(st *feature.Stats) { g.cfg.Stats = st }
+
+// ResetMetrics zeroes the counters (between benchmark phases).
+func (g *Gateway) ResetMetrics() {
+	atomic.StoreInt64(&g.metrics.translateNs, 0)
+	atomic.StoreInt64(&g.metrics.executeNs, 0)
+	atomic.StoreInt64(&g.metrics.convertNs, 0)
+	atomic.StoreInt64(&g.metrics.requests, 0)
+	atomic.StoreInt64(&g.metrics.statements, 0)
+}
+
+// Logon implements tdp.Handler: it opens the paired backend session.
+func (g *Gateway) Logon(user, password string) (tdp.SessionHandler, error) {
+	if user == "" {
+		return nil, fmt.Errorf("logon: user required")
+	}
+	be, err := g.cfg.Driver.Connect()
+	if err != nil {
+		return nil, fmt.Errorf("logon: backend unavailable: %v", err)
+	}
+	return newSession(g, be, user), nil
+}
+
+// NewLocalSession opens a gateway session without the frontend protocol —
+// used by in-process examples and the benchmark harness.
+func (g *Gateway) NewLocalSession(user string) (*Session, error) {
+	be, err := g.cfg.Driver.Connect()
+	if err != nil {
+		return nil, err
+	}
+	return newSession(g, be, user), nil
+}
+
+// FrontResult is one statement's response in frontend terms.
+type FrontResult struct {
+	Cols     []tdp.ColumnDef
+	Rows     [][]types.Datum
+	Activity int64
+	Command  string
+}
+
+// RequestError carries the frontend failure code.
+type RequestError struct {
+	Code    int
+	Message string
+}
+
+func (e *RequestError) Error() string { return fmt.Sprintf("[%d] %s", e.Code, e.Message) }
+
+func failf(code int, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,519 @@
+package hyperq
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/dialect"
+	"hyperq/internal/feature"
+	"hyperq/internal/odbc"
+	"hyperq/internal/parser"
+	"hyperq/internal/serializer"
+	"hyperq/internal/sqlast"
+	"hyperq/internal/transform"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/tdp"
+	"hyperq/internal/xtra"
+
+	"hyperq/internal/binder"
+)
+
+// Session is one frontend session: it pairs the client connection with a
+// backend session and the per-session gateway state (volatile tables,
+// session settings, macro parameters during EXEC).
+type Session struct {
+	g  *Gateway
+	be odbc.Executor
+
+	user     string
+	settings map[string]string
+	// sessionCat overlays the gateway catalog with session-scoped objects
+	// (volatile tables, global-temporary instances, emulation work tables).
+	sessionCat *catalog.Catalog
+	// macroParams holds bound :name parameter values during EXEC.
+	macroParams map[string]types.Datum
+	nextTemp    int
+}
+
+func newSession(g *Gateway, be odbc.Executor, user string) *Session {
+	return &Session{
+		g:          g,
+		be:         be,
+		user:       user,
+		settings:   map[string]string{"CHARSET": "ASCII", "DATEFORM": "integerdate"},
+		sessionCat: catalog.New(),
+	}
+}
+
+// Table implements binder.Resolver with the session overlay.
+func (s *Session) Table(name string) (*catalog.Table, bool) {
+	if t, ok := s.sessionCat.Table(name); ok {
+		return t, true
+	}
+	return s.g.cat.Table(name)
+}
+
+// View implements binder.Resolver.
+func (s *Session) View(name string) (*catalog.View, bool) {
+	return s.g.cat.View(name)
+}
+
+var _ binder.Resolver = (*Session)(nil)
+
+// Close implements tdp.SessionHandler.
+func (s *Session) Close() {
+	_ = s.be.Close()
+}
+
+// Request implements tdp.SessionHandler: the full per-request pipeline.
+func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
+	results, err := s.Run(sql)
+	if err != nil {
+		re, ok := err.(*RequestError)
+		if !ok {
+			re = failf(3706, "%v", err)
+		}
+		return w.Failure(re.Code, re.Message)
+	}
+	for _, res := range results {
+		if res.Cols != nil {
+			if err := w.BeginResultSet(res.Cols); err != nil {
+				return err
+			}
+			for _, row := range res.Rows {
+				if err := w.Row(row); err != nil {
+					return err
+				}
+			}
+		}
+		if err := w.EndStatement(res.Activity, res.Command); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run processes a request string and returns per-statement results.
+func (s *Session) Run(sql string) ([]*FrontResult, error) {
+	rec := &feature.Recorder{}
+	t0 := time.Now()
+	stmts, err := parser.Parse(sql, parser.Teradata, rec)
+	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	if err != nil {
+		return nil, failf(3706, "%v", err) // 3706: syntax error
+	}
+	if len(stmts) > 1 {
+		rec.Record(feature.MultiStatement)
+	}
+	// §4.3 performance transformation: contiguous single-row inserts merge
+	// into one backend statement; responses are synthesized per original
+	// statement below.
+	units := batchDML(stmts)
+	var out []*FrontResult
+	for _, unit := range units {
+		results, err := s.execStatement(unit.stmt, rec)
+		if err != nil {
+			s.finishRequest(rec)
+			return nil, err
+		}
+		if unit.perStmtRows != nil {
+			for _, n := range unit.perStmtRows {
+				out = append(out, &FrontResult{Activity: int64(n), Command: "INSERT"})
+			}
+		} else {
+			out = append(out, results...)
+		}
+		atomic.AddInt64(&s.g.metrics.statements, 1)
+	}
+	s.finishRequest(rec)
+	return out, nil
+}
+
+func (s *Session) finishRequest(rec *feature.Recorder) {
+	atomic.AddInt64(&s.g.metrics.requests, 1)
+	if s.g.cfg.Stats != nil {
+		s.g.cfg.Stats.Observe(rec.Set())
+	}
+}
+
+// execStatement dispatches one parsed statement: features the target lacks
+// go through emulation; everything else runs the translate pipeline.
+func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([]*FrontResult, error) {
+	switch t := stmt.(type) {
+	case *sqlast.ExplainStmt:
+		return s.execExplain(t, rec)
+	case *sqlast.HelpStmt:
+		return s.execHelp(t)
+	case *sqlast.SetSessionStmt:
+		s.settings[strings.ToUpper(t.Option)] = t.Value
+		return []*FrontResult{{Command: "SET SESSION"}}, nil
+	case *sqlast.CreateMacroStmt:
+		return s.execCreateMacro(t)
+	case *sqlast.DropMacroStmt:
+		if err := s.g.cat.DropMacro(t.Name); err != nil {
+			return nil, failf(3824, "%v", err) // macro does not exist
+		}
+		return []*FrontResult{{Command: "DROP MACRO"}}, nil
+	case *sqlast.ExecStmt:
+		return s.execMacro(t, rec)
+	case *sqlast.MergeStmt:
+		return s.execMerge(t, rec)
+	case *sqlast.CreateViewStmt:
+		return s.execCreateView(t, rec)
+	case *sqlast.DropViewStmt:
+		if err := s.g.cat.DropView(t.Name); err != nil {
+			return nil, failf(3807, "%v", err)
+		}
+		return []*FrontResult{{Command: "DROP VIEW"}}, nil
+	case *sqlast.CollectStatsStmt:
+		// Translation class: eliminated entirely on self-tuning targets.
+		return []*FrontResult{{Command: "COLLECT STATISTICS"}}, nil
+	case *sqlast.CreateTableStmt:
+		return s.execCreateTable(t, rec)
+	case *sqlast.DropTableStmt:
+		return s.execDropTable(t, rec)
+	case *sqlast.InsertStmt:
+		if tbl, ok := s.Table(t.Table); ok && tbl.Set {
+			rec.Record(feature.SetTable)
+			return s.execSetTableInsert(t, tbl, rec)
+		}
+		return s.translateAndRun(stmt, rec)
+	case *sqlast.SelectStmt:
+		if t.Query.With != nil && t.Query.With.Recursive && !s.g.cfg.Target.Supports(dialect.CapRecursive) {
+			return s.emulateRecursive(t, rec)
+		}
+		return s.translateAndRun(stmt, rec)
+	default:
+		return s.translateAndRun(stmt, rec)
+	}
+}
+
+// translateAndRun performs the paper's core pipeline for one statement:
+// bind → binding-stage transform → serialize → execute → convert.
+func (s *Session) translateAndRun(stmt sqlast.Statement, rec *feature.Recorder) ([]*FrontResult, error) {
+	t0 := time.Now()
+	b := binder.New(s, parser.Teradata, rec)
+	if s.macroParams != nil {
+		b.SetParams(s.macroParams)
+	}
+	bound, err := b.Bind(stmt)
+	if err != nil {
+		atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+		return nil, failf(3707, "%v", err) // semantic error
+	}
+	ctx := transform.NewContext(nil, rec, b.MaxColumnID())
+	mid, err := transform.BindingStage().Statement(bound, ctx)
+	if err != nil {
+		atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+		return nil, failf(3707, "%v", err)
+	}
+	sql, err := serializer.New(s.g.cfg.Target, rec).Serialize(mid)
+	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	if sql == "" {
+		// Statement eliminated by translation.
+		return []*FrontResult{{Command: "OK"}}, nil
+	}
+	t1 := time.Now()
+	backendResults, err := s.be.Exec(sql)
+	atomic.AddInt64(&s.g.metrics.executeNs, int64(time.Since(t1)))
+	if err != nil {
+		return nil, failf(3807, "%v", err)
+	}
+	// Result conversion back to the frontend representation.
+	t2 := time.Now()
+	defer func() {
+		atomic.AddInt64(&s.g.metrics.convertNs, int64(time.Since(t2)))
+	}()
+	var frontCols []xtra.Col
+	if q, ok := mid.(*xtra.Query); ok {
+		frontCols = q.Root.Columns()
+	}
+	var out []*FrontResult
+	for _, br := range backendResults {
+		fr := &FrontResult{Activity: br.Affected, Command: commandName(stmt, br.Command)}
+		if br.Cols != nil {
+			if frontCols == nil {
+				return nil, failf(3807, "unexpected result set from backend")
+			}
+			cols, rows, err := s.convertResult(frontCols, br)
+			if err != nil {
+				return nil, failf(3807, "result conversion: %v", err)
+			}
+			fr.Cols = cols
+			fr.Rows = rows
+			fr.Activity = int64(len(rows))
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// commandName maps the backend command tag to the frontend activity name.
+func commandName(stmt sqlast.Statement, backend string) string {
+	switch stmt.(type) {
+	case *sqlast.SelectStmt:
+		return "SELECT"
+	case *sqlast.InsertStmt:
+		return "INSERT"
+	case *sqlast.UpdateStmt:
+		return "UPDATE"
+	case *sqlast.DeleteStmt:
+		return "DELETE"
+	case *sqlast.CreateTableStmt:
+		return "CREATE TABLE"
+	case *sqlast.DropTableStmt:
+		return "DROP TABLE"
+	case *sqlast.TxnStmt:
+		return backend
+	}
+	return backend
+}
+
+func (s *Session) execCreateMacro(t *sqlast.CreateMacroStmt) ([]*FrontResult, error) {
+	m := &catalog.Macro{Name: t.Name, Body: t.Body}
+	for _, p := range t.Params {
+		pt, err := p.Type.Resolve()
+		if err != nil {
+			return nil, failf(3707, "macro parameter %s: %v", p.Name, err)
+		}
+		m.Params = append(m.Params, catalog.MacroParam{Name: p.Name, Type: pt})
+	}
+	// Validate the body parses in the source dialect.
+	if _, err := parser.Parse(t.Body, parser.Teradata, nil); err != nil {
+		return nil, failf(3706, "macro body: %v", err)
+	}
+	if err := s.g.cat.CreateMacro(m, t.Replace); err != nil {
+		return nil, failf(3803, "%v", err)
+	}
+	return []*FrontResult{{Command: "CREATE MACRO"}}, nil
+}
+
+// execMacro emulates EXEC: the macro body is parsed, parameters are bound,
+// and each inner statement runs through the normal pipeline — "macro code
+// execution in the mid-tier" (Table 2).
+func (s *Session) execMacro(t *sqlast.ExecStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	m, ok := s.g.cat.Macro(t.Macro)
+	if !ok {
+		return nil, failf(3824, "macro %s does not exist", t.Macro)
+	}
+	if len(t.Args) != len(m.Params) {
+		return nil, failf(3811, "macro %s takes %d parameters, got %d", m.Name, len(m.Params), len(t.Args))
+	}
+	params := make(map[string]types.Datum, len(m.Params))
+	for i, arg := range t.Args {
+		d, err := constValue(arg)
+		if err != nil {
+			return nil, failf(3811, "macro argument %d: %v", i+1, err)
+		}
+		cast, err := types.Cast(d, m.Params[i].Type)
+		if err != nil {
+			return nil, failf(3811, "macro argument %d: %v", i+1, err)
+		}
+		params[strings.ToUpper(m.Params[i].Name)] = cast
+	}
+	stmts, err := parser.Parse(m.Body, parser.Teradata, rec)
+	if err != nil {
+		return nil, failf(3706, "macro body: %v", err)
+	}
+	// Bind parameters for the nested statements (restored afterwards so
+	// nested EXECs do not leak scopes).
+	saved := s.macroParams
+	s.macroParams = params
+	defer func() { s.macroParams = saved }()
+	var out []*FrontResult
+	for _, stmt := range stmts {
+		results, err := s.execStatement(stmt, rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// constValue evaluates a literal macro argument.
+func constValue(e sqlast.Expr) (types.Datum, error) {
+	switch x := e.(type) {
+	case *sqlast.Const:
+		return x.Val, nil
+	case *sqlast.UnaryExpr:
+		if x.Op == sqlast.UnaryNeg {
+			inner, err := constValue(x.X)
+			if err != nil {
+				return types.Datum{}, err
+			}
+			return types.Neg(inner)
+		}
+	}
+	return types.Datum{}, fmt.Errorf("macro arguments must be literals")
+}
+
+func (s *Session) execCreateView(t *sqlast.CreateViewStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	b := binder.New(s, parser.Teradata, rec)
+	bound, err := b.Bind(t)
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	cv := bound.(*xtra.CreateView)
+	if cv.Replace {
+		_ = s.g.cat.DropView(cv.Def.Name)
+	}
+	if err := s.g.cat.CreateView(cv.Def); err != nil {
+		return nil, failf(3803, "%v", err)
+	}
+	return []*FrontResult{{Command: "CREATE VIEW"}}, nil
+}
+
+func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	// Global temporary tables on targets without the capability are
+	// emulated with per-session temporary tables: the definition lives in
+	// the gateway session catalog, the contents in a backend TEMP table.
+	if t.GlobalTemporary && !s.g.cfg.Target.Supports(dialect.CapGlobalTempTables) {
+		rec.Record(feature.GlobalTempTable)
+		lowered := *t
+		lowered.GlobalTemporary = false
+		lowered.Volatile = true
+		t = &lowered
+	}
+	results, err := s.translateAndRun(t, rec)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the definition in the gateway catalog so later binds resolve;
+	// session-scoped kinds live in the session overlay.
+	b := binder.New(s, parser.Teradata, nil)
+	bound, err := b.Bind(t)
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	def := bound.(*xtra.CreateTable).Def
+	target := s.g.cat
+	if def.Kind != catalog.KindPersistent {
+		target = s.sessionCat
+	}
+	if err := target.CreateTable(def); err != nil && !t.IfNotExists {
+		return nil, failf(3803, "%v", err)
+	}
+	return results, nil
+}
+
+func (s *Session) execDropTable(t *sqlast.DropTableStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	results, err := s.translateAndRun(t, rec)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.sessionCat.Table(t.Name); ok {
+		_ = s.sessionCat.DropTable(t.Name)
+	} else if err := s.g.cat.DropTable(t.Name); err != nil && !t.IfExists {
+		return nil, failf(3807, "%v", err)
+	}
+	return results, nil
+}
+
+func (s *Session) execHelp(t *sqlast.HelpStmt) ([]*FrontResult, error) {
+	strCol := func(name string) tdp.ColumnDef {
+		return tdp.ColumnDef{Name: name, Type: types.VarChar(128)}
+	}
+	switch t.What {
+	case "SESSION":
+		res := &FrontResult{
+			Cols:    []tdp.ColumnDef{strCol("Setting"), strCol("Value")},
+			Command: "HELP",
+		}
+		add := func(k, v string) {
+			res.Rows = append(res.Rows, []types.Datum{types.NewString(k), types.NewString(v)})
+		}
+		add("User Name", s.user)
+		add("Account Name", s.user)
+		add("Logon Date", "26/07/05")
+		add("Default Database", "hyperq")
+		add("Transaction Semantics", "Teradata")
+		add("Current DateForm", s.settings["DATEFORM"])
+		add("Session Character Set", s.settings["CHARSET"])
+		add("Virtualized Target", s.g.cfg.Target.Name)
+		res.Activity = int64(len(res.Rows))
+		return []*FrontResult{res}, nil
+	case "TABLE":
+		tbl, ok := s.Table(t.Name)
+		if !ok {
+			return nil, failf(3807, "table %s does not exist", t.Name)
+		}
+		res := &FrontResult{
+			Cols:    []tdp.ColumnDef{strCol("Column Name"), strCol("Type"), strCol("Nullable")},
+			Command: "HELP",
+		}
+		for _, c := range tbl.Columns {
+			nullable := "Y"
+			if c.NotNull {
+				nullable = "N"
+			}
+			res.Rows = append(res.Rows, []types.Datum{
+				types.NewString(c.Name), types.NewString(c.Type.String()), types.NewString(nullable),
+			})
+		}
+		res.Activity = int64(len(res.Rows))
+		return []*FrontResult{res}, nil
+	}
+	return nil, failf(3706, "unsupported HELP %s", t.What)
+}
+
+// execExplain answers EXPLAIN <request> from the gateway: it runs the full
+// translation pipeline but returns the generated SQL-B text, the XTRA plan
+// and the rewrite features instead of executing — the diagnostics a
+// replatforming engineer uses to inspect what the virtualization layer does.
+func (s *Session) execExplain(t *sqlast.ExplainStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	inner := &feature.Recorder{}
+	b := binder.New(s, parser.Teradata, inner)
+	if s.macroParams != nil {
+		b.SetParams(s.macroParams)
+	}
+	bound, err := b.Bind(t.Stmt)
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	ctx := transform.NewContext(nil, inner, b.MaxColumnID())
+	mid, err := transform.BindingStage().Statement(bound, ctx)
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	sql, err := serializer.New(s.g.cfg.Target, inner).Serialize(mid)
+	if err != nil {
+		return nil, failf(3707, "%v", err)
+	}
+	res := &FrontResult{
+		Cols:    []tdp.ColumnDef{{Name: "Explanation", Type: types.VarChar(4096)}},
+		Command: "EXPLAIN",
+	}
+	addLine := func(line string) {
+		res.Rows = append(res.Rows, []types.Datum{types.NewString(line)})
+	}
+	addLine("Target system: " + s.g.cfg.Target.Name)
+	if sql == "" {
+		addLine("Request is eliminated by translation; no backend statement is issued.")
+	} else {
+		addLine("Translated request:")
+		addLine("  " + sql)
+	}
+	if q, ok := mid.(*xtra.Query); ok {
+		addLine("XTRA plan:")
+		for _, line := range strings.Split(strings.TrimRight(xtra.Format(q.Root), "\n"), "\n") {
+			addLine("  " + line)
+		}
+	}
+	if fs := inner.Set(); !fs.Empty() {
+		addLine("Rewrites applied:")
+		for _, id := range fs.IDs() {
+			info := feature.Lookup(id)
+			addLine(fmt.Sprintf("  [%s] %s (%s)", info.Class, info.Name, info.Component))
+		}
+	}
+	res.Activity = int64(len(res.Rows))
+	rec.Set() // EXPLAIN itself records nothing for workload statistics
+	return []*FrontResult{res}, nil
+}

@@ -1,0 +1,114 @@
+// Package odbc is Hyper-Q's ODBC Server abstraction (§4.5): a uniform API
+// over backend connectivity that "allows Hyper-Q to communicate with
+// different target database systems using their corresponding drivers". Two
+// drivers exist: a network driver speaking the backend wire protocol (cwp)
+// and an in-process driver that calls the engine directly, used by
+// benchmarks to isolate gateway overhead from network noise.
+package odbc
+
+import (
+	"fmt"
+
+	"hyperq/internal/engine"
+	"hyperq/internal/tdf"
+	"hyperq/internal/wire/cwp"
+	"hyperq/internal/xtra"
+)
+
+// Executor submits requests to one backend session and retrieves results in
+// TDF batches.
+type Executor interface {
+	// Exec runs a (possibly multi-statement) SQL request.
+	Exec(sql string) ([]*cwp.StatementResult, error)
+	// Close releases the backend session.
+	Close() error
+}
+
+// NetworkDriver connects over the backend wire protocol.
+type NetworkDriver struct {
+	Addr     string
+	User     string
+	Password string
+}
+
+// Connect opens a backend session.
+func (d *NetworkDriver) Connect() (Executor, error) {
+	c, err := cwp.Dial(d.Addr, d.User, d.Password)
+	if err != nil {
+		return nil, fmt.Errorf("odbc: connect %s: %w", d.Addr, err)
+	}
+	return &netExecutor{c: c}, nil
+}
+
+type netExecutor struct {
+	c *cwp.Client
+}
+
+func (e *netExecutor) Exec(sql string) ([]*cwp.StatementResult, error) { return e.c.Exec(sql) }
+func (e *netExecutor) Close() error                                    { return e.c.Close() }
+
+// LocalDriver executes against an in-process engine.
+type LocalDriver struct {
+	Engine *engine.Engine
+	User   string
+}
+
+// Connect opens an in-process session.
+func (d *LocalDriver) Connect() (Executor, error) {
+	s := d.Engine.NewSession()
+	if d.User != "" {
+		s.SetUser(d.User)
+	}
+	return &localExecutor{s: s}, nil
+}
+
+type localExecutor struct {
+	s *engine.Session
+}
+
+func (e *localExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
+	results, err := e.s.ExecSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*cwp.StatementResult, len(results))
+	for i, r := range results {
+		sr := &cwp.StatementResult{Command: r.Command, Affected: r.RowsAffected}
+		if r.Cols != nil {
+			sr.Cols = metaFromCols(r.Cols)
+			// Batch the rows like the network driver would.
+			for off := 0; off < len(r.Rows); off += cwp.BatchRows {
+				end := off + cwp.BatchRows
+				if end > len(r.Rows) {
+					end = len(r.Rows)
+				}
+				sr.Batches = append(sr.Batches, &tdf.Batch{Cols: sr.Cols, Rows: r.Rows[off:end]})
+			}
+			if len(r.Rows) == 0 {
+				sr.Batches = append(sr.Batches, &tdf.Batch{Cols: sr.Cols})
+			}
+		}
+		out[i] = sr
+	}
+	return out, nil
+}
+
+func (e *localExecutor) Close() error { return nil }
+
+func metaFromCols(cols []xtra.Col) []tdf.ColumnMeta {
+	out := make([]tdf.ColumnMeta, len(cols))
+	for i, c := range cols {
+		out[i] = tdf.ColumnMeta{Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// Driver creates backend sessions.
+type Driver interface {
+	Connect() (Executor, error)
+}
+
+var (
+	_ Driver = (*NetworkDriver)(nil)
+	_ Driver = (*LocalDriver)(nil)
+)

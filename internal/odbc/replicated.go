@@ -1,0 +1,104 @@
+package odbc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+	"hyperq/internal/wire/cwp"
+)
+
+// ReplicatedDriver implements the paper's scale-out scenario (Appendix B.3):
+// "maintain multiple replicas of the data warehouse and load balance queries
+// across them ... The ADV solution on top can then automatically route the
+// queries to the different replicas, without sacrificing consistency,
+// and without requiring changes to the application logic."
+//
+// Read-only requests round-robin across the replicas; any request containing
+// a write (DML/DDL) executes on every replica so their contents stay
+// identical. The paper lists this as an extension under development — here
+// it is implemented as a drop-in backend driver.
+type ReplicatedDriver struct {
+	// Replicas are the per-replica drivers (at least one).
+	Replicas []Driver
+	rr       uint64
+}
+
+// Connect opens one session per replica.
+func (d *ReplicatedDriver) Connect() (Executor, error) {
+	if len(d.Replicas) == 0 {
+		return nil, fmt.Errorf("odbc: replicated driver needs at least one replica")
+	}
+	sessions := make([]Executor, len(d.Replicas))
+	for i, r := range d.Replicas {
+		ex, err := r.Connect()
+		if err != nil {
+			for _, s := range sessions[:i] {
+				_ = s.Close()
+			}
+			return nil, fmt.Errorf("odbc: replica %d: %w", i, err)
+		}
+		sessions[i] = ex
+	}
+	return &replicatedExecutor{d: d, sessions: sessions}, nil
+}
+
+type replicatedExecutor struct {
+	d        *ReplicatedDriver
+	sessions []Executor
+}
+
+// isReadOnly reports whether every statement of the request is a query.
+// Unparseable requests are treated as writes (the conservative choice for
+// consistency).
+func isReadOnly(sql string) bool {
+	stmts, err := parser.Parse(sql, parser.ANSI, nil)
+	if err != nil {
+		return false
+	}
+	for _, s := range stmts {
+		if _, ok := s.(*sqlast.SelectStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *replicatedExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
+	if isReadOnly(sql) {
+		// Round-robin reads.
+		i := atomic.AddUint64(&e.d.rr, 1) % uint64(len(e.sessions))
+		return e.sessions[i].Exec(sql)
+	}
+	// Writes fan out to every replica so contents stay consistent; all
+	// replicas must succeed.
+	results := make([][]*cwp.StatementResult, len(e.sessions))
+	errs := make([]error, len(e.sessions))
+	var wg sync.WaitGroup
+	for i, s := range e.sessions {
+		wg.Add(1)
+		go func(i int, s Executor) {
+			defer wg.Done()
+			results[i], errs[i] = s.Exec(sql)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("odbc: replica %d: %w", i, err)
+		}
+	}
+	return results[0], nil
+}
+
+func (e *replicatedExecutor) Close() error {
+	var first error
+	for _, s := range e.sessions {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

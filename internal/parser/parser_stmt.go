@@ -1,0 +1,796 @@
+package parser
+
+import (
+	"strings"
+
+	"hyperq/internal/feature"
+	"hyperq/internal/sqlast"
+)
+
+// DML and DDL statement parsing.
+
+func (p *Parser) parseInsert() (sqlast.Statement, error) {
+	if p.peekKW() == "INS" {
+		if p.dialect != Teradata {
+			return nil, p.errorf("INS abbreviation is not ANSI SQL")
+		}
+		p.rec.Record(feature.SelAbbrev)
+	}
+	p.i++
+	p.acceptKW("INTO")
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.InsertStmt{Table: table}
+
+	// Optional parenthesized list: a column list when followed by VALUES or
+	// a query; in the Teradata dialect a bare trailing list is the
+	// abbreviated single-row VALUES form (INS t (1, 2)).
+	if p.cur().kind == tokOp && p.cur().text == "(" {
+		save := p.i
+		p.i++
+		if p.looksLikeNameList() {
+			cols, err := p.parseNameList()
+			if err == nil && p.acceptOp(")") {
+				switch p.peekKW() {
+				case "VALUES", "SELECT", "SEL", "WITH":
+					stmt.Columns = cols
+				default:
+					// Trailing list of bare identifiers without a source:
+					// invalid in ANSI, values-form in Teradata only if the
+					// statement ends here — but identifiers are not values,
+					// so reject for clarity.
+					return nil, p.errorf("expected VALUES or query after column list")
+				}
+			} else {
+				p.i = save
+			}
+		}
+		if stmt.Columns == nil {
+			// Teradata abbreviated VALUES form.
+			if p.dialect != Teradata {
+				return nil, p.errorf("expected column list")
+			}
+			p.i = save
+			p.i++ // "("
+			row, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			stmt.Rows = [][]sqlast.Expr{row}
+			return stmt, nil
+		}
+	}
+	switch p.peekKW() {
+	case "VALUES":
+		p.i++
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			row, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			stmt.Rows = append(stmt.Rows, row)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	case "SELECT", "SEL", "WITH":
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query = q
+	default:
+		return nil, p.errorf("expected VALUES or query in INSERT")
+	}
+	return stmt, nil
+}
+
+// looksLikeNameList reports whether the upcoming tokens form
+// ident (, ident)* ")" — used to disambiguate INSERT column lists.
+func (p *Parser) looksLikeNameList() bool {
+	j := p.i
+	for {
+		if j >= len(p.toks) {
+			return false
+		}
+		t := p.toks[j]
+		if !(t.kind == tokQuotedIdent || (t.kind == tokIdent && !reservedWords[strings.ToUpper(t.text)])) {
+			return false
+		}
+		j++
+		if j < len(p.toks) && p.toks[j].kind == tokOp {
+			switch p.toks[j].text {
+			case ",":
+				j++
+				continue
+			case ")":
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func (p *Parser) parseQualifiedName() (string, error) {
+	name, err := p.parseIdentName()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptOp(".") {
+		return p.parseIdentName()
+	}
+	return name, nil
+}
+
+func (p *Parser) parseUpdate() (sqlast.Statement, error) {
+	if p.peekKW() == "UPD" {
+		if p.dialect != Teradata {
+			return nil, p.errorf("UPD abbreviation is not ANSI SQL")
+		}
+		p.rec.Record(feature.SelAbbrev)
+	}
+	p.i++
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.UpdateStmt{Table: table}
+	if p.acceptKW("AS") {
+		a, err := p.parseIdentName()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Alias = a
+	} else if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+		stmt.Alias = p.cur().text
+		p.i++
+	}
+	if p.acceptKW("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, te)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKW("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdentName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, sqlast.Assignment{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKW("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (sqlast.Statement, error) {
+	if p.peekKW() == "DEL" {
+		if p.dialect != Teradata {
+			return nil, p.errorf("DEL abbreviation is not ANSI SQL")
+		}
+		p.rec.Record(feature.SelAbbrev)
+	}
+	p.i++
+	p.acceptKW("FROM")
+	table, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.DeleteStmt{Table: table}
+	if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+		stmt.Alias = p.cur().text
+		p.i++
+	}
+	switch {
+	case p.acceptKW("WHERE"):
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	case p.acceptKW("ALL"):
+		stmt.All = true
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseMerge() (sqlast.Statement, error) {
+	p.i++ // MERGE
+	p.rec.Record(feature.Merge)
+	if err := p.expectKW("INTO"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.MergeStmt{Target: target}
+	if p.acceptKW("AS") {
+		a, err := p.parseIdentName()
+		if err != nil {
+			return nil, err
+		}
+		stmt.TargetAlias = a
+	} else if p.cur().kind == tokIdent && p.peekKW() != "USING" {
+		stmt.TargetAlias = p.cur().text
+		p.i++
+	}
+	if err := p.expectKW("USING"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Source = src
+	if err := p.expectKW("ON"); err != nil {
+		return nil, err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.On = on
+	for p.acceptKW("WHEN") {
+		not := p.acceptKW("NOT")
+		if err := p.expectKW("MATCHED"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKW("THEN"); err != nil {
+			return nil, err
+		}
+		if not {
+			if err := p.expectKW("INSERT"); err != nil {
+				return nil, err
+			}
+			stmt.HasNotMatched = true
+			if p.cur().kind == tokOp && p.cur().text == "(" {
+				p.i++
+				cols, err := p.parseNameList()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				stmt.NotMatchedCols = cols
+			}
+			if err := p.expectKW("VALUES"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			vals, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			stmt.NotMatchedVals = vals
+			continue
+		}
+		switch {
+		case p.acceptKW("UPDATE"):
+			if err := p.expectKW("SET"); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseIdentName()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp("="); err != nil {
+					return nil, err
+				}
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Matched = append(stmt.Matched, sqlast.Assignment{Column: col, Value: val})
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		case p.acceptKW("DELETE"):
+			stmt.MatchedDelete = true
+		default:
+			return nil, p.errorf("expected UPDATE or DELETE in WHEN MATCHED")
+		}
+	}
+	if stmt.Matched == nil && !stmt.MatchedDelete && !stmt.HasNotMatched {
+		return nil, p.errorf("MERGE requires at least one WHEN clause")
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreate() (sqlast.Statement, error) {
+	replace := false
+	if p.peekKW() == "REPLACE" {
+		if p.dialect != Teradata {
+			return nil, p.errorf("REPLACE statement is not ANSI SQL")
+		}
+		replace = true
+		p.i++
+	} else {
+		p.i++ // CREATE
+		if p.acceptKW("OR") {
+			if err := p.expectKW("REPLACE"); err != nil {
+				return nil, err
+			}
+			replace = true
+		}
+	}
+	switch p.peekKW() {
+	case "VIEW":
+		return p.parseCreateView(replace)
+	case "MACRO":
+		if p.dialect != Teradata {
+			return nil, p.errorf("CREATE MACRO is not ANSI SQL")
+		}
+		return p.parseCreateMacro(replace)
+	}
+	if replace {
+		return nil, p.errorf("REPLACE applies to VIEW or MACRO")
+	}
+	return p.parseCreateTable()
+}
+
+func (p *Parser) parseCreateTable() (sqlast.Statement, error) {
+	stmt := &sqlast.CreateTableStmt{}
+	switch p.peekKW() {
+	case "SET":
+		if p.dialect != Teradata {
+			return nil, p.errorf("SET tables are not ANSI SQL")
+		}
+		stmt.Set = true
+		p.rec.Record(feature.SetTable)
+		p.i++
+	case "MULTISET":
+		p.i++
+	}
+	switch p.peekKW() {
+	case "VOLATILE":
+		if p.dialect != Teradata {
+			return nil, p.errorf("VOLATILE tables are not ANSI SQL")
+		}
+		stmt.Volatile = true
+		p.i++
+	case "GLOBAL":
+		p.i++
+		if err := p.expectKW("TEMPORARY"); err != nil {
+			return nil, err
+		}
+		stmt.GlobalTemporary = true
+		p.rec.Record(feature.GlobalTempTable)
+	case "TEMPORARY", "TEMP":
+		p.i++
+		stmt.Volatile = true
+	}
+	if err := p.expectKW("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKW("IF") {
+		if err := p.expectKW("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKW("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if p.acceptKW("AS") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.AsQuery = q
+		if p.acceptKW("WITH") {
+			switch {
+			case p.acceptKW("DATA"):
+				stmt.WithData = true
+			case p.acceptKW("NO"):
+				if err := p.expectKW("DATA"); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, p.errorf("expected DATA or NO DATA")
+			}
+		}
+		return stmt, p.parseTableSuffix(stmt)
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		cd, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, cd)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return stmt, p.parseTableSuffix(stmt)
+}
+
+func (p *Parser) parseTableSuffix(stmt *sqlast.CreateTableStmt) error {
+	for {
+		switch p.peekKW() {
+		case "PRIMARY":
+			p.i++
+			if err := p.expectKW("INDEX"); err != nil {
+				return err
+			}
+			if err := p.expectOp("("); err != nil {
+				return err
+			}
+			cols, err := p.parseNameList()
+			if err != nil {
+				return err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return err
+			}
+			stmt.PrimaryIndex = cols
+		case "UNIQUE":
+			p.i++
+			if err := p.expectKW("PRIMARY"); err != nil {
+				return err
+			}
+			if err := p.expectKW("INDEX"); err != nil {
+				return err
+			}
+			if err := p.expectOp("("); err != nil {
+				return err
+			}
+			cols, err := p.parseNameList()
+			if err != nil {
+				return err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return err
+			}
+			stmt.PrimaryIndex = cols
+		case "ON":
+			p.i++
+			if err := p.expectKW("COMMIT"); err != nil {
+				return err
+			}
+			if p.acceptKW("PRESERVE") {
+				stmt.OnCommitPreserve = true
+			} else if !p.acceptKW("DELETE") {
+				return p.errorf("expected PRESERVE or DELETE")
+			}
+			if err := p.expectKW("ROWS"); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *Parser) parseColumnDef() (sqlast.ColumnDef, error) {
+	name, err := p.parseIdentName()
+	if err != nil {
+		return sqlast.ColumnDef{}, err
+	}
+	tn, err := p.parseTypeName()
+	if err != nil {
+		return sqlast.ColumnDef{}, err
+	}
+	cd := sqlast.ColumnDef{Name: name, Type: tn}
+	for {
+		switch p.peekKW() {
+		case "NOT":
+			switch p.peekKWAt(1) {
+			case "NULL":
+				p.i += 2
+				cd.NotNull = true
+			case "CASESPECIFIC":
+				if p.dialect != Teradata {
+					return sqlast.ColumnDef{}, p.errorf("NOT CASESPECIFIC is not ANSI SQL")
+				}
+				p.i += 2
+				cd.CaseInsensitive = true
+			default:
+				return sqlast.ColumnDef{}, p.errorf("expected NULL or CASESPECIFIC after NOT")
+			}
+		case "DEFAULT":
+			p.i++
+			e, err := p.parseUnary()
+			if err != nil {
+				return sqlast.ColumnDef{}, err
+			}
+			cd.Default = e
+		case "CASESPECIFIC":
+			p.i++
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *Parser) parseCreateView(replace bool) (sqlast.Statement, error) {
+	p.i++ // VIEW
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.CreateViewStmt{Name: name, Replace: replace}
+	if p.cur().kind == tokOp && p.cur().text == "(" {
+		p.i++
+		cols, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Columns = cols
+	}
+	if err := p.expectKW("AS"); err != nil {
+		return nil, err
+	}
+	start := p.cur().pos
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query = q
+	end := p.cur().pos
+	if p.atEOF() {
+		end = len(p.src)
+	}
+	stmt.SQL = strings.TrimSpace(p.src[start:end])
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateMacro(replace bool) (sqlast.Statement, error) {
+	p.i++ // MACRO
+	p.rec.Record(feature.Macro)
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.CreateMacroStmt{Name: name, Replace: replace}
+	if p.cur().kind == tokOp && p.cur().text == "(" {
+		p.i++
+		for {
+			pn, err := p.parseIdentName()
+			if err != nil {
+				return nil, err
+			}
+			tn, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Params = append(stmt.Params, sqlast.MacroParamDef{Name: pn, Type: tn})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKW("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	// Capture the raw body text up to the matching close paren.
+	bodyStart := p.cur().pos
+	depth := 1
+	bodyEnd := bodyStart
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, p.errorf("unterminated macro body")
+		}
+		if t.kind == tokOp {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth == 0 {
+					bodyEnd = t.pos
+					p.i++
+					stmt.Body = strings.TrimSpace(p.src[bodyStart:bodyEnd])
+					return stmt, nil
+				}
+			}
+		}
+		p.i++
+	}
+}
+
+func (p *Parser) parseDrop() (sqlast.Statement, error) {
+	p.i++ // DROP
+	switch p.peekKW() {
+	case "TABLE":
+		p.i++
+		ifExists := false
+		if p.acceptKW("IF") {
+			if err := p.expectKW("EXISTS"); err != nil {
+				return nil, err
+			}
+			ifExists = true
+		}
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropTableStmt{Name: name, IfExists: ifExists}, nil
+	case "VIEW":
+		p.i++
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropViewStmt{Name: name}, nil
+	case "MACRO":
+		if p.dialect != Teradata {
+			return nil, p.errorf("DROP MACRO is not ANSI SQL")
+		}
+		p.i++
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropMacroStmt{Name: name}, nil
+	}
+	return nil, p.errorf("expected TABLE, VIEW or MACRO after DROP")
+}
+
+func (p *Parser) parseExec() (sqlast.Statement, error) {
+	p.i++ // EXEC
+	p.rec.Record(feature.Macro)
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.ExecStmt{Macro: name}
+	if p.cur().kind == tokOp && p.cur().text == "(" {
+		p.i++
+		args, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Args = args
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseHelp() (sqlast.Statement, error) {
+	p.i++ // HELP
+	switch p.peekKW() {
+	case "SESSION":
+		p.i++
+		p.rec.Record(feature.HelpSession)
+		return &sqlast.HelpStmt{What: "SESSION"}, nil
+	case "TABLE":
+		p.i++
+		p.rec.Record(feature.HelpTable)
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.HelpStmt{What: "TABLE", Name: name}, nil
+	}
+	return nil, p.errorf("expected SESSION or TABLE after HELP")
+}
+
+func (p *Parser) parseCollectStats() (sqlast.Statement, error) {
+	p.i++ // COLLECT
+	switch p.peekKW() {
+	case "STATISTICS", "STATS", "STAT":
+		p.i++
+	default:
+		return nil, p.errorf("expected STATISTICS after COLLECT")
+	}
+	p.rec.Record(feature.CollectStats)
+	p.acceptKW("ON")
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &sqlast.CollectStatsStmt{Table: name}
+	if p.acceptKW("COLUMN") {
+		if p.acceptOp("(") {
+			cols, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			stmt.Columns = cols
+		} else {
+			col, err := p.parseIdentName()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = []string{col}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSetSession() (sqlast.Statement, error) {
+	p.i += 2 // SET SESSION
+	opt, err := p.parseIdentName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	var val string
+	switch t.kind {
+	case tokIdent, tokNumber, tokString:
+		val = t.text
+		p.i++
+	default:
+		return nil, p.errorf("expected session option value")
+	}
+	return &sqlast.SetSessionStmt{Option: opt, Value: val}, nil
+}

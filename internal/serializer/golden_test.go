@@ -1,0 +1,85 @@
+package serializer
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hyperq/internal/dialect"
+)
+
+// The paper's Example 2 → Example 3 rewrite: the generated SQL must contain
+// the exact structural elements of the published translation.
+func TestExample3GoldenStructure(t *testing.T) {
+	sess := setupEngine(t, dialect.CloudA())
+	sql := translate(t, sess, `
+	  SEL *
+	  FROM SALES
+	  WHERE SALES_DATE > 1140101
+	    AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY)
+	  QUALIFY RANK(AMOUNT DESC) <= 10`, dialect.CloudA())
+
+	// Figure 5: the date side expands to the internal integer arithmetic.
+	for _, pattern := range []string{
+		`EXTRACT\(DAY FROM [\w.]+\)`,
+		`EXTRACT\(MONTH FROM [\w.]+\) \* 100`,
+		`EXTRACT\(YEAR FROM [\w.]+\) - 1900`,
+		`\* 10000`,
+		`> 1140101`,
+	} {
+		if !regexp.MustCompile(pattern).MatchString(sql) {
+			t.Errorf("missing Figure 5 element %q in:\n%s", pattern, sql)
+		}
+	}
+	// Figure 6 / Example 3: the vector subquery becomes EXISTS (SELECT 1 ...)
+	// with the lexicographic OR/AND expansion.
+	for _, pattern := range []string{
+		`EXISTS \(SELECT 1`,
+		`OR \(\([\w.]+ = [\w.]+\) AND`,
+		`\* 0.85`,
+	} {
+		if !regexp.MustCompile(pattern).MatchString(sql) {
+			t.Errorf("missing Example 3 element %q in:\n%s", pattern, sql)
+		}
+	}
+	// The QUALIFY lowering: RANK() OVER (ORDER BY ... DESC) computed in a
+	// derived table, filtered in the outer WHERE (Example 3's "WHERE R <= 10").
+	if !regexp.MustCompile(`RANK\(\) OVER \(ORDER BY [\w.]+ DESC`).MatchString(sql) {
+		t.Errorf("missing ANSI RANK window:\n%s", sql)
+	}
+	if !regexp.MustCompile(`WHERE \([\w.]+ <= 10\)$`).MatchString(sql) {
+		t.Errorf("missing outer rank filter:\n%s", sql)
+	}
+	// No vendor constructs may leak into SQL-B.
+	for _, vendor := range []string{"QUALIFY", "SEL ", " ANY "} {
+		if strings.Contains(sql, vendor) {
+			t.Errorf("vendor construct %q leaked into SQL-B:\n%s", vendor, sql)
+		}
+	}
+}
+
+// Serialization is deterministic: the same plan always yields the same text.
+func TestSerializationDeterministic(t *testing.T) {
+	sess := setupEngine(t, dialect.CloudB())
+	const q = "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 QUALIFY RANK(SUM(AMOUNT) DESC) <= 2 ORDER BY 1"
+	first := translate(t, sess, q, dialect.CloudB())
+	for i := 0; i < 3; i++ {
+		sess2 := setupEngine(t, dialect.CloudB())
+		if got := translate(t, sess2, q, dialect.CloudB()); got != first {
+			t.Fatalf("non-deterministic serialization:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+// Every target's output must keep frontend semantics for NULL ordering: the
+// serializer always spells NULLS FIRST/LAST explicitly (the paper's silent
+// semantic difference, §2.1 "default ordering of NULL").
+func TestNullOrderingAlwaysExplicit(t *testing.T) {
+	for _, target := range dialect.CloudTargets() {
+		sess := setupEngine(t, target)
+		sql := translate(t, sess, "SEL AMOUNT FROM SALES ORDER BY AMOUNT", target)
+		if !strings.Contains(sql, "NULLS FIRST") && !strings.Contains(sql, "NULLS LAST") {
+			t.Errorf("%s: implicit null ordering:\n%s", target.Name, sql)
+		}
+	}
+}

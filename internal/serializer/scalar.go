@@ -1,0 +1,243 @@
+package serializer
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// scalar renders a scalar expression in the target dialect.
+func (w *writer) scalar(s xtra.Scalar) (string, error) {
+	switch x := s.(type) {
+	case *xtra.ColRef:
+		n, ok := w.names[x.Col.ID]
+		if !ok {
+			return "", fmt.Errorf("serializer: unresolved column %s (#%d)", x.Col.Name, x.Col.ID)
+		}
+		return n, nil
+	case *xtra.ConstExpr:
+		return x.Val.SQLLiteral(), nil
+	case *xtra.CompExpr:
+		l, err := w.scalar(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := w.scalar(x.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + x.Op.SQL() + " " + r + ")", nil
+	case *xtra.BoolExpr:
+		var parts []string
+		for _, a := range x.Args {
+			p, err := w.scalar(a)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, p)
+		}
+		return "(" + strings.Join(parts, " "+x.Op.String()+" ") + ")", nil
+	case *xtra.NotExpr:
+		inner, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "(NOT " + inner + ")", nil
+	case *xtra.IsNullExpr:
+		inner, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Not {
+			return "(" + inner + " IS NOT NULL)", nil
+		}
+		return "(" + inner + " IS NULL)", nil
+	case *xtra.ArithExpr:
+		l, err := w.scalar(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := w.scalar(x.R)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == types.OpMod {
+			return "MOD(" + l + ", " + r + ")", nil
+		}
+		return "(" + l + " " + x.Op.String() + " " + r + ")", nil
+	case *xtra.NegExpr:
+		inner, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "(- " + inner + ")", nil
+	case *xtra.ConcatExpr:
+		l, err := w.scalar(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := w.scalar(x.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " || " + r + ")", nil
+	case *xtra.LikeExpr:
+		v, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		p, err := w.scalar(x.Pattern)
+		if err != nil {
+			return "", err
+		}
+		op := " LIKE "
+		if x.Not {
+			op = " NOT LIKE "
+		}
+		return "(" + v + op + p + ")", nil
+	case *xtra.FuncExpr:
+		return w.funcExpr(x)
+	case *xtra.ExtractExpr:
+		inner, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "EXTRACT(" + x.Field.String() + " FROM " + inner + ")", nil
+	case *xtra.CastExpr:
+		inner, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "CAST(" + inner + " AS " + x.To.String() + ")", nil
+	case *xtra.CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		for _, wh := range x.Whens {
+			c, err := w.scalar(wh.Cond)
+			if err != nil {
+				return "", err
+			}
+			t, err := w.scalar(wh.Then)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(" WHEN " + c + " THEN " + t)
+		}
+		if x.Else != nil {
+			e, err := w.scalar(x.Else)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(" ELSE " + e)
+		}
+		sb.WriteString(" END")
+		return sb.String(), nil
+	case *xtra.ExistsExpr:
+		sub, err := w.existsBody(x.Input)
+		if err != nil {
+			return "", err
+		}
+		if x.Not {
+			return "(NOT EXISTS (" + sub + "))", nil
+		}
+		return "(EXISTS (" + sub + "))", nil
+	case *xtra.SubqueryCmp:
+		if len(x.Left) != 1 {
+			return "", fmt.Errorf("serializer: vector comparison reached serialization for target %s", w.profile.Name)
+		}
+		l, err := w.scalar(x.Left[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := w.fold(x.Input)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + x.Cmp.SQL() + " " + x.Quant.String() + " (" + w.render(b) + "))", nil
+	case *xtra.InValues:
+		v, err := w.scalar(x.X)
+		if err != nil {
+			return "", err
+		}
+		var vals []string
+		for _, item := range x.Vals {
+			e, err := w.scalar(item)
+			if err != nil {
+				return "", err
+			}
+			vals = append(vals, e)
+		}
+		op := " IN ("
+		if x.Not {
+			op = " NOT IN ("
+		}
+		return "(" + v + op + strings.Join(vals, ", ") + "))", nil
+	case *xtra.ScalarSubquery:
+		b, err := w.fold(x.Input)
+		if err != nil {
+			return "", err
+		}
+		return "(" + w.render(b) + ")", nil
+	case *xtra.ParamExpr:
+		return "", fmt.Errorf("serializer: unresolved parameter :%s", x.Name)
+	}
+	return "", fmt.Errorf("serializer: unsupported scalar %T", s)
+}
+
+// existsBody renders the EXISTS subquery input as SELECT 1 over the folded
+// input (the "remap consts: (1)" projection of the paper's Figure 6).
+func (w *writer) existsBody(op xtra.Op) (string, error) {
+	b, err := w.fold(op)
+	if err != nil {
+		return "", err
+	}
+	if b.computed() {
+		b = w.wrap(b)
+	}
+	b.sel = []string{"1 AS one"}
+	b.cols = nil
+	return w.render(b), nil
+}
+
+// funcExpr renders a canonical builtin under the target's spelling rules.
+func (w *writer) funcExpr(x *xtra.FuncExpr) (string, error) {
+	args := make([]string, len(x.Args))
+	for i, a := range x.Args {
+		e, err := w.scalar(a)
+		if err != nil {
+			return "", err
+		}
+		args[i] = e
+	}
+	switch x.Name {
+	case "CURRENT_DATE", "CURRENT_TIMESTAMP", "CURRENT_TIME", "USER":
+		return x.Name, nil
+	case "DATEADD":
+		// Unit argument is emitted as a bare keyword.
+		unit := "DAY"
+		if c, ok := x.Args[0].(*xtra.ConstExpr); ok {
+			unit = strings.ToUpper(c.Val.S)
+		}
+		return "DATEADD(" + unit + ", " + args[1] + ", " + args[2] + ")", nil
+	case "ADD_MONTHS":
+		if w.profile.AddMonthsStyle == "dateadd" {
+			return "DATEADD(MONTH, " + args[1] + ", " + args[0] + ")", nil
+		}
+		return "ADD_MONTHS(" + args[0] + ", " + args[1] + ")", nil
+	case "POSITION":
+		name := w.profile.FuncName("POSITION")
+		if name == "POSITION" {
+			return "POSITION(" + args[0] + " IN " + args[1] + ")", nil
+		}
+		// STRPOS/CHARINDEX argument orders: STRPOS(haystack, needle),
+		// CHARINDEX(needle, haystack).
+		if name == "STRPOS" {
+			return "STRPOS(" + args[1] + ", " + args[0] + ")", nil
+		}
+		return name + "(" + args[0] + ", " + args[1] + ")", nil
+	}
+	name := w.profile.FuncName(x.Name)
+	return name + "(" + strings.Join(args, ", ") + ")", nil
+}

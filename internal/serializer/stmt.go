@@ -1,0 +1,173 @@
+package serializer
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/xtra"
+)
+
+// statement renders a bound statement as target SQL.
+func (w *writer) statement(stmt xtra.Statement) (string, error) {
+	switch t := stmt.(type) {
+	case *xtra.Query:
+		b, err := w.fold(t.Root)
+		if err != nil {
+			return "", err
+		}
+		return w.render(b), nil
+	case *xtra.Insert:
+		return w.insert(t)
+	case *xtra.Update:
+		return w.update(t)
+	case *xtra.Delete:
+		return w.delete(t)
+	case *xtra.CreateTable:
+		return w.createTable(t)
+	case *xtra.DropTable:
+		if t.IfExists {
+			return "DROP TABLE IF EXISTS " + quoteIdent(t.Name), nil
+		}
+		return "DROP TABLE " + quoteIdent(t.Name), nil
+	case *xtra.CreateView:
+		// Views are maintained in the gateway catalog and expanded during
+		// binding; they are never pushed to the backend in source-dialect
+		// text (that would leak SQL-A into SQL-B).
+		return "", fmt.Errorf("serializer: views are maintained in the gateway catalog")
+	case *xtra.DropView:
+		return "DROP VIEW " + quoteIdent(t.Name), nil
+	case *xtra.Txn:
+		return t.Kind, nil
+	case *xtra.NoOp:
+		// Statements eliminated by translation produce no backend request;
+		// callers treat an empty string as "nothing to send".
+		return "", nil
+	}
+	return "", fmt.Errorf("serializer: unsupported statement %T", stmt)
+}
+
+func (w *writer) insert(t *xtra.Insert) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(quoteIdent(t.Table))
+	// Column list from target ordinals: the engine-side binder resolves
+	// names, so we emit the names of the input columns' targets. Since the
+	// Insert plan carries ordinals only, emission uses the input column
+	// names, which the binder set to the target column names.
+	cols := t.Input.Columns()
+	var names []string
+	for _, c := range cols {
+		names = append(names, quoteIdent(c.Name))
+	}
+	sb.WriteString(" (" + strings.Join(names, ", ") + ")")
+	if v, ok := t.Input.(*xtra.Values); ok {
+		sb.WriteString(" VALUES ")
+		var rows []string
+		for _, row := range v.Rows {
+			var vals []string
+			for _, e := range row {
+				s, err := w.scalar(e)
+				if err != nil {
+					return "", err
+				}
+				vals = append(vals, s)
+			}
+			rows = append(rows, "("+strings.Join(vals, ", ")+")")
+		}
+		sb.WriteString(strings.Join(rows, ", "))
+		return sb.String(), nil
+	}
+	b, err := w.fold(t.Input)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(" " + w.render(b))
+	return sb.String(), nil
+}
+
+func (w *writer) update(t *xtra.Update) (string, error) {
+	// The target table gets a reserved alias so correlated subqueries can
+	// reference its columns unambiguously.
+	alias := "hq_target"
+	for _, c := range t.Cols {
+		w.names[c.ID] = alias + "." + quoteIdent(c.Name)
+	}
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(quoteIdent(t.Table))
+	sb.WriteString(" AS " + alias + " SET ")
+	var sets []string
+	for _, a := range t.Assigns {
+		e, err := w.scalar(a.Expr)
+		if err != nil {
+			return "", err
+		}
+		sets = append(sets, quoteIdent(t.Cols[a.Ordinal].Name)+" = "+e)
+	}
+	sb.WriteString(strings.Join(sets, ", "))
+	if t.Pred != nil {
+		p, err := w.scalar(t.Pred)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(" WHERE " + p)
+	}
+	return sb.String(), nil
+}
+
+func (w *writer) delete(t *xtra.Delete) (string, error) {
+	alias := "hq_target"
+	for _, c := range t.Cols {
+		w.names[c.ID] = alias + "." + quoteIdent(c.Name)
+	}
+	var sb strings.Builder
+	sb.WriteString("DELETE FROM ")
+	sb.WriteString(quoteIdent(t.Table))
+	sb.WriteString(" " + alias)
+	if t.Pred != nil {
+		p, err := w.scalar(t.Pred)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(" WHERE " + p)
+	}
+	return sb.String(), nil
+}
+
+func (w *writer) createTable(t *xtra.CreateTable) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("CREATE ")
+	switch t.Def.Kind {
+	case catalog.KindVolatile:
+		sb.WriteString("TEMPORARY ")
+	case catalog.KindGlobalTemporary:
+		sb.WriteString("GLOBAL TEMPORARY ")
+	}
+	sb.WriteString("TABLE ")
+	if t.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(quoteIdent(t.Def.Name))
+	if t.Input != nil {
+		b, err := w.fold(t.Input)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(" AS (" + w.render(b) + ") WITH DATA")
+		return sb.String(), nil
+	}
+	var cols []string
+	for _, c := range t.Def.Columns {
+		def := quoteIdent(c.Name) + " " + c.Type.String()
+		if c.NotNull {
+			def += " NOT NULL"
+		}
+		if c.Default != "" {
+			def += " DEFAULT " + c.Default
+		}
+		cols = append(cols, def)
+	}
+	sb.WriteString(" (" + strings.Join(cols, ", ") + ")")
+	return sb.String(), nil
+}

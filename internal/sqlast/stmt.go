@@ -1,0 +1,331 @@
+package sqlast
+
+// Statement is a top-level SQL statement.
+type Statement interface{ stmtNode() }
+
+// QueryExpr is a full query expression: optional WITH, a body (select core or
+// set operation), and an optional outer ORDER BY. The Teradata parser
+// normalizes misplaced clause order (Example 1: ORDER BY before WHERE) into
+// this canonical shape.
+type QueryExpr struct {
+	With    *WithClause
+	Body    QueryBody
+	OrderBy []OrderItem
+	// Limit is the ANSI row-limiting clause (LIMIT n or FETCH FIRST n ROWS
+	// ONLY/WITH TIES); the Teradata dialect uses SelectCore.Top instead.
+	Limit *TopClause
+}
+
+// QueryBody is either a SelectCore, a SetOpBody, or a nested QueryExpr.
+type QueryBody interface{ queryBody() }
+
+// WithClause is WITH [RECURSIVE] cte [, ...].
+type WithClause struct {
+	Recursive bool
+	CTEs      []CTE
+}
+
+// CTE is a single common table expression.
+type CTE struct {
+	Name    string
+	Columns []string
+	Query   *QueryExpr
+}
+
+// TopClause is Teradata TOP n [PERCENT] [WITH TIES].
+type TopClause struct {
+	N        int64
+	Percent  bool
+	WithTies bool
+}
+
+// SelectCore is a single SELECT block.
+type SelectCore struct {
+	Distinct bool
+	Top      *TopClause
+	Items    []SelectItem
+	From     []TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	// GroupingSets holds ROLLUP/CUBE/GROUPING SETS extensions; nil for a
+	// plain GROUP BY. Each inner slice is one grouping set (indexes into
+	// GroupBy).
+	GroupingSets [][]int
+	Having       Expr
+	// Qualify is the Teradata QUALIFY clause: a predicate over window
+	// functions, evaluated after windows (vendor-specific node td_qualify).
+	Qualify Expr
+}
+
+// SelectItem is one select-list element.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// SetOp enumerates set operations.
+type SetOp uint8
+
+// Set operations.
+const (
+	SetUnion SetOp = iota
+	SetIntersect
+	SetExcept
+)
+
+func (o SetOp) String() string {
+	switch o {
+	case SetUnion:
+		return "UNION"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	}
+	return "?"
+}
+
+// SetOpBody combines two query bodies with a set operation.
+type SetOpBody struct {
+	Op   SetOp
+	All  bool
+	L, R QueryBody
+}
+
+func (*SelectCore) queryBody() {}
+func (*SetOpBody) queryBody()  {}
+func (*QueryExpr) queryBody()  {}
+
+// TableExpr is an element of the FROM clause.
+type TableExpr interface{ tableExpr() }
+
+// TableRef is a base table or view reference.
+type TableRef struct {
+	Name string
+	// Alias is the correlation name; empty means the table name itself.
+	Alias string
+	// ColAliases renames the columns (derived-column-list on a table alias —
+	// one of the partially supported features in Figure 2).
+	ColAliases []string
+}
+
+// DerivedTable is a subquery in FROM.
+type DerivedTable struct {
+	Query      *QueryExpr
+	Alias      string
+	ColAliases []string
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "INNER JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinRight:
+		return "RIGHT JOIN"
+	case JoinFull:
+		return "FULL JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	}
+	return "?"
+}
+
+// JoinExpr is an explicit join.
+type JoinExpr struct {
+	Kind JoinKind
+	L, R TableExpr
+	On   Expr
+}
+
+func (*TableRef) tableExpr()     {}
+func (*DerivedTable) tableExpr() {}
+func (*JoinExpr) tableExpr()     {}
+
+// SelectStmt wraps a query expression as a statement.
+type SelectStmt struct {
+	Query *QueryExpr
+}
+
+// Assignment is SET col = expr in UPDATE/MERGE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES ... | query.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr   // literal VALUES form
+	Query   *QueryExpr // INSERT ... SELECT form
+}
+
+// UpdateStmt is UPDATE t [FROM ...] SET ... WHERE ....
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	From  []TableExpr
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM t WHERE ... (DEL in Teradata; ALL deletes all).
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where Expr
+	All   bool
+}
+
+// MergeStmt is MERGE INTO target USING source ON cond WHEN [NOT] MATCHED ....
+// Targets without MERGE require the gateway to decompose it (emulation class,
+// Figure 2 lists MERGE among partially supported features).
+type MergeStmt struct {
+	Target      string
+	TargetAlias string
+	Source      TableExpr
+	On          Expr
+	// Matched, when non-nil, is the WHEN MATCHED THEN UPDATE action.
+	Matched []Assignment
+	// MatchedDelete marks WHEN MATCHED THEN DELETE.
+	MatchedDelete bool
+	// NotMatched, when non-nil, is the WHEN NOT MATCHED THEN INSERT action.
+	NotMatchedCols []string
+	NotMatchedVals []Expr
+	HasNotMatched  bool
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name            string
+	Type            TypeName
+	NotNull         bool
+	Default         Expr
+	CaseInsensitive bool // Teradata NOT CASESPECIFIC
+}
+
+// CreateTableStmt is CREATE [SET|MULTISET] [VOLATILE|GLOBAL TEMPORARY] TABLE.
+type CreateTableStmt struct {
+	Name            string
+	Columns         []ColumnDef
+	Set             bool // Teradata SET table (duplicate row elimination)
+	Volatile        bool
+	GlobalTemporary bool
+	PrimaryIndex    []string
+	// AsQuery is CREATE TABLE ... AS (query) WITH DATA.
+	AsQuery  *QueryExpr
+	WithData bool
+	// OnCommitPreserve is ON COMMIT PRESERVE ROWS for temporary tables.
+	OnCommitPreserve bool
+	IfNotExists      bool
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateViewStmt is CREATE/REPLACE VIEW v [(cols)] AS query.
+type CreateViewStmt struct {
+	Name    string
+	Columns []string
+	Query   *QueryExpr
+	// SQL is the original view text, stored for re-binding.
+	SQL     string
+	Replace bool
+}
+
+// DropViewStmt is DROP VIEW v.
+type DropViewStmt struct {
+	Name string
+}
+
+// MacroParamDef is one macro parameter declaration.
+type MacroParamDef struct {
+	Name string
+	Type TypeName
+}
+
+// CreateMacroStmt is Teradata CREATE/REPLACE MACRO m (params) AS (body;).
+type CreateMacroStmt struct {
+	Name    string
+	Params  []MacroParamDef
+	Body    string // raw statement list, parameters as :name
+	Replace bool
+}
+
+// DropMacroStmt is DROP MACRO m.
+type DropMacroStmt struct {
+	Name string
+}
+
+// ExecStmt is Teradata EXEC m (args).
+type ExecStmt struct {
+	Macro string
+	Args  []Expr
+}
+
+// HelpStmt is Teradata HELP SESSION / HELP TABLE t — informational commands
+// the paper lists under the emulation class (§2.1).
+type HelpStmt struct {
+	What string // "SESSION", "TABLE"
+	Name string // object name for HELP TABLE
+}
+
+// SetSessionStmt is SET SESSION <option> = <value>.
+type SetSessionStmt struct {
+	Option string
+	Value  string
+}
+
+// CollectStatsStmt is Teradata COLLECT STATISTICS — translated into zero
+// statements on targets that manage statistics automatically (§3.1:
+// "the original statement may be eliminated altogether").
+type CollectStatsStmt struct {
+	Table   string
+	Columns []string
+}
+
+// TxnStmt is BT/ET/COMMIT/ROLLBACK.
+type TxnStmt struct {
+	Kind string // "BEGIN", "COMMIT", "ROLLBACK"
+}
+
+// ExplainStmt is Teradata EXPLAIN <request>: the gateway answers it with the
+// translated SQL-B text and the XTRA plan instead of executing.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+func (*SelectStmt) stmtNode()       {}
+func (*InsertStmt) stmtNode()       {}
+func (*UpdateStmt) stmtNode()       {}
+func (*DeleteStmt) stmtNode()       {}
+func (*MergeStmt) stmtNode()        {}
+func (*CreateTableStmt) stmtNode()  {}
+func (*DropTableStmt) stmtNode()    {}
+func (*CreateViewStmt) stmtNode()   {}
+func (*DropViewStmt) stmtNode()     {}
+func (*CreateMacroStmt) stmtNode()  {}
+func (*DropMacroStmt) stmtNode()    {}
+func (*ExecStmt) stmtNode()         {}
+func (*HelpStmt) stmtNode()         {}
+func (*SetSessionStmt) stmtNode()   {}
+func (*CollectStatsStmt) stmtNode() {}
+func (*TxnStmt) stmtNode()          {}
+func (*ExplainStmt) stmtNode()      {}

@@ -1,0 +1,315 @@
+// Package tdf implements Hyper-Q's Tabular Data Format (§4.5): the binary
+// data representation result batches are packaged in between the ODBC
+// Server and the Result Converter. TDF is "an extensible binary format that
+// is able [to] handle arbitrarily large nested data"; batches are retrieved
+// on demand and, when the original database disallows streaming, buffered in
+// a Result Store that spills to disk once a memory budget is exceeded
+// (§4.6).
+package tdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hyperq/internal/types"
+)
+
+// Magic identifies a TDF batch header.
+const Magic = 0x54444631 // "TDF1"
+
+// Column type tags in the batch header.
+const (
+	tagNull uint8 = iota
+	tagBool
+	tagInt
+	tagBigInt
+	tagFloat
+	tagDecimal
+	tagChar
+	tagVarChar
+	tagDate
+	tagTime
+	tagTimestamp
+	tagPeriod
+	tagBytes
+	tagInterval
+)
+
+func kindToTag(k types.Kind) (uint8, error) {
+	switch k {
+	case types.KindNull:
+		return tagNull, nil
+	case types.KindBool:
+		return tagBool, nil
+	case types.KindInt:
+		return tagInt, nil
+	case types.KindBigInt:
+		return tagBigInt, nil
+	case types.KindFloat:
+		return tagFloat, nil
+	case types.KindDecimal:
+		return tagDecimal, nil
+	case types.KindChar:
+		return tagChar, nil
+	case types.KindVarChar:
+		return tagVarChar, nil
+	case types.KindDate:
+		return tagDate, nil
+	case types.KindTime:
+		return tagTime, nil
+	case types.KindTimestamp:
+		return tagTimestamp, nil
+	case types.KindPeriod:
+		return tagPeriod, nil
+	case types.KindBytes:
+		return tagBytes, nil
+	case types.KindInterval:
+		return tagInterval, nil
+	}
+	return 0, fmt.Errorf("tdf: unsupported kind %v", k)
+}
+
+func tagToKind(t uint8) (types.Kind, error) {
+	kinds := []types.Kind{
+		types.KindNull, types.KindBool, types.KindInt, types.KindBigInt,
+		types.KindFloat, types.KindDecimal, types.KindChar, types.KindVarChar,
+		types.KindDate, types.KindTime, types.KindTimestamp, types.KindPeriod,
+		types.KindBytes, types.KindInterval,
+	}
+	if int(t) >= len(kinds) {
+		return 0, fmt.Errorf("tdf: unknown type tag %d", t)
+	}
+	return kinds[t], nil
+}
+
+// ColumnMeta describes one column of a batch.
+type ColumnMeta struct {
+	Name string
+	Type types.T
+}
+
+// Batch is one unit of result data: schema plus rows.
+type Batch struct {
+	Cols []ColumnMeta
+	Rows [][]types.Datum
+}
+
+// EncodedSize estimates the wire size of the batch (used for memory
+// accounting in the Result Store).
+func (b *Batch) EncodedSize() int {
+	size := 16
+	for _, c := range b.Cols {
+		size += 8 + len(c.Name)
+	}
+	for _, row := range b.Rows {
+		size += 4 + len(row) // presence bytes
+		for _, d := range row {
+			size += 9
+			size += len(d.S)
+		}
+	}
+	return size
+}
+
+// Encode writes the batch in TDF framing:
+//
+//	u32 magic, u32 ncols, u32 nrows
+//	per column: u8 tag, i32 scale/elem, u16 namelen, name
+//	per row: per column: u8 present, then the value encoding
+//
+// Value encodings: fixed 8-byte little-endian integers for integral kinds,
+// IEEE754 bits for FLOAT, u32-length-prefixed bytes for strings, two 8-byte
+// values for PERIOD.
+func (b *Batch) Encode(w io.Writer) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Cols)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.Rows)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, c := range b.Cols {
+		tag, err := kindToTag(c.Type.Kind)
+		if err != nil {
+			return err
+		}
+		aux := int32(c.Type.Scale)
+		if c.Type.Kind == types.KindPeriod {
+			t2, err := kindToTag(c.Type.Elem)
+			if err != nil {
+				return err
+			}
+			aux = int32(t2)
+		}
+		var ch [7]byte
+		ch[0] = tag
+		binary.LittleEndian.PutUint32(ch[1:], uint32(aux))
+		binary.LittleEndian.PutUint16(ch[5:], uint16(len(c.Name)))
+		if _, err := w.Write(ch[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, c.Name); err != nil {
+			return err
+		}
+	}
+	for _, row := range b.Rows {
+		if len(row) != len(b.Cols) {
+			return fmt.Errorf("tdf: row arity %d != %d", len(row), len(b.Cols))
+		}
+		for i, d := range row {
+			if err := encodeDatum(w, b.Cols[i].Type, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func encodeDatum(w io.Writer, t types.T, d types.Datum) error {
+	if d.Null {
+		_, err := w.Write([]byte{0})
+		return err
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return err
+	}
+	var buf [16]byte
+	switch t.Kind {
+	case types.KindBool, types.KindInt, types.KindBigInt, types.KindDate,
+		types.KindTime, types.KindTimestamp, types.KindDecimal, types.KindInterval:
+		binary.LittleEndian.PutUint64(buf[:8], uint64(d.I))
+		_, err := w.Write(buf[:8])
+		return err
+	case types.KindFloat:
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(d.F))
+		_, err := w.Write(buf[:8])
+		return err
+	case types.KindChar, types.KindVarChar, types.KindBytes:
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(d.S)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, d.S)
+		return err
+	case types.KindPeriod:
+		binary.LittleEndian.PutUint64(buf[:8], uint64(d.PStart))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(d.PEnd))
+		_, err := w.Write(buf[:16])
+		return err
+	case types.KindNull:
+		return nil
+	}
+	return fmt.Errorf("tdf: cannot encode kind %v", t.Kind)
+}
+
+// Decode reads one batch.
+func Decode(r io.Reader) (*Batch, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return nil, fmt.Errorf("tdf: bad magic")
+	}
+	ncols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	nrows := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if ncols > 1<<16 || nrows > 1<<30 {
+		return nil, fmt.Errorf("tdf: implausible header (%d cols, %d rows)", ncols, nrows)
+	}
+	b := &Batch{Cols: make([]ColumnMeta, ncols)}
+	for i := 0; i < ncols; i++ {
+		var ch [7]byte
+		if _, err := io.ReadFull(r, ch[:]); err != nil {
+			return nil, err
+		}
+		kind, err := tagToKind(ch[0])
+		if err != nil {
+			return nil, err
+		}
+		aux := int32(binary.LittleEndian.Uint32(ch[1:]))
+		nameLen := int(binary.LittleEndian.Uint16(ch[5:]))
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		t := types.T{Kind: kind}
+		switch kind {
+		case types.KindDecimal:
+			t.Scale = int(aux)
+			t.Precision = 18
+		case types.KindPeriod:
+			ek, err := tagToKind(uint8(aux))
+			if err != nil {
+				return nil, err
+			}
+			t.Elem = ek
+		}
+		b.Cols[i] = ColumnMeta{Name: string(name), Type: t}
+	}
+	b.Rows = make([][]types.Datum, nrows)
+	for ri := 0; ri < nrows; ri++ {
+		row := make([]types.Datum, ncols)
+		for ci := 0; ci < ncols; ci++ {
+			d, err := decodeDatum(r, b.Cols[ci].Type)
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = d
+		}
+		b.Rows[ri] = row
+	}
+	return b, nil
+}
+
+func decodeDatum(r io.Reader, t types.T) (types.Datum, error) {
+	var p [1]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		return types.Datum{}, err
+	}
+	if p[0] == 0 {
+		return types.NewNull(t.Kind), nil
+	}
+	var buf [16]byte
+	switch t.Kind {
+	case types.KindBool, types.KindInt, types.KindBigInt, types.KindDate,
+		types.KindTime, types.KindTimestamp, types.KindDecimal, types.KindInterval:
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return types.Datum{}, err
+		}
+		d := types.Datum{K: t.Kind, I: int64(binary.LittleEndian.Uint64(buf[:8]))}
+		if t.Kind == types.KindDecimal {
+			d.Scale = int8(t.Scale)
+		}
+		return d, nil
+	case types.KindFloat:
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return types.Datum{}, err
+		}
+		return types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))), nil
+	case types.KindChar, types.KindVarChar, types.KindBytes:
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return types.Datum{}, err
+		}
+		n := binary.LittleEndian.Uint32(buf[:4])
+		if n > 1<<28 {
+			return types.Datum{}, fmt.Errorf("tdf: implausible string length %d", n)
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(r, s); err != nil {
+			return types.Datum{}, err
+		}
+		return types.Datum{K: t.Kind, S: string(s)}, nil
+	case types.KindPeriod:
+		if _, err := io.ReadFull(r, buf[:16]); err != nil {
+			return types.Datum{}, err
+		}
+		return types.NewPeriod(t.Elem,
+			int64(binary.LittleEndian.Uint64(buf[:8])),
+			int64(binary.LittleEndian.Uint64(buf[8:]))), nil
+	case types.KindNull:
+		return types.NewNull(types.KindNull), nil
+	}
+	return types.Datum{}, fmt.Errorf("tdf: cannot decode kind %v", t.Kind)
+}

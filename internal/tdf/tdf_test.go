@@ -1,0 +1,269 @@
+package tdf
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperq/internal/types"
+)
+
+func sampleBatch() *Batch {
+	return &Batch{
+		Cols: []ColumnMeta{
+			{Name: "id", Type: types.Int},
+			{Name: "name", Type: types.VarChar(20)},
+			{Name: "amount", Type: types.Decimal(12, 2)},
+			{Name: "when", Type: types.Date},
+			{Name: "ratio", Type: types.Float},
+			{Name: "span", Type: types.Period(types.KindDate)},
+		},
+		Rows: [][]types.Datum{
+			{
+				types.NewInt(1), types.NewString("alice"), types.NewDecimal(12345, 2),
+				types.NewDate(2014, 1, 1), types.NewFloat(0.85),
+				types.NewPeriod(types.KindDate, types.EncodeDate(2020, 1, 1), types.EncodeDate(2020, 6, 30)),
+			},
+			{
+				types.NewInt(2), types.NewNull(types.KindVarChar), types.NewNull(types.KindDecimal),
+				types.NewNull(types.KindDate), types.NewFloat(math.Inf(1)),
+				types.NewNull(types.KindPeriod),
+			},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != len(b.Cols) || len(got.Rows) != len(b.Rows) {
+		t.Fatalf("shape = %d cols %d rows", len(got.Cols), len(got.Rows))
+	}
+	for i, c := range got.Cols {
+		if c.Name != b.Cols[i].Name || c.Type.Kind != b.Cols[i].Type.Kind {
+			t.Errorf("col %d = %+v, want %+v", i, c, b.Cols[i])
+		}
+	}
+	for ri, row := range got.Rows {
+		for ci, d := range row {
+			want := b.Rows[ri][ci]
+			if d.Null != want.Null {
+				t.Errorf("row %d col %d null mismatch", ri, ci)
+				continue
+			}
+			if !d.Null && d.String() != want.String() {
+				t.Errorf("row %d col %d = %s, want %s", ri, ci, d, want)
+			}
+		}
+	}
+	// Decimal scale must survive.
+	if got.Rows[0][2].String() != "123.45" {
+		t.Errorf("decimal = %s", got.Rows[0][2])
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a tdf batch......"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEncodeRejectsArityMismatch(t *testing.T) {
+	b := &Batch{
+		Cols: []ColumnMeta{{Name: "a", Type: types.Int}},
+		Rows: [][]types.Datum{{types.NewInt(1), types.NewInt(2)}},
+	}
+	if err := b.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+// Property: integer batches always round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []int64, strs []string) bool {
+		n := len(vals)
+		if len(strs) < n {
+			n = len(strs)
+		}
+		b := &Batch{Cols: []ColumnMeta{
+			{Name: "v", Type: types.BigInt},
+			{Name: "s", Type: types.VarChar(0)},
+		}}
+		for i := 0; i < n; i++ {
+			b.Rows = append(b.Rows, []types.Datum{types.NewBigInt(vals[i]), types.NewString(strs[i])})
+		}
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got.Rows) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Rows[i][0].I != vals[i] || got.Rows[i][1].S != strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreInMemory(t *testing.T) {
+	s := NewStore(1 << 20)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(sampleBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TotalRows() != 6 {
+		t.Fatalf("rows = %d", s.TotalRows())
+	}
+	if s.Spilled() != 0 {
+		t.Fatal("unexpected spill")
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := s.Drain(func(b *Batch) error { n += len(b.Rows); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("drained %d rows", n)
+	}
+}
+
+func TestStoreSpillsToDisk(t *testing.T) {
+	s := NewStore(0) // spill everything
+	defer s.Close()
+	const batches = 10
+	for i := 0; i < batches; i++ {
+		if err := s.Append(sampleBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() != batches {
+		t.Fatalf("spilled = %d", s.Spilled())
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	var firstDecimal string
+	if err := s.Drain(func(b *Batch) error {
+		rows += len(b.Rows)
+		if firstDecimal == "" {
+			firstDecimal = b.Rows[0][2].String()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != batches*2 {
+		t.Fatalf("drained %d rows", rows)
+	}
+	if firstDecimal != "123.45" {
+		t.Fatalf("spilled decimal = %s", firstDecimal)
+	}
+}
+
+func TestStoreMixedMemoryAndSpill(t *testing.T) {
+	one := sampleBatch().EncodedSize()
+	s := NewStore(one + one/2) // one batch fits, the rest spill
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(sampleBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() != 4 {
+		t.Fatalf("spilled = %d", s.Spilled())
+	}
+	_ = s.Seal()
+	var rows int
+	if err := s.Drain(func(b *Batch) error { rows += len(b.Rows); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 {
+		t.Fatalf("rows = %d", rows)
+	}
+}
+
+func TestStoreLifecycleErrors(t *testing.T) {
+	s := NewStore(1024)
+	if err := s.Drain(func(*Batch) error { return nil }); err == nil {
+		t.Error("drain before seal accepted")
+	}
+	_ = s.Seal()
+	if err := s.Append(sampleBatch()); err == nil {
+		t.Error("append after seal accepted")
+	}
+	if err := s.Seal(); err != nil {
+		t.Error("double seal should be idempotent")
+	}
+}
+
+func TestStoreSpillFileRemoved(t *testing.T) {
+	s := NewStore(0)
+	_ = s.Append(sampleBatch())
+	name := s.spill.Name()
+	_ = s.Seal()
+	_ = s.Drain(func(*Batch) error { return nil })
+	if _, err := osStat(name); err == nil {
+		t.Error("spill file not removed after drain")
+	}
+}
+
+// osStat indirection for the spill-file existence check.
+var osStat = func(name string) (any, error) {
+	fi, err := osStatReal(name)
+	return fi, err
+}
+
+func TestBatchEncodedSizePositive(t *testing.T) {
+	if sampleBatch().EncodedSize() <= 0 {
+		t.Error("EncodedSize must be positive")
+	}
+	f := func(n uint8) bool {
+		b := &Batch{Cols: []ColumnMeta{{Name: "x", Type: types.Int}}}
+		for i := 0; i < int(n); i++ {
+			b.Rows = append(b.Rows, []types.Datum{types.NewInt(int64(i))})
+		}
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			return false
+		}
+		// The estimate must be an upper bound of the actual encoding.
+		return b.EncodedSize() >= buf.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnMetaEquality(t *testing.T) {
+	a := ColumnMeta{Name: "x", Type: types.Decimal(10, 2)}
+	b := ColumnMeta{Name: "x", Type: types.Decimal(10, 2)}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("meta not comparable")
+	}
+}
+
+func osStatReal(name string) (os.FileInfo, error) { return os.Stat(name) }

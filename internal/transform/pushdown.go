@@ -1,0 +1,236 @@
+package transform
+
+import (
+	"hyperq/internal/xtra"
+)
+
+// PredicatePushdownRule is a performance transformation (§4.3:
+// "Transformations could also be used to improve the performance of
+// generated queries"): filter conjuncts migrate below joins so comma-style
+// join trees (cross joins with the predicate above) become proper equijoins
+// the executor can hash. The engine substrate applies it before execution.
+//
+// The rule is conservative around outer joins: conjuncts only push into the
+// left input of a LEFT join (and symmetric for RIGHT); FULL joins are left
+// untouched.
+type PredicatePushdownRule struct{}
+
+// Name implements Rule.
+func (*PredicatePushdownRule) Name() string { return "predicate_pushdown" }
+
+// ApplyOp implements OpRule: it rewrites one Select-over-Join or
+// Select-over-Select level per invocation; the fixed-point driver cascades
+// the movement down the tree.
+func (r *PredicatePushdownRule) ApplyOp(op xtra.Op, c *Context) (xtra.Op, bool, error) {
+	sel, ok := op.(*xtra.Select)
+	if !ok {
+		return op, false, nil
+	}
+	// Factor conjuncts common to every branch of a disjunction out of the
+	// OR, so join predicates buried in OR-of-AND shapes (TPC-H Q19) become
+	// independently pushable.
+	if factored, fired := factorOrs(sel.Pred); fired {
+		return &xtra.Select{Input: sel.Input, Pred: factored}, true, nil
+	}
+	switch in := sel.Input.(type) {
+	case *xtra.Select:
+		// Merge stacked filters so all conjuncts distribute together.
+		return &xtra.Select{Input: in.Input, Pred: xtra.MakeAnd(in.Pred, sel.Pred)}, true, nil
+	case *xtra.Join:
+		return pushIntoJoin(sel, in)
+	}
+	return op, false, nil
+}
+
+// factorOrs rewrites each top-level OR conjunct of pred by hoisting the
+// conjuncts common to all of its branches: (a AND b) OR (a AND c) becomes
+// a AND (b OR c).
+func factorOrs(pred xtra.Scalar) (xtra.Scalar, bool) {
+	conj := splitConjuncts(pred)
+	fired := false
+	out := make([]xtra.Scalar, 0, len(conj))
+	for _, c := range conj {
+		or, ok := c.(*xtra.BoolExpr)
+		if !ok || or.Op != xtra.BoolOr || len(or.Args) < 2 {
+			out = append(out, c)
+			continue
+		}
+		branches := make([][]xtra.Scalar, len(or.Args))
+		for i, a := range or.Args {
+			branches[i] = splitConjuncts(a)
+		}
+		var common []xtra.Scalar
+		for _, cand := range branches[0] {
+			inAll := true
+			for _, br := range branches[1:] {
+				found := false
+				for _, x := range br {
+					if xtra.ScalarEqual(cand, x) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				common = append(common, cand)
+			}
+		}
+		if len(common) == 0 {
+			out = append(out, c)
+			continue
+		}
+		fired = true
+		var reduced []xtra.Scalar
+		for _, br := range branches {
+			var rest []xtra.Scalar
+			for _, x := range br {
+				dup := false
+				for _, cm := range common {
+					if xtra.ScalarEqual(x, cm) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					rest = append(rest, x)
+				}
+			}
+			if len(rest) == 0 {
+				// One branch reduces to TRUE: the OR is subsumed.
+				reduced = nil
+				break
+			}
+			reduced = append(reduced, xtra.MakeAnd(rest...))
+		}
+		out = append(out, common...)
+		if reduced != nil {
+			out = append(out, xtra.MakeOr(reduced...))
+		}
+	}
+	if !fired {
+		return pred, false
+	}
+	return xtra.MakeAnd(out...), true
+}
+
+func splitConjuncts(p xtra.Scalar) []xtra.Scalar {
+	if b, ok := p.(*xtra.BoolExpr); ok && b.Op == xtra.BoolAnd {
+		return b.Args
+	}
+	if p == nil {
+		return nil
+	}
+	return []xtra.Scalar{p}
+}
+
+func colSet(op xtra.Op) map[xtra.ColumnID]bool {
+	out := map[xtra.ColumnID]bool{}
+	for _, c := range op.Columns() {
+		out[c.ID] = true
+	}
+	return out
+}
+
+// classify returns which side(s) the conjunct's column references belong to:
+// 1 = left only, 2 = right only, 3 = both sides, 0 = references columns from
+// neither (constants or correlated references — not pushable).
+func classify(s xtra.Scalar, l, r map[xtra.ColumnID]bool) int {
+	// Subquery-bearing conjuncts are expensive: evaluating them above the
+	// joins — after the cheap predicates have reduced cardinality — is the
+	// better order, so they never push down.
+	if len(xtra.SubOps(s)) > 0 {
+		return 0
+	}
+	refs := xtra.FreeColRefsIn(s)
+	if len(refs) == 0 {
+		return 0
+	}
+	left, right := false, false
+	for id := range refs {
+		switch {
+		case l[id]:
+			left = true
+		case r[id]:
+			right = true
+		default:
+			return 0 // correlated or outer reference
+		}
+	}
+	switch {
+	case left && right:
+		return 3
+	case left:
+		return 1
+	case right:
+		return 2
+	}
+	return 0
+}
+
+func applyFilter(op xtra.Op, conj []xtra.Scalar) xtra.Op {
+	if len(conj) == 0 {
+		return op
+	}
+	return &xtra.Select{Input: op, Pred: xtra.MakeAnd(conj...)}
+}
+
+func pushIntoJoin(sel *xtra.Select, j *xtra.Join) (xtra.Op, bool, error) {
+	lcols, rcols := colSet(j.L), colSet(j.R)
+	conj := splitConjuncts(sel.Pred)
+	var toL, toR, toPred, keep []xtra.Scalar
+	for _, cj := range conj {
+		side := classify(cj, lcols, rcols)
+		switch j.Kind {
+		case xtra.JoinInner, xtra.JoinCross:
+			switch side {
+			case 1:
+				toL = append(toL, cj)
+			case 2:
+				toR = append(toR, cj)
+			case 3:
+				toPred = append(toPred, cj)
+			default:
+				keep = append(keep, cj)
+			}
+		case xtra.JoinLeft:
+			if side == 1 {
+				toL = append(toL, cj)
+			} else {
+				keep = append(keep, cj)
+			}
+		case xtra.JoinRight:
+			if side == 2 {
+				toR = append(toR, cj)
+			} else {
+				keep = append(keep, cj)
+			}
+		default: // FULL
+			keep = append(keep, cj)
+		}
+	}
+	if len(toL) == 0 && len(toR) == 0 && len(toPred) == 0 {
+		return sel, false, nil
+	}
+	kind := j.Kind
+	pred := xtra.MakeAnd(append([]xtra.Scalar{j.Pred}, toPred...)...)
+	if kind == xtra.JoinCross && pred != nil {
+		kind = xtra.JoinInner
+	}
+	nj := &xtra.Join{
+		Kind: kind,
+		L:    applyFilter(j.L, toL),
+		R:    applyFilter(j.R, toR),
+		Pred: pred,
+	}
+	if len(keep) == 0 {
+		return nj, true, nil
+	}
+	return &xtra.Select{Input: nj, Pred: xtra.MakeAnd(keep...)}, true, nil
+}
+
+// Pushdown returns a transformer with only the pushdown rule.
+func Pushdown() *Transformer { return New(&PredicatePushdownRule{}) }

@@ -1,0 +1,217 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+func tcol(id int, name string, t types.T) xtra.Col {
+	return xtra.Col{ID: xtra.ColumnID(id), Name: name, Type: t}
+}
+
+func get(name string, cols ...xtra.Col) *xtra.Get {
+	return &xtra.Get{Table: name, Cols: cols}
+}
+
+func eq(l, r xtra.Col) xtra.Scalar {
+	return &xtra.CompExpr{Op: xtra.CmpEQ, L: &xtra.ColRef{Col: l}, R: &xtra.ColRef{Col: r}}
+}
+
+func gtConst(c xtra.Col, v int64) xtra.Scalar {
+	return &xtra.CompExpr{Op: xtra.CmpGT, L: &xtra.ColRef{Col: c}, R: xtra.NewConst(types.NewInt(v))}
+}
+
+func push(t *testing.T, op xtra.Op) xtra.Op {
+	t.Helper()
+	out, err := Pushdown().Op(op, NewContext(nil, nil, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The paradigm case: SELECT over a cross join becomes an inner hash join
+// with side filters pushed to the scans.
+func TestPushdownCommaJoin(t *testing.T) {
+	a1, a2 := tcol(1, "k", types.Int), tcol(2, "v", types.Int)
+	b1, b2 := tcol(3, "k", types.Int), tcol(4, "w", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinCross, L: get("A", a1, a2), R: get("B", b1, b2)},
+		Pred:  xtra.MakeAnd(eq(a1, b1), gtConst(a2, 10), gtConst(b2, 20)),
+	}
+	out := push(t, plan)
+	j, ok := out.(*xtra.Join)
+	if !ok || j.Kind != xtra.JoinInner || j.Pred == nil {
+		t.Fatalf("top = %s", xtra.Format(out))
+	}
+	if _, ok := j.L.(*xtra.Select); !ok {
+		t.Errorf("left filter not pushed:\n%s", xtra.Format(out))
+	}
+	if _, ok := j.R.(*xtra.Select); !ok {
+		t.Errorf("right filter not pushed:\n%s", xtra.Format(out))
+	}
+}
+
+// Multi-level cascade: a three-way comma join fully decomposes.
+func TestPushdownCascades(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "x", types.Int)
+	c := tcol(3, "x", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{
+			Kind: xtra.JoinCross,
+			L:    &xtra.Join{Kind: xtra.JoinCross, L: get("A", a), R: get("B", b)},
+			R:    get("C", c),
+		},
+		Pred: xtra.MakeAnd(eq(a, b), eq(b, c)),
+	}
+	out := push(t, plan)
+	txt := xtra.Format(out)
+	if strings.Contains(txt, "CROSS") {
+		t.Fatalf("cross join survived:\n%s", txt)
+	}
+	if _, ok := out.(*xtra.Join); !ok {
+		t.Fatalf("residual select left above:\n%s", txt)
+	}
+}
+
+// Outer-join safety: right-side filters must NOT pass into the nullable side
+// of a LEFT join.
+func TestPushdownLeftJoinSafety(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "y", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinLeft, L: get("A", a), R: get("B", b), Pred: eq(a, b)},
+		Pred:  xtra.MakeAnd(gtConst(a, 1), gtConst(b, 2)),
+	}
+	out := push(t, plan)
+	sel, ok := out.(*xtra.Select)
+	if !ok {
+		t.Fatalf("right-side filter must stay above:\n%s", xtra.Format(out))
+	}
+	j := sel.Input.(*xtra.Join)
+	if j.Kind != xtra.JoinLeft {
+		t.Fatal("join kind changed")
+	}
+	if _, ok := j.L.(*xtra.Select); !ok {
+		t.Errorf("left-only filter should push into L:\n%s", xtra.Format(out))
+	}
+	if _, ok := j.R.(*xtra.Select); ok {
+		t.Errorf("filter pushed into nullable side:\n%s", xtra.Format(out))
+	}
+}
+
+// FULL joins accept no pushes at all.
+func TestPushdownFullJoinUntouched(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "y", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinFull, L: get("A", a), R: get("B", b), Pred: eq(a, b)},
+		Pred:  gtConst(a, 1),
+	}
+	out := push(t, plan)
+	if _, ok := out.(*xtra.Select); !ok {
+		t.Fatalf("filter moved through FULL join:\n%s", xtra.Format(out))
+	}
+}
+
+// Correlated conjuncts (references to columns outside the join) stay above.
+func TestPushdownKeepsCorrelatedConjuncts(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "y", types.Int)
+	outer := tcol(99, "o", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinCross, L: get("A", a), R: get("B", b)},
+		Pred:  xtra.MakeAnd(eq(a, b), eq(a, outer)),
+	}
+	out := push(t, plan)
+	sel, ok := out.(*xtra.Select)
+	if !ok {
+		t.Fatalf("correlated conjunct lost:\n%s", xtra.Format(out))
+	}
+	refs := xtra.ColRefsIn(sel.Pred)
+	if !refs[99] {
+		t.Error("correlated conjunct not the one kept above")
+	}
+}
+
+// Subquery-bearing conjuncts are never pushed (cost heuristic).
+func TestPushdownKeepsSubqueryConjuncts(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "y", types.Int)
+	sub := get("S", tcol(5, "z", types.Int))
+	exists := &xtra.ExistsExpr{Input: &xtra.Select{Input: sub, Pred: eq(sub.Cols[0], a)}}
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinCross, L: get("A", a), R: get("B", b)},
+		Pred:  xtra.MakeAnd(eq(a, b), exists),
+	}
+	out := push(t, plan)
+	sel, ok := out.(*xtra.Select)
+	if !ok {
+		t.Fatalf("exists conjunct pushed:\n%s", xtra.Format(out))
+	}
+	if len(xtra.SubOps(sel.Pred)) != 1 {
+		t.Error("kept conjunct is not the subquery one")
+	}
+}
+
+// The Q19 shape: OR of ANDs with a common join conjunct factors out.
+func TestFactorOrs(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	b := tcol(2, "y", types.Int)
+	join := eq(a, b)
+	branch1 := xtra.MakeAnd(join, gtConst(a, 1))
+	branch2 := xtra.MakeAnd(join, gtConst(a, 5))
+	pred := xtra.MakeOr(branch1, branch2)
+	out, fired := factorOrs(pred)
+	if !fired {
+		t.Fatal("common factor not extracted")
+	}
+	be, ok := out.(*xtra.BoolExpr)
+	if !ok || be.Op != xtra.BoolAnd || len(be.Args) != 2 {
+		t.Fatalf("factored = %s", xtra.FormatScalar(out))
+	}
+	if !xtra.ScalarEqual(be.Args[0], join) {
+		t.Errorf("factored conjunct wrong:\n%s", xtra.FormatScalar(out))
+	}
+}
+
+func TestFactorOrsSubsumption(t *testing.T) {
+	// (a AND b) OR (a): the second branch reduces to TRUE, so the whole OR
+	// collapses to just `a`.
+	a := tcol(1, "x", types.Int)
+	common := gtConst(a, 1)
+	pred := xtra.MakeOr(xtra.MakeAnd(common, gtConst(a, 2)), common)
+	out, fired := factorOrs(pred)
+	if !fired {
+		t.Fatal("not fired")
+	}
+	if !xtra.ScalarEqual(out, common) {
+		t.Fatalf("subsumption failed: %s", xtra.FormatScalar(out))
+	}
+}
+
+func TestFactorOrsNoCommon(t *testing.T) {
+	a := tcol(1, "x", types.Int)
+	pred := xtra.MakeOr(gtConst(a, 1), gtConst(a, 2))
+	if _, fired := factorOrs(pred); fired {
+		t.Fatal("fired without common conjuncts")
+	}
+}
+
+func TestPushdownIdempotent(t *testing.T) {
+	a1, a2 := tcol(1, "k", types.Int), tcol(2, "v", types.Int)
+	b1 := tcol(3, "k", types.Int)
+	plan := &xtra.Select{
+		Input: &xtra.Join{Kind: xtra.JoinCross, L: get("A", a1, a2), R: get("B", b1)},
+		Pred:  xtra.MakeAnd(eq(a1, b1), gtConst(a2, 10)),
+	}
+	once := push(t, plan)
+	twice := push(t, once)
+	if xtra.Format(once) != xtra.Format(twice) {
+		t.Fatal("pushdown is not idempotent")
+	}
+}

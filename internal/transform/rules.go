@@ -1,0 +1,265 @@
+package transform
+
+import (
+	"fmt"
+
+	"hyperq/internal/feature"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// DateIntCompareRule is the binding-stage comp_date_to_int transformation of
+// §5.2 (Figure 5): a comparison between DATE and INTEGER expands the date
+// side into the arithmetic expression that yields Teradata's internal
+// integer encoding:
+//
+//	DAY + (MONTH * 100) + (YEAR - 1900) * 10000
+//
+// It is applied as early as possible because the encoding is unique to the
+// source system — no knowledge of the target is required.
+type DateIntCompareRule struct{}
+
+// Name implements Rule.
+func (*DateIntCompareRule) Name() string { return "comp_date_to_int" }
+
+// ApplyScalar implements ScalarRule.
+func (r *DateIntCompareRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar, bool, error) {
+	cmp, ok := s.(*xtra.CompExpr)
+	if !ok {
+		return s, false, nil
+	}
+	lt, rt := cmp.L.Type(), cmp.R.Type()
+	switch {
+	case lt.Kind == types.KindDate && rt.IsNumeric():
+		c.Rec.Record(feature.DateIntCompare)
+		return &xtra.CompExpr{Op: cmp.Op, L: dateToIntExpr(cmp.L), R: cmp.R}, true, nil
+	case rt.Kind == types.KindDate && lt.IsNumeric():
+		c.Rec.Record(feature.DateIntCompare)
+		return &xtra.CompExpr{Op: cmp.Op, L: cmp.L, R: dateToIntExpr(cmp.R)}, true, nil
+	}
+	return s, false, nil
+}
+
+// dateToIntExpr builds DAY + MONTH*100 + (YEAR-1900)*10000 over a DATE
+// expression.
+func dateToIntExpr(d xtra.Scalar) xtra.Scalar {
+	day := &xtra.ExtractExpr{Field: types.FieldDay, X: d}
+	month := &xtra.ExtractExpr{Field: types.FieldMonth, X: d}
+	year := &xtra.ExtractExpr{Field: types.FieldYear, X: d}
+	return &xtra.ArithExpr{
+		Op: types.OpAdd,
+		L:  day,
+		R: &xtra.ArithExpr{
+			Op: types.OpAdd,
+			L: &xtra.ArithExpr{
+				Op: types.OpMul,
+				L:  month,
+				R:  xtra.NewConst(types.NewInt(100)),
+				T:  types.Int,
+			},
+			R: &xtra.ArithExpr{
+				Op: types.OpMul,
+				L: &xtra.ArithExpr{
+					Op: types.OpSub,
+					L:  year,
+					R:  xtra.NewConst(types.NewInt(1900)),
+					T:  types.Int,
+				},
+				R: xtra.NewConst(types.NewInt(10000)),
+				T: types.Int,
+			},
+			T: types.Int,
+		},
+		T: types.Int,
+	}
+}
+
+// VectorSubqueryRule is the serialization-stage transformation of §5.3
+// (Figure 6): a quantified vector comparison is rewritten into a correlated
+// existential subquery implementing the lexicographic row semantics:
+//
+//	(a, b) > ANY (SELECT x, y FROM t)
+//	  ==>  EXISTS (SELECT 1 FROM t WHERE a > x OR (a = x AND b > y))
+//
+// ALL-quantified comparisons become NOT EXISTS of the negated row predicate.
+type VectorSubqueryRule struct{}
+
+// Name implements Rule.
+func (*VectorSubqueryRule) Name() string { return "vector_subquery_to_exists" }
+
+// ApplyScalar implements ScalarRule.
+func (r *VectorSubqueryRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar, bool, error) {
+	q, ok := s.(*xtra.SubqueryCmp)
+	if !ok || len(q.Left) <= 1 {
+		return s, false, nil
+	}
+	c.Rec.Record(feature.VectorSubquery)
+	cols := q.Input.Columns()
+	if len(cols) != len(q.Left) {
+		return nil, false, fmt.Errorf("transform: vector arity mismatch")
+	}
+	right := make([]xtra.Scalar, len(cols))
+	for i, col := range cols {
+		right[i] = &xtra.ColRef{Col: col}
+	}
+	var rowPred xtra.Scalar
+	switch q.Quant {
+	case xtra.QuantAny:
+		rowPred = lexRowPred(q.Cmp, q.Left, right)
+	case xtra.QuantAll:
+		rowPred = &xtra.NotExpr{X: lexRowPred(q.Cmp, q.Left, right)}
+	}
+	sel := &xtra.Select{Input: q.Input, Pred: rowPred}
+	return &xtra.ExistsExpr{Not: q.Quant == xtra.QuantAll, Input: sel}, true, nil
+}
+
+// lexRowPred builds the lexicographic comparison predicate for row values,
+// exactly the expansion shown in the paper's Figure 6:
+//
+//	(l1, l2) > (r1, r2)  ==>  l1 > r1 OR (l1 = r1 AND l2 > r2)
+func lexRowPred(op xtra.CmpOp, left, right []xtra.Scalar) xtra.Scalar {
+	switch op {
+	case xtra.CmpEQ:
+		var parts []xtra.Scalar
+		for i := range left {
+			parts = append(parts, &xtra.CompExpr{Op: xtra.CmpEQ, L: left[i], R: right[i]})
+		}
+		return xtra.MakeAnd(parts...)
+	case xtra.CmpNE:
+		var parts []xtra.Scalar
+		for i := range left {
+			parts = append(parts, &xtra.CompExpr{Op: xtra.CmpNE, L: left[i], R: right[i]})
+		}
+		return xtra.MakeOr(parts...)
+	}
+	// Ordered comparison, built right to left.
+	last := len(left) - 1
+	pred := xtra.Scalar(&xtra.CompExpr{Op: op, L: left[last], R: right[last]})
+	strict := op
+	if op == xtra.CmpLE {
+		strict = xtra.CmpLT
+	}
+	if op == xtra.CmpGE {
+		strict = xtra.CmpGT
+	}
+	for i := last - 1; i >= 0; i-- {
+		pred = xtra.MakeOr(
+			&xtra.CompExpr{Op: strict, L: left[i], R: right[i]},
+			xtra.MakeAnd(
+				&xtra.CompExpr{Op: xtra.CmpEQ, L: left[i], R: right[i]},
+				pred,
+			),
+		)
+	}
+	return pred
+}
+
+// GroupingSetsRule expands ROLLUP/CUBE/GROUPING SETS into a UNION ALL of
+// simple aggregations for targets without native support (Table 2: "Expand
+// to a union all over simple GROUP BYs").
+type GroupingSetsRule struct{}
+
+// Name implements Rule.
+func (*GroupingSetsRule) Name() string { return "grouping_sets_to_union" }
+
+// ApplyOp implements OpRule.
+func (r *GroupingSetsRule) ApplyOp(op xtra.Op, c *Context) (xtra.Op, bool, error) {
+	agg, ok := op.(*xtra.Agg)
+	if !ok || agg.GroupingSets == nil {
+		return op, false, nil
+	}
+	c.Rec.Record(feature.GroupingSets)
+	outCols := agg.Columns()
+	var result xtra.Op
+	for _, set := range agg.GroupingSets {
+		inSet := make([]bool, len(agg.Groups))
+		for _, i := range set {
+			inSet[i] = true
+		}
+		// Branch aggregation over the selected grouping columns only.
+		branch := &xtra.Agg{Input: agg.Input}
+		branchGroupCol := make(map[int]xtra.Col)
+		for i, g := range agg.Groups {
+			if !inSet[i] {
+				continue
+			}
+			col := c.NewCol(g.Out.Name, g.Out.Type)
+			branch.Groups = append(branch.Groups, xtra.GroupCol{Out: col, Expr: g.Expr})
+			branchGroupCol[i] = col
+		}
+		branchAggCols := make([]xtra.Col, len(agg.Aggs))
+		for i, a := range agg.Aggs {
+			na := a
+			na.Out = c.NewCol(a.Out.Name, a.Out.Type)
+			branchAggCols[i] = na.Out
+			branch.Aggs = append(branch.Aggs, na)
+		}
+		// Project to the full output shape, padding non-grouped columns
+		// with typed NULLs.
+		proj := &xtra.Project{Input: branch}
+		for i, g := range agg.Groups {
+			var e xtra.Scalar
+			if col, ok := branchGroupCol[i]; ok {
+				e = &xtra.ColRef{Col: col}
+			} else {
+				e = &xtra.CastExpr{X: xtra.NewConst(types.NewNull(g.Out.Type.Kind)), To: g.Out.Type, Implicit: true}
+			}
+			proj.Exprs = append(proj.Exprs, xtra.NamedScalar{Col: c.NewCol(g.Out.Name, g.Out.Type), Expr: e})
+		}
+		for i, a := range agg.Aggs {
+			proj.Exprs = append(proj.Exprs, xtra.NamedScalar{
+				Col:  c.NewCol(a.Out.Name, a.Out.Type),
+				Expr: &xtra.ColRef{Col: branchAggCols[i]},
+			})
+		}
+		if result == nil {
+			result = proj
+			continue
+		}
+		result = &xtra.SetOp{Kind: xtra.SetUnion, All: true, L: result, R: proj, Cols: outCols}
+	}
+	if result == nil {
+		return op, false, nil
+	}
+	// A single grouping set still needs the original output identity.
+	if _, ok := result.(*xtra.SetOp); !ok {
+		proj := result.(*xtra.Project)
+		for i := range proj.Exprs {
+			proj.Exprs[i].Col = outCols[i]
+		}
+	}
+	return result, true, nil
+}
+
+// DateArithRule respells DATE +/- integer arithmetic as the canonical
+// DATEADD function for targets whose dialect has no native date arithmetic
+// (the "Date arithmetics" row of Table 2: "Replace by DATEADD function").
+type DateArithRule struct{}
+
+// Name implements Rule.
+func (*DateArithRule) Name() string { return "date_arith_to_dateadd" }
+
+// ApplyScalar implements ScalarRule.
+func (r *DateArithRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar, bool, error) {
+	a, ok := s.(*xtra.ArithExpr)
+	if !ok || a.T.Kind != types.KindDate {
+		return s, false, nil
+	}
+	lk, rk := a.L.Type().Kind, a.R.Type().Kind
+	if (lk == types.KindDate) == (rk == types.KindDate) {
+		return s, false, nil // date-date or already rewritten
+	}
+	c.Rec.Record(feature.DateArith)
+	date, n := a.L, a.R
+	if rk == types.KindDate {
+		date, n = a.R, a.L
+	}
+	if a.Op == types.OpSub {
+		n = &xtra.NegExpr{X: n}
+	}
+	return &xtra.FuncExpr{
+		Name: "DATEADD",
+		Args: []xtra.Scalar{xtra.NewConst(types.NewString("DAY")), n, date},
+		T:    types.Date,
+	}, true, nil
+}

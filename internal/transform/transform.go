@@ -1,0 +1,244 @@
+// Package transform implements the paper's Transformer component (§4.3):
+// "the driver responsible for triggering different transformation rules
+// under given pre-conditions". Rules are pluggable, can cascade, and the
+// driver "takes care of running all relevant transformations repeatedly
+// until reaching a fixed point".
+//
+// Two rule sets exist, matching the paper's staging guidelines (§5):
+//
+//   - Binding-stage rules run right after algebrization and are
+//     target-independent, e.g. expanding Teradata's DATE/INT comparison into
+//     the internal integer encoding (§5.2, Figure 5).
+//   - Serialization-stage rules are target-specific and run right before
+//     SQL generation, e.g. rewriting a quantified vector comparison into a
+//     correlated EXISTS for targets without vector support (§5.3, Figure 6).
+package transform
+
+import (
+	"fmt"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/feature"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+)
+
+// Rule rewrites one scalar or operator node. A rule returns the replacement
+// node and whether it fired; returning the input unchanged with fired=false
+// lets the driver detect the fixed point.
+type Rule interface {
+	Name() string
+}
+
+// ScalarRule rewrites scalar expressions.
+type ScalarRule interface {
+	Rule
+	ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar, bool, error)
+}
+
+// OpRule rewrites relational operators.
+type OpRule interface {
+	Rule
+	ApplyOp(op xtra.Op, c *Context) (xtra.Op, bool, error)
+}
+
+// Context carries transformation state: the target profile (nil for the
+// target-independent binding stage), a feature recorder, and a column
+// factory for rules that must mint new columns.
+type Context struct {
+	Target  *dialect.Profile
+	Rec     *feature.Recorder
+	nextCol xtra.ColumnID
+}
+
+// NewContext creates a transformation context. nextCol must be larger than
+// any ColumnID already allocated in the plan.
+func NewContext(target *dialect.Profile, rec *feature.Recorder, nextCol xtra.ColumnID) *Context {
+	return &Context{Target: target, Rec: rec, nextCol: nextCol}
+}
+
+// NewCol mints a fresh column.
+func (c *Context) NewCol(name string, t types.T) xtra.Col {
+	c.nextCol++
+	return xtra.Col{ID: c.nextCol, Name: name, Type: t}
+}
+
+// Transformer drives a rule set to a fixed point.
+type Transformer struct {
+	rules []Rule
+	// maxPasses bounds the fixed-point iteration as a cycle guard.
+	maxPasses int
+}
+
+// New creates a transformer over the given rules.
+func New(rules ...Rule) *Transformer {
+	return &Transformer{rules: rules, maxPasses: 32}
+}
+
+// BindingStage returns the target-independent rule set applied right after
+// algebrization.
+func BindingStage() *Transformer {
+	return New(
+		&DateIntCompareRule{},
+	)
+}
+
+// SerializationStage returns the target-specific rule set applied right
+// before serialization for the given profile.
+func SerializationStage(target *dialect.Profile) []Rule {
+	var rules []Rule
+	if !target.Supports(dialect.CapVectorSubquery) {
+		rules = append(rules, &VectorSubqueryRule{})
+	}
+	if !target.Supports(dialect.CapGroupingSets) {
+		rules = append(rules, &GroupingSetsRule{})
+	}
+	if !target.Supports(dialect.CapDateArith) {
+		rules = append(rules, &DateArithRule{})
+	}
+	return rules
+}
+
+// Statement transforms a bound statement in place (operators are rebuilt
+// immutably; the returned statement shares unchanged subtrees).
+func (t *Transformer) Statement(stmt xtra.Statement, c *Context) (xtra.Statement, error) {
+	switch s := stmt.(type) {
+	case *xtra.Query:
+		root, err := t.Op(s.Root, c)
+		if err != nil {
+			return nil, err
+		}
+		return &xtra.Query{Root: root}, nil
+	case *xtra.Insert:
+		in, err := t.Op(s.Input, c)
+		if err != nil {
+			return nil, err
+		}
+		return &xtra.Insert{Table: s.Table, Ordinals: s.Ordinals, Input: in}, nil
+	case *xtra.Update:
+		out := &xtra.Update{Table: s.Table, Cols: s.Cols}
+		for _, a := range s.Assigns {
+			e, err := t.Scalar(a.Expr, c)
+			if err != nil {
+				return nil, err
+			}
+			out.Assigns = append(out.Assigns, xtra.ColAssign{Ordinal: a.Ordinal, Expr: e})
+		}
+		if s.Pred != nil {
+			p, err := t.Scalar(s.Pred, c)
+			if err != nil {
+				return nil, err
+			}
+			out.Pred = p
+		}
+		return out, nil
+	case *xtra.Delete:
+		out := &xtra.Delete{Table: s.Table, Cols: s.Cols}
+		if s.Pred != nil {
+			p, err := t.Scalar(s.Pred, c)
+			if err != nil {
+				return nil, err
+			}
+			out.Pred = p
+		}
+		return out, nil
+	case *xtra.CreateTable:
+		if s.Input == nil {
+			return s, nil
+		}
+		in, err := t.Op(s.Input, c)
+		if err != nil {
+			return nil, err
+		}
+		return &xtra.CreateTable{Def: s.Def, Input: in, IfNotExists: s.IfNotExists}, nil
+	default:
+		return stmt, nil
+	}
+}
+
+// Op transforms an operator tree to a fixed point.
+func (t *Transformer) Op(op xtra.Op, c *Context) (xtra.Op, error) {
+	for pass := 0; ; pass++ {
+		if pass > t.maxPasses {
+			return nil, fmt.Errorf("transform: no fixed point after %d passes", t.maxPasses)
+		}
+		next, fired, err := t.opOnce(op, c)
+		if err != nil {
+			return nil, err
+		}
+		op = next
+		if !fired {
+			return op, nil
+		}
+	}
+}
+
+// Scalar transforms a scalar expression to a fixed point.
+func (t *Transformer) Scalar(s xtra.Scalar, c *Context) (xtra.Scalar, error) {
+	for pass := 0; ; pass++ {
+		if pass > t.maxPasses {
+			return nil, fmt.Errorf("transform: no fixed point after %d passes", t.maxPasses)
+		}
+		next, fired, err := t.scalarOnce(s, c)
+		if err != nil {
+			return nil, err
+		}
+		s = next
+		if !fired {
+			return s, nil
+		}
+	}
+}
+
+// opOnce performs one bottom-up rewrite pass over the operator tree.
+func (t *Transformer) opOnce(op xtra.Op, c *Context) (xtra.Op, bool, error) {
+	fired := false
+	// Rewrite children and owned scalars first.
+	next, childFired, err := t.rewriteChildren(op, c)
+	if err != nil {
+		return nil, false, err
+	}
+	op = next
+	fired = fired || childFired
+	// Apply operator rules at this node.
+	for _, r := range t.rules {
+		or, ok := r.(OpRule)
+		if !ok {
+			continue
+		}
+		no, f, err := or.ApplyOp(op, c)
+		if err != nil {
+			return nil, false, err
+		}
+		if f {
+			op = no
+			fired = true
+		}
+	}
+	return op, fired, nil
+}
+
+func (t *Transformer) scalarOnce(s xtra.Scalar, c *Context) (xtra.Scalar, bool, error) {
+	fired := false
+	next, childFired, err := t.rewriteScalarChildren(s, c)
+	if err != nil {
+		return nil, false, err
+	}
+	s = next
+	fired = fired || childFired
+	for _, r := range t.rules {
+		sr, ok := r.(ScalarRule)
+		if !ok {
+			continue
+		}
+		ns, f, err := sr.ApplyScalar(s, c)
+		if err != nil {
+			return nil, false, err
+		}
+		if f {
+			s = ns
+			fired = true
+		}
+	}
+	return s, fired, nil
+}

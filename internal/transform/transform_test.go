@@ -1,0 +1,284 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/catalog"
+	"hyperq/internal/dialect"
+	"hyperq/internal/feature"
+	"hyperq/internal/parser"
+	"hyperq/internal/types"
+	"hyperq/internal/xtra"
+
+	"hyperq/internal/binder"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	for _, tbl := range []*catalog.Table{
+		{Name: "SALES", Columns: []catalog.Column{
+			{Name: "AMOUNT", Type: types.Decimal(12, 2)},
+			{Name: "SALES_DATE", Type: types.Date},
+			{Name: "STORE", Type: types.Int},
+		}},
+		{Name: "SALES_HISTORY", Columns: []catalog.Column{
+			{Name: "GROSS", Type: types.Decimal(12, 2)},
+			{Name: "NET", Type: types.Decimal(12, 2)},
+		}},
+	} {
+		if err := c.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// bindSQL parses and binds a Teradata statement, returning the plan and a
+// context primed past the binder's column ids.
+func bindSQL(t *testing.T, sql string) (xtra.Statement, *feature.Recorder) {
+	t.Helper()
+	rec := &feature.Recorder{}
+	stmt, err := parser.ParseOne(sql, parser.Teradata, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := binder.New(testCatalog(t), parser.Teradata, rec)
+	bound, err := b.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bound, rec
+}
+
+func transformQuery(t *testing.T, tr *Transformer, stmt xtra.Statement, target *dialect.Profile, rec *feature.Recorder) xtra.Op {
+	t.Helper()
+	c := NewContext(target, rec, 10000)
+	out, err := tr.Statement(stmt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.(*xtra.Query).Root
+}
+
+// The paper's Figure 5 rewrite: SALES_DATE > 1140101 expands the date side
+// into DAY + MONTH*100 + (YEAR-1900)*10000.
+func TestDateIntCompareExpansion(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL * FROM SALES WHERE SALES_DATE > 1140101")
+	root := transformQuery(t, BindingStage(), stmt, nil, rec)
+	out := xtra.Format(root)
+	for _, want := range []string{
+		"extract(DAY, SALES_DATE)",
+		"extract(MONTH, SALES_DATE)",
+		"extract(YEAR, SALES_DATE)",
+		"const(100)", "const(1900)", "const(10000)", "const(1140101)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !rec.Set().Has(feature.DateIntCompare) {
+		t.Error("DateIntCompare not recorded by transformer")
+	}
+	// Fixed point: running again changes nothing.
+	c := NewContext(nil, nil, 20000)
+	again, err := BindingStage().Statement(&xtra.Query{Root: root}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xtra.Format(again.(*xtra.Query).Root) != out {
+		t.Error("binding stage is not idempotent")
+	}
+}
+
+func TestDateIntCompareReversedOperands(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL * FROM SALES WHERE 1140101 < SALES_DATE")
+	root := transformQuery(t, BindingStage(), stmt, nil, rec)
+	out := xtra.Format(root)
+	if !strings.Contains(out, "extract(DAY, SALES_DATE)") {
+		t.Errorf("reversed comparison not expanded:\n%s", out)
+	}
+}
+
+// The paper's Figure 6 rewrite: vector subquery to correlated EXISTS with
+// the lexicographic OR/AND expansion.
+func TestVectorSubqueryToExists(t *testing.T) {
+	stmt, rec := bindSQL(t, `
+	  SEL * FROM SALES
+	  WHERE (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY)`)
+	tr := New(SerializationStage(dialect.CloudA())...)
+	root := transformQuery(t, tr, stmt, dialect.CloudA(), rec)
+	out := xtra.Format(root)
+	for _, want := range []string{"subq(EXISTS)", "boolexpr(OR)", "boolexpr(AND)", "comp(GT)", "comp(EQ)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "subq(ANY") {
+		t.Errorf("vector subquery survived:\n%s", out)
+	}
+}
+
+func TestVectorSubqueryKeptForCapableTarget(t *testing.T) {
+	stmt, rec := bindSQL(t, `
+	  SEL * FROM SALES
+	  WHERE (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY)`)
+	// The source profile supports vector subqueries: no rules fire.
+	tr := New(SerializationStage(dialect.TeradataProfile())...)
+	root := transformQuery(t, tr, stmt, dialect.TeradataProfile(), rec)
+	if !strings.Contains(xtra.Format(root), "subq(ANY, GT") {
+		t.Error("vector subquery rewritten despite target support")
+	}
+}
+
+func TestScalarQuantifiedSubqueryUntouched(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL * FROM SALES WHERE AMOUNT > ANY (SEL GROSS FROM SALES_HISTORY)")
+	tr := New(SerializationStage(dialect.CloudA())...)
+	root := transformQuery(t, tr, stmt, dialect.CloudA(), rec)
+	if !strings.Contains(xtra.Format(root), "subq(ANY, GT, [GROSS])") {
+		t.Errorf("scalar ANY rewritten:\n%s", xtra.Format(root))
+	}
+}
+
+func TestLexRowPredAllQuantifier(t *testing.T) {
+	stmt, rec := bindSQL(t, `
+	  SEL * FROM SALES
+	  WHERE (AMOUNT, STORE) <= ALL (SEL GROSS, NET FROM SALES_HISTORY)`)
+	tr := New(SerializationStage(dialect.CloudA())...)
+	root := transformQuery(t, tr, stmt, dialect.CloudA(), rec)
+	out := xtra.Format(root)
+	if !strings.Contains(out, "subq(NOT EXISTS)") {
+		t.Errorf("ALL not rewritten to NOT EXISTS:\n%s", out)
+	}
+	if !strings.Contains(out, "comp(LT)") { // strict part of <=
+		t.Errorf("missing strict comparison:\n%s", out)
+	}
+}
+
+func TestGroupingSetsExpansion(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP(STORE)")
+	tr := New(SerializationStage(dialect.CloudA())...) // CloudA lacks grouping sets
+	root := transformQuery(t, tr, stmt, dialect.CloudA(), rec)
+	out := xtra.Format(root)
+	if !strings.Contains(out, "union_all") {
+		t.Errorf("rollup not expanded to UNION ALL:\n%s", out)
+	}
+	// Two branches: (STORE) and ().
+	if strings.Count(out, "agg[") != 2 {
+		t.Errorf("expected 2 aggregation branches:\n%s", out)
+	}
+	if strings.Contains(out, "sets=") {
+		t.Errorf("grouping sets survived:\n%s", out)
+	}
+}
+
+func TestGroupingSetsKeptForCapableTarget(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP(STORE)")
+	tr := New(SerializationStage(dialect.CloudB())...) // CloudB supports them
+	root := transformQuery(t, tr, stmt, dialect.CloudB(), rec)
+	if !strings.Contains(xtra.Format(root), "sets=2") {
+		t.Error("grouping sets expanded despite target support")
+	}
+}
+
+func TestDateArithToDateAdd(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL SALES_DATE + 30 FROM SALES")
+	tr := New(SerializationStage(dialect.CloudB())...) // CloudB lacks date arith
+	root := transformQuery(t, tr, stmt, dialect.CloudB(), rec)
+	out := xtra.Format(root)
+	if !strings.Contains(out, "func(DATEADD)") {
+		t.Errorf("date arithmetic not rewritten:\n%s", out)
+	}
+	// Subtraction negates the count.
+	stmt2, rec2 := bindSQL(t, "SEL SALES_DATE - 7 FROM SALES")
+	root2 := transformQuery(t, tr, stmt2, dialect.CloudB(), rec2)
+	out2 := xtra.Format(root2)
+	if !strings.Contains(out2, "neg") {
+		t.Errorf("subtraction not negated:\n%s", out2)
+	}
+}
+
+func TestDateArithKeptForCapableTarget(t *testing.T) {
+	stmt, rec := bindSQL(t, "SEL SALES_DATE + 30 FROM SALES")
+	tr := New(SerializationStage(dialect.CloudA())...) // CloudA has date arith
+	root := transformQuery(t, tr, stmt, dialect.CloudA(), rec)
+	if strings.Contains(xtra.Format(root), "DATEADD") {
+		t.Error("date arithmetic rewritten despite target support")
+	}
+}
+
+// End-to-end: the full Example 2 pipeline (binding stage + CloudA
+// serialization stage) produces the Figure 6 shape.
+func TestExample2FullTransformation(t *testing.T) {
+	stmt, rec := bindSQL(t, `
+	  SEL * FROM SALES
+	  WHERE SALES_DATE > 1140101
+	    AND (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY)
+	  QUALIFY RANK(AMOUNT DESC) <= 10`)
+	c := NewContext(nil, rec, 10000)
+	mid, err := BindingStage().Statement(stmt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(SerializationStage(dialect.CloudA())...)
+	final, err := tr.Statement(mid, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := xtra.Format(final.(*xtra.Query).Root)
+	for _, want := range []string{
+		"window(RANK, DESC, AMOUNT)",
+		"extract(DAY, SALES_DATE)",
+		"subq(EXISTS)",
+		"boolexpr(OR)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 6 shape missing %q:\n%s", want, out)
+		}
+	}
+	fs := rec.Set()
+	for _, want := range []feature.ID{feature.DateIntCompare, feature.VectorSubquery, feature.Qualify, feature.TdRank} {
+		if !fs.Has(want) {
+			t.Errorf("feature %s missing", feature.Lookup(want).Name)
+		}
+	}
+}
+
+func TestTransformDMLStatements(t *testing.T) {
+	stmt, rec := bindSQL(t, "UPD SALES SET STORE = 1 WHERE SALES_DATE > 1140101")
+	c := NewContext(nil, rec, 10000)
+	out, err := BindingStage().Statement(stmt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := out.(*xtra.Update)
+	pred := xtra.FormatScalar(upd.Pred)
+	if !strings.Contains(pred, "extract(DAY, SALES_DATE)") {
+		t.Errorf("UPDATE predicate not transformed:\n%s", pred)
+	}
+}
+
+func TestNoOpPassThrough(t *testing.T) {
+	stmt, rec := bindSQL(t, "COLLECT STATISTICS ON SALES")
+	c := NewContext(nil, rec, 10000)
+	out, err := BindingStage().Statement(stmt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(*xtra.NoOp); !ok {
+		t.Fatalf("NoOp transformed into %T", out)
+	}
+}
+
+func TestContextNewCol(t *testing.T) {
+	c := NewContext(nil, nil, 500)
+	col := c.NewCol("x", types.Int)
+	if col.ID != 501 || col.Name != "x" {
+		t.Errorf("NewCol = %+v", col)
+	}
+	col2 := c.NewCol("y", types.Float)
+	if col2.ID != 502 {
+		t.Errorf("IDs not monotonic: %+v", col2)
+	}
+}

@@ -1,0 +1,254 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustArith(t *testing.T, op ArithOp, l, r Datum) Datum {
+	t.Helper()
+	d, err := Arith(op, l, r)
+	if err != nil {
+		t.Fatalf("Arith(%v %s %v): %v", l, op, r, err)
+	}
+	return d
+}
+
+func TestIntArith(t *testing.T) {
+	if got := mustArith(t, OpAdd, NewInt(2), NewInt(3)); got.I != 5 || got.K != KindInt {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustArith(t, OpDiv, NewInt(7), NewInt(2)); got.I != 3 {
+		t.Errorf("integer division 7/2 = %v, want 3", got)
+	}
+	if got := mustArith(t, OpMod, NewInt(7), NewInt(3)); got.I != 1 {
+		t.Errorf("7 MOD 3 = %v", got)
+	}
+	if got := mustArith(t, OpMul, NewInt(4), NewBigInt(5)); got.K != KindBigInt || got.I != 20 {
+		t.Errorf("int*bigint = %v", got)
+	}
+}
+
+func TestFloatPromotion(t *testing.T) {
+	got := mustArith(t, OpDiv, NewInt(7), NewFloat(2))
+	if got.K != KindFloat || got.F != 3.5 {
+		t.Errorf("7/2.0 = %v", got)
+	}
+}
+
+func TestDecimalArith(t *testing.T) {
+	a := NewDecimal(1050, 2) // 10.50
+	b := NewDecimal(25, 1)   // 2.5
+	if got := mustArith(t, OpAdd, a, b); got.String() != "13.00" {
+		t.Errorf("10.50+2.5 = %s", got)
+	}
+	if got := mustArith(t, OpSub, a, b); got.String() != "8.00" {
+		t.Errorf("10.50-2.5 = %s", got)
+	}
+	if got := mustArith(t, OpMul, a, b); got.String() != "26.250" {
+		t.Errorf("10.50*2.5 = %s", got)
+	}
+	// The paper's Example 2 expression AMOUNT * 0.85.
+	amount := NewDecimal(10000, 2) // 100.00
+	rate := NewDecimal(85, 2)      // 0.85
+	if got := mustArith(t, OpMul, amount, rate); got.String() != "85.0000" {
+		t.Errorf("100.00*0.85 = %s", got)
+	}
+	div := mustArith(t, OpDiv, a, b)
+	if div.AsFloat() != 4.2 {
+		t.Errorf("10.50/2.5 = %s", div)
+	}
+}
+
+func TestDecimalIntMix(t *testing.T) {
+	if got := mustArith(t, OpAdd, NewDecimal(150, 2), NewInt(1)); got.String() != "2.50" {
+		t.Errorf("1.50+1 = %s", got)
+	}
+}
+
+func TestDateArith(t *testing.T) {
+	d := NewDate(2014, 1, 1)
+	if got := mustArith(t, OpAdd, d, NewInt(31)); got.String() != "2014-02-01" {
+		t.Errorf("date+31 = %s", got)
+	}
+	if got := mustArith(t, OpSub, d, NewInt(1)); got.String() != "2013-12-31" {
+		t.Errorf("date-1 = %s", got)
+	}
+	if got := mustArith(t, OpAdd, NewInt(1), d); got.String() != "2014-01-02" {
+		t.Errorf("1+date = %s", got)
+	}
+	if got := mustArith(t, OpSub, NewDate(2014, 2, 1), d); got.I != 31 {
+		t.Errorf("date-date = %v", got)
+	}
+	if _, err := Arith(OpMul, d, NewInt(2)); err == nil {
+		t.Error("date*int should fail")
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	got := mustArith(t, OpAdd, NewNull(KindInt), NewInt(1))
+	if !got.Null || got.K != KindInt {
+		t.Errorf("NULL+1 = %v", got)
+	}
+	got = mustArith(t, OpMul, NewFloat(2), NewNull(KindFloat))
+	if !got.Null {
+		t.Errorf("2.0*NULL = %v", got)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, pair := range [][2]Datum{
+		{NewInt(1), NewInt(0)},
+		{NewFloat(1), NewFloat(0)},
+		{NewDecimal(100, 2), NewDecimal(0, 2)},
+	} {
+		if _, err := Arith(OpDiv, pair[0], pair[1]); err == nil {
+			t.Errorf("%v/%v should fail", pair[0], pair[1])
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if got, _ := Neg(NewInt(5)); got.I != -5 {
+		t.Errorf("Neg(5) = %v", got)
+	}
+	if got, _ := Neg(NewDecimal(150, 2)); got.String() != "-1.50" {
+		t.Errorf("Neg(1.50) = %v", got)
+	}
+	if got, _ := Neg(NewFloat(2.5)); got.F != -2.5 {
+		t.Errorf("Neg(2.5) = %v", got)
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("Neg of string should fail")
+	}
+	if got, _ := Neg(NewNull(KindInt)); !got.Null {
+		t.Error("Neg(NULL) should be NULL")
+	}
+}
+
+func TestCastNumeric(t *testing.T) {
+	if got, err := Cast(NewString(" 42 "), Int); err != nil || got.I != 42 {
+		t.Errorf("cast ' 42 ' to int: %v %v", got, err)
+	}
+	if got, err := Cast(NewFloat(3.99), BigInt); err != nil || got.I != 3 {
+		t.Errorf("cast 3.99 to bigint: %v %v", got, err)
+	}
+	if got, err := Cast(NewInt(5), Decimal(10, 2)); err != nil || got.String() != "5.00" {
+		t.Errorf("cast 5 to decimal: %v %v", got, err)
+	}
+	if _, err := Cast(NewString("abc"), Int); err == nil {
+		t.Error("cast 'abc' to int should fail")
+	}
+}
+
+func TestCastStrings(t *testing.T) {
+	if got, _ := Cast(NewInt(42), VarChar(0)); got.S != "42" {
+		t.Errorf("int to varchar: %q", got.S)
+	}
+	if got, _ := Cast(NewString("hello"), Char(8)); got.S != "hello   " {
+		t.Errorf("char padding: %q", got.S)
+	}
+	if got, _ := Cast(NewString("hello"), VarChar(3)); got.S != "hel" {
+		t.Errorf("varchar truncation: %q", got.S)
+	}
+}
+
+func TestCastTemporal(t *testing.T) {
+	if got, err := Cast(NewString("2014-01-01"), Date); err != nil || got.String() != "2014-01-01" {
+		t.Errorf("string to date: %v %v", got, err)
+	}
+	// Teradata int<->date casts via internal encoding.
+	if got, err := Cast(NewInt(1140101), Date); err != nil || got.String() != "2014-01-01" {
+		t.Errorf("int to date: %v %v", got, err)
+	}
+	if got, err := Cast(NewDate(2014, 1, 1), Int); err != nil || got.I != 1140101 {
+		t.Errorf("date to int: %v %v", got, err)
+	}
+	ts, err := Cast(NewDate(2014, 1, 1), Timestamp)
+	if err != nil || ts.String() != "2014-01-01 00:00:00" {
+		t.Errorf("date to timestamp: %v %v", ts, err)
+	}
+	back, err := Cast(ts, Date)
+	if err != nil || back.String() != "2014-01-01" {
+		t.Errorf("timestamp to date: %v %v", back, err)
+	}
+}
+
+func TestCastNull(t *testing.T) {
+	got, err := Cast(NewNull(KindVarChar), Int)
+	if err != nil || !got.Null || got.K != KindInt {
+		t.Errorf("cast NULL: %v %v", got, err)
+	}
+}
+
+func TestArithResultTypeMatchesRuntime(t *testing.T) {
+	// Property: the statically derived type kind always matches the runtime
+	// result kind for non-null numeric operands.
+	f := func(a, b int32, opn uint8) bool {
+		op := ArithOp(opn % 4)
+		l, r := NewInt(int64(a)), NewDecimal(int64(b), 2)
+		rt, err1 := ArithResultType(op, l.Type(), r.Type())
+		got, err2 := Arith(op, l, r)
+		if err1 != nil || err2 != nil {
+			// Division by zero is the only runtime-only failure.
+			return op == OpDiv && r.I == 0
+		}
+		return got.K == rt.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with arithmetic on
+// decimals of mixed scale.
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int32, sa, sb uint8) bool {
+		da := NewDecimal(int64(a), int(sa%4))
+		db := NewDecimal(int64(b), int(sb%4))
+		c1, err1 := Compare(da, db)
+		c2, err2 := Compare(db, da)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 == -c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonSupertype(t *testing.T) {
+	cases := []struct {
+		a, b, want T
+	}{
+		{Int, BigInt, BigInt},
+		{Int, Float, Float},
+		{Decimal(10, 2), Int, Decimal(10, 2)},
+		{Decimal(10, 2), Float, Float},
+		{Char(3), VarChar(10), VarChar(10)},
+		{Null, Int, Int},
+		{Date, Timestamp, Timestamp},
+	}
+	for _, c := range cases {
+		got, err := CommonSupertype(c.a, c.b)
+		if err != nil {
+			t.Fatalf("CommonSupertype(%s,%s): %v", c.a, c.b, err)
+		}
+		if got.Kind != c.want.Kind {
+			t.Errorf("CommonSupertype(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := CommonSupertype(Int, Date); err == nil {
+		t.Error("Int/Date should have no common supertype (Teradata exception is a rewrite)")
+	}
+}
+
+func TestCanCompare(t *testing.T) {
+	if !CanCompare(Int, Decimal(10, 2)) || !CanCompare(Char(1), VarChar(9)) || !CanCompare(Null, Date) {
+		t.Error("CanCompare false negative")
+	}
+	if CanCompare(Date, Int) {
+		t.Error("DATE/INT must not be directly comparable (paper §5.2)")
+	}
+}

@@ -1,0 +1,321 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Calendar arithmetic for the DATE/TIMESTAMP datums. DATE values carry a
+// civil encoding y*10000 + m*100 + d; TIMESTAMP values carry Unix
+// microseconds. Teradata's internal integer DATE encoding (the one Example 2
+// in the paper compares against INT literals) is (y-1900)*10000 + m*100 + d,
+// i.e. the civil encoding minus 19_000_000.
+
+// TeradataDateOffset converts between the civil DATE encoding and Teradata's
+// internal integer encoding: teradataInt = civilEnc - TeradataDateOffset.
+const TeradataDateOffset = 19000000
+
+// DecodeDate splits a civil DATE encoding into year, month, day.
+func DecodeDate(enc int64) (y, m, d int) {
+	y = int(enc / 10000)
+	m = int((enc / 100) % 100)
+	d = int(enc % 100)
+	return y, m, d
+}
+
+// EncodeDate packs year, month, day into the civil DATE encoding.
+func EncodeDate(y, m, d int) int64 {
+	return int64(y)*10000 + int64(m)*100 + int64(d)
+}
+
+// TeradataDateInt returns the Teradata internal integer for a DATE datum,
+// e.g. 2014-01-01 -> 1140101.
+func TeradataDateInt(d Datum) int64 { return d.I - TeradataDateOffset }
+
+// DateFromTeradataInt builds a DATE datum from a Teradata internal integer.
+func DateFromTeradataInt(v int64) Datum { return NewDateEnc(v + TeradataDateOffset) }
+
+var daysInMonth = [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func isLeap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+
+func monthDays(y, m int) int {
+	if m == 2 && isLeap(y) {
+		return 29
+	}
+	return daysInMonth[m]
+}
+
+// ValidDate reports whether the civil components form a real calendar date.
+func ValidDate(y, m, d int) bool {
+	return y >= 1 && y <= 9999 && m >= 1 && m <= 12 && d >= 1 && d <= monthDays(y, m)
+}
+
+// DateToEpochDays converts a civil DATE encoding to days since 1970-01-01
+// using the standard proleptic-Gregorian algorithm.
+func DateToEpochDays(enc int64) int64 {
+	y, m, d := DecodeDate(enc)
+	// Howard Hinnant's days_from_civil.
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	era := yy / 400
+	if yy < 0 && yy%400 != 0 {
+		era--
+	}
+	yoe := yy - era*400
+	mm := int64(m)
+	var doy int64
+	if mm > 2 {
+		doy = (153*(mm-3)+2)/5 + int64(d) - 1
+	} else {
+		doy = (153*(mm+9)+2)/5 + int64(d) - 1
+	}
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+// EpochDaysToDate converts days since 1970-01-01 to a civil DATE encoding.
+func EpochDaysToDate(z int64) int64 {
+	z += 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d := doy - (153*mp+2)/5 + 1
+	var m int64
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return EncodeDate(int(y), int(m), int(d))
+}
+
+// AddDays returns the DATE datum d shifted by n calendar days.
+func AddDays(d Datum, n int64) Datum {
+	return NewDateEnc(EpochDaysToDate(DateToEpochDays(d.I) + n))
+}
+
+// AddMonths implements Teradata's ADD_MONTHS: shifts by n months, clamping
+// the day to the end of the target month.
+func AddMonths(d Datum, n int64) Datum {
+	y, m, dd := DecodeDate(d.I)
+	total := int64(y)*12 + int64(m-1) + n
+	ny := int(total / 12)
+	nm := int(total%12) + 1
+	if total < 0 && total%12 != 0 {
+		ny--
+		nm += 12
+	}
+	if md := monthDays(ny, nm); dd > md {
+		dd = md
+	}
+	return NewDate(ny, nm, dd)
+}
+
+// DiffDays returns a - b in calendar days.
+func DiffDays(a, b Datum) int64 {
+	return DateToEpochDays(a.I) - DateToEpochDays(b.I)
+}
+
+// ExtractField identifies a component for EXTRACT.
+type ExtractField uint8
+
+// Extractable fields.
+const (
+	FieldYear ExtractField = iota
+	FieldMonth
+	FieldDay
+	FieldHour
+	FieldMinute
+	FieldSecond
+)
+
+func (f ExtractField) String() string {
+	switch f {
+	case FieldYear:
+		return "YEAR"
+	case FieldMonth:
+		return "MONTH"
+	case FieldDay:
+		return "DAY"
+	case FieldHour:
+		return "HOUR"
+	case FieldMinute:
+		return "MINUTE"
+	case FieldSecond:
+		return "SECOND"
+	}
+	return "?"
+}
+
+// ParseExtractField resolves the SQL name of an EXTRACT field.
+func ParseExtractField(s string) (ExtractField, bool) {
+	switch strings.ToUpper(s) {
+	case "YEAR":
+		return FieldYear, true
+	case "MONTH":
+		return FieldMonth, true
+	case "DAY":
+		return FieldDay, true
+	case "HOUR":
+		return FieldHour, true
+	case "MINUTE":
+		return FieldMinute, true
+	case "SECOND":
+		return FieldSecond, true
+	}
+	return 0, false
+}
+
+const microsPerSecond = 1_000_000
+
+// Extract evaluates EXTRACT(field FROM d) for DATE, TIME and TIMESTAMP.
+func Extract(f ExtractField, d Datum) (Datum, error) {
+	if d.Null {
+		return NewNull(KindInt), nil
+	}
+	switch d.K {
+	case KindDate:
+		y, m, dd := DecodeDate(d.I)
+		switch f {
+		case FieldYear:
+			return NewInt(int64(y)), nil
+		case FieldMonth:
+			return NewInt(int64(m)), nil
+		case FieldDay:
+			return NewInt(int64(dd)), nil
+		}
+	case KindTime:
+		switch f {
+		case FieldHour:
+			return NewInt(d.I / 3600), nil
+		case FieldMinute:
+			return NewInt((d.I / 60) % 60), nil
+		case FieldSecond:
+			return NewInt(d.I % 60), nil
+		}
+	case KindTimestamp:
+		secs := d.I / microsPerSecond
+		days := secs / 86400
+		rem := secs % 86400
+		if rem < 0 {
+			days--
+			rem += 86400
+		}
+		switch f {
+		case FieldYear, FieldMonth, FieldDay:
+			return Extract(f, NewDateEnc(EpochDaysToDate(days)))
+		case FieldHour:
+			return NewInt(rem / 3600), nil
+		case FieldMinute:
+			return NewInt((rem / 60) % 60), nil
+		case FieldSecond:
+			return NewInt(rem % 60), nil
+		}
+	}
+	return Datum{}, fmt.Errorf("types: cannot EXTRACT(%s) from %s", f, d.K)
+}
+
+// ParseDateLiteral parses 'YYYY-MM-DD' (also YYYY/MM/DD) into a DATE datum.
+func ParseDateLiteral(s string) (Datum, error) {
+	s = strings.TrimSpace(s)
+	sep := "-"
+	if strings.Contains(s, "/") {
+		sep = "/"
+	}
+	parts := strings.Split(s, sep)
+	if len(parts) != 3 {
+		return Datum{}, fmt.Errorf("types: invalid DATE literal %q", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || !ValidDate(y, m, d) {
+		return Datum{}, fmt.Errorf("types: invalid DATE literal %q", s)
+	}
+	return NewDate(y, m, d), nil
+}
+
+// ParseTimestampLiteral parses 'YYYY-MM-DD HH:MM:SS[.ffffff]'.
+func ParseTimestampLiteral(s string) (Datum, error) {
+	s = strings.TrimSpace(s)
+	datePart := s
+	timePart := ""
+	if i := strings.IndexAny(s, " T"); i >= 0 {
+		datePart, timePart = s[:i], s[i+1:]
+	}
+	d, err := ParseDateLiteral(datePart)
+	if err != nil {
+		return Datum{}, fmt.Errorf("types: invalid TIMESTAMP literal %q", s)
+	}
+	micros := DateToEpochDays(d.I) * 86400 * microsPerSecond
+	if timePart != "" {
+		secs, frac, err := parseTimeOfDay(timePart)
+		if err != nil {
+			return Datum{}, fmt.Errorf("types: invalid TIMESTAMP literal %q", s)
+		}
+		micros += secs*microsPerSecond + frac
+	}
+	return NewTimestamp(micros), nil
+}
+
+// ParseTimeLiteral parses 'HH:MM:SS' into a TIME datum.
+func ParseTimeLiteral(s string) (Datum, error) {
+	secs, _, err := parseTimeOfDay(strings.TrimSpace(s))
+	if err != nil {
+		return Datum{}, fmt.Errorf("types: invalid TIME literal %q", s)
+	}
+	return NewTime(secs), nil
+}
+
+func parseTimeOfDay(s string) (secs int64, micros int64, err error) {
+	frac := ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		s, frac = s[:i], s[i+1:]
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, fmt.Errorf("bad time %q", s)
+	}
+	h, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	sec, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || h < 0 || h > 23 || m < 0 || m > 59 || sec < 0 || sec > 59 {
+		return 0, 0, fmt.Errorf("bad time %q", s)
+	}
+	if frac != "" {
+		for len(frac) < 6 {
+			frac += "0"
+		}
+		micros, err = strconv.ParseInt(frac[:6], 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return int64(h)*3600 + int64(m)*60 + int64(sec), micros, nil
+}
+
+// FormatTimestamp renders Unix microseconds as 'YYYY-MM-DD HH:MM:SS'.
+func FormatTimestamp(micros int64) string {
+	secs := micros / microsPerSecond
+	days := secs / 86400
+	rem := secs % 86400
+	if rem < 0 {
+		days--
+		rem += 86400
+	}
+	y, m, d := DecodeDate(EpochDaysToDate(days))
+	return fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d", y, m, d, rem/3600, (rem/60)%60, rem%60)
+}

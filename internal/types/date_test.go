@@ -1,0 +1,186 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochDaysRoundTrip(t *testing.T) {
+	cases := []struct {
+		enc  int64
+		days int64
+	}{
+		{EncodeDate(1970, 1, 1), 0},
+		{EncodeDate(1970, 1, 2), 1},
+		{EncodeDate(1969, 12, 31), -1},
+		{EncodeDate(2000, 3, 1), 11017},
+		{EncodeDate(2014, 1, 1), 16071},
+	}
+	for _, c := range cases {
+		if got := DateToEpochDays(c.enc); got != c.days {
+			t.Errorf("DateToEpochDays(%d) = %d, want %d", c.enc, got, c.days)
+		}
+		if got := EpochDaysToDate(c.days); got != c.enc {
+			t.Errorf("EpochDaysToDate(%d) = %d, want %d", c.days, got, c.enc)
+		}
+	}
+}
+
+// Property: our civil-date conversion agrees with the standard library over
+// a wide range of epoch days.
+func TestEpochDaysMatchesStdlib(t *testing.T) {
+	f := func(n int32) bool {
+		days := int64(n % 200000) // ± ~547 years around the epoch
+		enc := EpochDaysToDate(days)
+		y, m, d := DecodeDate(enc)
+		tm := time.Unix(days*86400, 0).UTC()
+		return tm.Year() == y && int(tm.Month()) == m && tm.Day() == d &&
+			DateToEpochDays(enc) == days
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeradataDateInt(t *testing.T) {
+	// The paper's Example 2: 1140101 is the internal form of 2014-01-01.
+	d := NewDate(2014, 1, 1)
+	if got := TeradataDateInt(d); got != 1140101 {
+		t.Errorf("TeradataDateInt = %d, want 1140101", got)
+	}
+	if got := DateFromTeradataInt(1140101); got.I != d.I {
+		t.Errorf("DateFromTeradataInt mismatch: %v", got)
+	}
+	// And the rewrite formula DAY + MONTH*100 + (YEAR-1900)*10000.
+	y, m, dd := DecodeDate(d.I)
+	if int64(dd)+int64(m)*100+int64(y-1900)*10000 != 1140101 {
+		t.Error("rewrite formula does not match internal encoding")
+	}
+}
+
+func TestAddDays(t *testing.T) {
+	d := NewDate(2020, 2, 28)
+	if got := AddDays(d, 1); got.String() != "2020-02-29" {
+		t.Errorf("leap day: %s", got)
+	}
+	if got := AddDays(d, 2); got.String() != "2020-03-01" {
+		t.Errorf("leap rollover: %s", got)
+	}
+	if got := AddDays(NewDate(2021, 1, 1), -1); got.String() != "2020-12-31" {
+		t.Errorf("year rollback: %s", got)
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		in   Datum
+		n    int64
+		want string
+	}{
+		{NewDate(2020, 1, 31), 1, "2020-02-29"}, // clamp to leap February
+		{NewDate(2019, 1, 31), 1, "2019-02-28"},
+		{NewDate(2020, 11, 30), 3, "2021-02-28"},
+		{NewDate(2020, 3, 15), -3, "2019-12-15"},
+		{NewDate(2020, 6, 30), 0, "2020-06-30"},
+	}
+	for _, c := range cases {
+		if got := AddMonths(c.in, c.n); got.String() != c.want {
+			t.Errorf("AddMonths(%s, %d) = %s, want %s", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDiffDays(t *testing.T) {
+	a, b := NewDate(2020, 3, 1), NewDate(2020, 2, 1)
+	if got := DiffDays(a, b); got != 29 {
+		t.Errorf("DiffDays = %d, want 29", got)
+	}
+	if got := DiffDays(b, a); got != -29 {
+		t.Errorf("DiffDays = %d, want -29", got)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	d := NewDate(2014, 7, 23)
+	for _, c := range []struct {
+		f    ExtractField
+		want int64
+	}{{FieldYear, 2014}, {FieldMonth, 7}, {FieldDay, 23}} {
+		got, err := Extract(c.f, d)
+		if err != nil || got.I != c.want {
+			t.Errorf("Extract(%s) = %v, %v; want %d", c.f, got, err, c.want)
+		}
+	}
+	ts, err := ParseTimestampLiteral("2014-07-23 13:45:06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		f    ExtractField
+		want int64
+	}{{FieldYear, 2014}, {FieldHour, 13}, {FieldMinute, 45}, {FieldSecond, 6}} {
+		got, err := Extract(c.f, ts)
+		if err != nil || got.I != c.want {
+			t.Errorf("Extract(%s, ts) = %v, %v; want %d", c.f, got, err, c.want)
+		}
+	}
+	if _, err := Extract(FieldHour, d); err == nil {
+		t.Error("Extract(HOUR, date) should fail")
+	}
+	if got, err := Extract(FieldYear, NewNull(KindDate)); err != nil || !got.Null {
+		t.Error("Extract of NULL should be NULL")
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	d, err := ParseDateLiteral("2014-01-01")
+	if err != nil || d.I != EncodeDate(2014, 1, 1) {
+		t.Fatalf("ParseDateLiteral: %v %v", d, err)
+	}
+	if _, err := ParseDateLiteral("2014-02-30"); err == nil {
+		t.Error("accepted invalid date")
+	}
+	if _, err := ParseDateLiteral("garbage"); err == nil {
+		t.Error("accepted garbage")
+	}
+	d2, err := ParseDateLiteral("1999/12/31")
+	if err != nil || d2.String() != "1999-12-31" {
+		t.Errorf("slash form: %v %v", d2, err)
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		// Keep within years 1902..2038 so the civil year stays in the
+		// parseable 1..9999 range.
+		micros := int64(n) * microsPerSecond
+		s := FormatTimestamp(micros)
+		back, err := ParseTimestampLiteral(s)
+		return err == nil && back.I == micros
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTimeLiteral(t *testing.T) {
+	d, err := ParseTimeLiteral("13:05:09")
+	if err != nil || d.I != 13*3600+5*60+9 {
+		t.Fatalf("ParseTimeLiteral: %v %v", d, err)
+	}
+	if _, err := ParseTimeLiteral("25:00:00"); err == nil {
+		t.Error("accepted invalid hour")
+	}
+}
+
+func TestParseExtractField(t *testing.T) {
+	for _, s := range []string{"YEAR", "month", "Day", "HOUR", "minute", "SECOND"} {
+		if _, ok := ParseExtractField(s); !ok {
+			t.Errorf("ParseExtractField(%q) failed", s)
+		}
+	}
+	if _, ok := ParseExtractField("EPOCH"); ok {
+		t.Error("accepted unsupported field")
+	}
+}

@@ -1,0 +1,209 @@
+// Package types implements the SQL type system shared by every layer of the
+// Hyper-Q reproduction: the Teradata frontend dialect, the XTRA algebra, the
+// cloud-engine substrate, and the wire/TDF encodings.
+//
+// The type system deliberately includes the vendor-specific behaviours the
+// paper calls out: Teradata's internal integer encoding of DATE values
+// (Section 5.2), the compound PERIOD type (Section 2.2.2), and fixed-point
+// DECIMAL arithmetic.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the physical type families understood by the system.
+type Kind uint8
+
+// The supported type kinds. KindNull is the type of an untyped NULL literal
+// before coercion.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt     // 32-bit INTEGER (also SMALLINT, BYTEINT after widening)
+	KindBigInt  // 64-bit BIGINT
+	KindFloat   // FLOAT / DOUBLE PRECISION / REAL
+	KindDecimal // DECIMAL(p,s), fixed point
+	KindChar    // CHAR(n), blank padded
+	KindVarChar // VARCHAR(n)
+	KindDate    // DATE
+	KindTime    // TIME
+	KindTimestamp
+	KindPeriod // PERIOD(DATE) / PERIOD(TIMESTAMP): Teradata compound type
+	KindBytes  // BYTE / VARBYTE
+	KindInterval
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindBigInt:
+		return "BIGINT"
+	case KindFloat:
+		return "FLOAT"
+	case KindDecimal:
+		return "DECIMAL"
+	case KindChar:
+		return "CHAR"
+	case KindVarChar:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindTime:
+		return "TIME"
+	case KindTimestamp:
+		return "TIMESTAMP"
+	case KindPeriod:
+		return "PERIOD"
+	case KindBytes:
+		return "BYTES"
+	case KindInterval:
+		return "INTERVAL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// T is a fully resolved SQL type.
+type T struct {
+	Kind      Kind
+	Length    int  // CHAR/VARCHAR/BYTES declared length; 0 = unbounded
+	Precision int  // DECIMAL precision
+	Scale     int  // DECIMAL scale
+	Elem      Kind // PERIOD element kind (KindDate or KindTimestamp)
+}
+
+// Convenience constructors for the common types.
+var (
+	Null      = T{Kind: KindNull}
+	Bool      = T{Kind: KindBool}
+	Int       = T{Kind: KindInt}
+	BigInt    = T{Kind: KindBigInt}
+	Float     = T{Kind: KindFloat}
+	Date      = T{Kind: KindDate}
+	Time      = T{Kind: KindTime}
+	Timestamp = T{Kind: KindTimestamp}
+	Interval  = T{Kind: KindInterval}
+)
+
+// Decimal returns a DECIMAL(p,s) type.
+func Decimal(p, s int) T { return T{Kind: KindDecimal, Precision: p, Scale: s} }
+
+// Char returns a CHAR(n) type.
+func Char(n int) T { return T{Kind: KindChar, Length: n} }
+
+// VarChar returns a VARCHAR(n) type; n == 0 means unbounded.
+func VarChar(n int) T { return T{Kind: KindVarChar, Length: n} }
+
+// Period returns a PERIOD(elem) compound type.
+func Period(elem Kind) T { return T{Kind: KindPeriod, Elem: elem} }
+
+// Bytes returns a VARBYTE(n) type.
+func Bytes(n int) T { return T{Kind: KindBytes, Length: n} }
+
+// String renders the type in SQL syntax.
+func (t T) String() string {
+	switch t.Kind {
+	case KindDecimal:
+		return fmt.Sprintf("DECIMAL(%d,%d)", t.Precision, t.Scale)
+	case KindChar:
+		if t.Length > 0 {
+			return fmt.Sprintf("CHAR(%d)", t.Length)
+		}
+		return "CHAR"
+	case KindVarChar:
+		if t.Length > 0 {
+			return fmt.Sprintf("VARCHAR(%d)", t.Length)
+		}
+		return "VARCHAR"
+	case KindPeriod:
+		return fmt.Sprintf("PERIOD(%s)", t.Elem)
+	case KindBytes:
+		if t.Length > 0 {
+			return fmt.Sprintf("VARBYTE(%d)", t.Length)
+		}
+		return "VARBYTE"
+	}
+	return t.Kind.String()
+}
+
+// Equal reports whether two types are identical, ignoring CHAR/VARCHAR
+// declared lengths (which do not affect runtime semantics here).
+func (t T) Equal(o T) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindDecimal:
+		return t.Scale == o.Scale
+	case KindPeriod:
+		return t.Elem == o.Elem
+	}
+	return true
+}
+
+// IsNumeric reports whether the type participates in numeric arithmetic.
+func (t T) IsNumeric() bool {
+	switch t.Kind {
+	case KindInt, KindBigInt, KindFloat, KindDecimal:
+		return true
+	}
+	return false
+}
+
+// IsString reports whether the type is a character string type.
+func (t T) IsString() bool { return t.Kind == KindChar || t.Kind == KindVarChar }
+
+// IsTemporal reports whether the type is a date/time type.
+func (t T) IsTemporal() bool {
+	switch t.Kind {
+	case KindDate, KindTime, KindTimestamp:
+		return true
+	}
+	return false
+}
+
+// ParseTypeName resolves a SQL type name (as appearing in DDL) to a type.
+// It accepts both Teradata and ANSI spellings.
+func ParseTypeName(name string, args ...int) (T, error) {
+	arg := func(i, def int) int {
+		if i < len(args) {
+			return args[i]
+		}
+		return def
+	}
+	switch strings.ToUpper(name) {
+	case "BYTEINT", "SMALLINT", "INT", "INTEGER":
+		return Int, nil
+	case "BIGINT":
+		return BigInt, nil
+	case "FLOAT", "REAL", "DOUBLE", "DOUBLE PRECISION":
+		return Float, nil
+	case "DECIMAL", "DEC", "NUMERIC", "NUMBER":
+		return Decimal(arg(0, 18), arg(1, 0)), nil
+	case "CHAR", "CHARACTER":
+		return Char(arg(0, 1)), nil
+	case "VARCHAR", "CHARACTER VARYING", "CHAR VARYING", "TEXT":
+		return VarChar(arg(0, 0)), nil
+	case "DATE":
+		return Date, nil
+	case "TIME":
+		return Time, nil
+	case "TIMESTAMP":
+		return Timestamp, nil
+	case "BOOLEAN", "BOOL":
+		return Bool, nil
+	case "BYTE", "VARBYTE", "BLOB":
+		return Bytes(arg(0, 0)), nil
+	case "PERIOD(DATE)":
+		return Period(KindDate), nil
+	case "PERIOD(TIMESTAMP)":
+		return Period(KindTimestamp), nil
+	}
+	return Null, fmt.Errorf("types: unknown type name %q", name)
+}

@@ -1,0 +1,218 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestParseTypeName(t *testing.T) {
+	cases := []struct {
+		name string
+		args []int
+		want T
+	}{
+		{"INTEGER", nil, Int},
+		{"int", nil, Int},
+		{"BIGINT", nil, BigInt},
+		{"FLOAT", nil, Float},
+		{"DECIMAL", []int{10, 2}, Decimal(10, 2)},
+		{"NUMERIC", []int{5}, Decimal(5, 0)},
+		{"CHAR", []int{8}, Char(8)},
+		{"VARCHAR", []int{100}, VarChar(100)},
+		{"DATE", nil, Date},
+		{"TIMESTAMP", nil, Timestamp},
+		{"PERIOD(DATE)", nil, Period(KindDate)},
+		{"VARBYTE", []int{64}, Bytes(64)},
+	}
+	for _, c := range cases {
+		got, err := ParseTypeName(c.name, c.args...)
+		if err != nil {
+			t.Fatalf("ParseTypeName(%q): %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseTypeName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, err := ParseTypeName("FROBNICATOR"); err == nil {
+		t.Error("ParseTypeName accepted unknown type")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    T
+		want string
+	}{
+		{Int, "INTEGER"},
+		{Decimal(12, 2), "DECIMAL(12,2)"},
+		{Char(3), "CHAR(3)"},
+		{VarChar(0), "VARCHAR"},
+		{Period(KindDate), "PERIOD(DATE)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !Int.IsNumeric() || !Decimal(10, 2).IsNumeric() || !Float.IsNumeric() {
+		t.Error("numeric predicate failed")
+	}
+	if Date.IsNumeric() || VarChar(10).IsNumeric() {
+		t.Error("non-numeric classified numeric")
+	}
+	if !Char(1).IsString() || !VarChar(5).IsString() {
+		t.Error("string predicate failed")
+	}
+	if !Date.IsTemporal() || !Timestamp.IsTemporal() || Int.IsTemporal() {
+		t.Error("temporal predicate failed")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewBigInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewDecimal(12345, 2), "123.45"},
+		{NewDecimal(-12345, 2), "-123.45"},
+		{NewDecimal(5, 3), "0.005"},
+		{NewString("abc"), "abc"},
+		{NewDate(2014, 1, 1), "2014-01-01"},
+		{NewBool(true), "TRUE"},
+		{NewNull(KindInt), "NULL"},
+		{NewTime(3661), "01:01:01"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.d.K, got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteral(t *testing.T) {
+	if got := NewString("O'Brien").SQLLiteral(); got != "'O''Brien'" {
+		t.Errorf("string literal = %q", got)
+	}
+	if got := NewDate(2020, 12, 31).SQLLiteral(); got != "DATE '2020-12-31'" {
+		t.Errorf("date literal = %q", got)
+	}
+	if got := NewNull(KindVarChar).SQLLiteral(); got != "NULL" {
+		t.Errorf("null literal = %q", got)
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewBigInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewDecimal(150, 2), NewFloat(1.5), 0},
+		{NewDecimal(150, 2), NewInt(1), 1},
+		{NewDecimal(100, 2), NewDecimal(10, 1), 0},
+		{NewString("abc"), NewString("abd"), -1},
+		{NewChar("ab  "), NewString("ab"), 0}, // CHAR blank padding
+		{NewDate(2020, 1, 1), NewDate(2020, 1, 2), -1},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(NewNull(KindInt), NewInt(1)); err == nil {
+		t.Error("Compare with NULL should error")
+	}
+	if _, err := Compare(NewInt(1), NewString("x")); err == nil {
+		t.Error("Compare int with string should error")
+	}
+}
+
+func TestHashKeyEquivalence(t *testing.T) {
+	// Values that compare equal must hash equal.
+	pairs := [][2]Datum{
+		{NewInt(5), NewBigInt(5)},
+		{NewInt(5), NewFloat(5)},
+		{NewDecimal(500, 2), NewInt(5)},
+		{NewDecimal(50, 1), NewDecimal(500, 2)},
+		{NewChar("ab "), NewString("ab")},
+	}
+	for _, p := range pairs {
+		if p[0].HashKey() != p[1].HashKey() {
+			t.Errorf("HashKey(%v) != HashKey(%v): %q vs %q", p[0], p[1], p[0].HashKey(), p[1].HashKey())
+		}
+	}
+	if NewInt(1).HashKey() == NewInt(2).HashKey() {
+		t.Error("distinct ints share hash key")
+	}
+	if NewNull(KindInt).HashKey() != NewNull(KindVarChar).HashKey() {
+		t.Error("NULLs of different kinds should share hash key")
+	}
+}
+
+func TestDatumEqual(t *testing.T) {
+	if !NewNull(KindInt).Equal(NewNull(KindVarChar)) {
+		t.Error("NULL should Equal NULL")
+	}
+	if NewNull(KindInt).Equal(NewInt(0)) {
+		t.Error("NULL should not Equal 0")
+	}
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Error("3 should Equal 3.0")
+	}
+}
+
+func TestAsIntAsFloat(t *testing.T) {
+	if NewDecimal(12999, 3).AsInt() != 12 {
+		t.Errorf("AsInt truncation: got %d", NewDecimal(12999, 3).AsInt())
+	}
+	if NewDecimal(12500, 3).AsFloat() != 12.5 {
+		t.Errorf("AsFloat: got %g", NewDecimal(12500, 3).AsFloat())
+	}
+	if NewFloat(7.9).AsInt() != 7 {
+		t.Error("float AsInt should truncate")
+	}
+}
+
+func TestDecimalScaled(t *testing.T) {
+	d := NewDecimal(1234, 2) // 12.34
+	if got := d.DecimalScaled(4); got != 123400 {
+		t.Errorf("upscale: got %d", got)
+	}
+	if got := d.DecimalScaled(1); got != 123 {
+		t.Errorf("downscale: got %d", got)
+	}
+	if got := NewInt(7).DecimalScaled(2); got != 700 {
+		t.Errorf("int to scaled: got %d", got)
+	}
+}
+
+func TestPeriodDatum(t *testing.T) {
+	p := NewPeriod(KindDate, EncodeDate(2020, 1, 1), EncodeDate(2020, 6, 30))
+	if p.PeriodElem() != KindDate {
+		t.Error("wrong period element")
+	}
+	if got := p.String(); got != "(2020-01-01, 2020-06-30)" {
+		t.Errorf("period string = %q", got)
+	}
+	q := NewPeriod(KindDate, EncodeDate(2020, 1, 1), EncodeDate(2020, 7, 1))
+	c, err := Compare(p, q)
+	if err != nil || c != -1 {
+		t.Errorf("period compare = %d, %v", c, err)
+	}
+}

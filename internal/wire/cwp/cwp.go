@@ -1,0 +1,298 @@
+// Package cwp implements the Cloud Wire Protocol (WP-B): the backend
+// protocol between Hyper-Q's ODBC Server abstraction and the cloud engine
+// substrate. A session authenticates once, then issues SQL requests; query
+// results stream back as TDF-encoded batches so large result sets can be
+// "retrieved on demand in one or more batches depending on the result size"
+// (§4.5).
+package cwp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+
+	"hyperq/internal/engine"
+	"hyperq/internal/tdf"
+	"hyperq/internal/types"
+	"hyperq/internal/wire"
+	"hyperq/internal/xtra"
+)
+
+// Message kinds.
+const (
+	MsgLogon     byte = 0x01 // c->s: user, password
+	MsgLogonOK   byte = 0x02 // s->c: session id
+	MsgQuery     byte = 0x03 // c->s: sql text
+	MsgMeta      byte = 0x04 // s->c: result column metadata
+	MsgBatch     byte = 0x05 // s->c: TDF batch
+	MsgComplete  byte = 0x06 // s->c: command tag, activity count
+	MsgError     byte = 0x07 // s->c: code, message
+	MsgEnd       byte = 0x08 // s->c: end of request
+	MsgLogoff    byte = 0x09 // c->s
+	MsgLogonFail byte = 0x0A // s->c
+)
+
+// BatchRows is the number of rows per streamed batch.
+const BatchRows = 1024
+
+// Server serves the engine over CWP.
+type Server struct {
+	eng *Engine
+	ln  net.Listener
+}
+
+// Engine is the minimal backend surface the server drives.
+type Engine struct {
+	E *engine.Engine
+}
+
+// Serve accepts connections until the listener closes.
+func Serve(ln net.Listener, eng *engine.Engine) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go handleConn(conn, eng)
+	}
+}
+
+func handleConn(conn net.Conn, eng *engine.Engine) {
+	defer conn.Close()
+	kind, payload, err := wire.ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if kind != MsgLogon {
+		_ = wire.WriteMessage(conn, MsgLogonFail, []byte("expected logon"))
+		return
+	}
+	r := wire.NewReader(payload)
+	user := r.String()
+	_ = r.String() // password: any accepted by the substrate
+	if r.Err() != nil || user == "" {
+		_ = wire.WriteMessage(conn, MsgLogonFail, []byte("bad logon"))
+		return
+	}
+	sess := eng.NewSession()
+	sess.SetUser(user)
+	var ok wire.Buffer
+	ok.PutString("session")
+	if err := wire.WriteMessage(conn, MsgLogonOK, ok.Bytes()); err != nil {
+		return
+	}
+	for {
+		kind, payload, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case MsgQuery:
+			r := wire.NewReader(payload)
+			sql := r.String()
+			if err := runQuery(conn, sess, sql); err != nil {
+				return
+			}
+		case MsgLogoff:
+			return
+		default:
+			_ = writeError(conn, 1000, fmt.Sprintf("unexpected message 0x%02x", kind))
+			return
+		}
+	}
+}
+
+func writeError(conn net.Conn, code uint32, msg string) error {
+	var b wire.Buffer
+	b.PutU32(code)
+	b.PutString(msg)
+	if err := wire.WriteMessage(conn, MsgError, b.Bytes()); err != nil {
+		return err
+	}
+	return wire.WriteMessage(conn, MsgEnd, nil)
+}
+
+func runQuery(conn net.Conn, sess *engine.Session, sql string) error {
+	results, err := sess.ExecSQL(sql)
+	if err != nil {
+		return writeError(conn, 3706, err.Error())
+	}
+	for _, res := range results {
+		if err := writeResult(conn, res); err != nil {
+			return err
+		}
+	}
+	return wire.WriteMessage(conn, MsgEnd, nil)
+}
+
+func writeResult(conn net.Conn, res *engine.Result) error {
+	if res.Cols != nil {
+		meta := metaFromCols(res.Cols)
+		var mb wire.Buffer
+		mb.PutU32(uint32(len(meta)))
+		for _, c := range meta {
+			mb.PutString(c.Name)
+			mb.PutU8(uint8(c.Type.Kind))
+			mb.PutU32(uint32(c.Type.Scale))
+			mb.PutU8(uint8(c.Type.Elem))
+		}
+		if err := wire.WriteMessage(conn, MsgMeta, mb.Bytes()); err != nil {
+			return err
+		}
+		for off := 0; off < len(res.Rows); off += BatchRows {
+			end := off + BatchRows
+			if end > len(res.Rows) {
+				end = len(res.Rows)
+			}
+			batch := &tdf.Batch{Cols: meta, Rows: res.Rows[off:end]}
+			var buf bytes.Buffer
+			if err := batch.Encode(&buf); err != nil {
+				return writeError(conn, 1001, err.Error())
+			}
+			if err := wire.WriteMessage(conn, MsgBatch, buf.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	var cb wire.Buffer
+	cb.PutString(res.Command)
+	cb.PutI64(res.RowsAffected)
+	return wire.WriteMessage(conn, MsgComplete, cb.Bytes())
+}
+
+func metaFromCols(cols []xtra.Col) []tdf.ColumnMeta {
+	out := make([]tdf.ColumnMeta, len(cols))
+	for i, c := range cols {
+		out[i] = tdf.ColumnMeta{Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// --- client ---------------------------------------------------------------
+
+// Client is a CWP connection (the driver the ODBC Server abstraction loads).
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects and authenticates.
+func Dial(addr, user, password string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.PutString(user)
+	b.PutString(password)
+	if err := wire.WriteMessage(conn, MsgLogon, b.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	kind, payload, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if kind != MsgLogonOK {
+		conn.Close()
+		return nil, fmt.Errorf("cwp: logon failed: %s", payload)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// StatementResult is the outcome of one statement within a request.
+type StatementResult struct {
+	Cols     []tdf.ColumnMeta
+	Batches  []*tdf.Batch
+	Command  string
+	Affected int64
+}
+
+// Rows flattens the batches.
+func (r *StatementResult) Rows() [][]types.Datum {
+	var out [][]types.Datum
+	for _, b := range r.Batches {
+		out = append(out, b.Rows...)
+	}
+	return out
+}
+
+// Exec sends one SQL request (possibly multi-statement) and collects all
+// statement results.
+func (c *Client) Exec(sql string) ([]*StatementResult, error) {
+	var b wire.Buffer
+	b.PutString(sql)
+	if err := wire.WriteMessage(c.conn, MsgQuery, b.Bytes()); err != nil {
+		return nil, err
+	}
+	var out []*StatementResult
+	cur := &StatementResult{}
+	for {
+		kind, payload, err := wire.ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case MsgMeta:
+			r := wire.NewReader(payload)
+			n := int(r.U32())
+			cols := make([]tdf.ColumnMeta, n)
+			for i := 0; i < n; i++ {
+				name := r.String()
+				kind := types.Kind(r.U8())
+				scale := int(r.U32())
+				elem := types.Kind(r.U8())
+				t := types.T{Kind: kind, Scale: scale, Elem: elem}
+				if kind == types.KindDecimal {
+					t.Precision = 18
+				}
+				cols[i] = tdf.ColumnMeta{Name: name, Type: t}
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			cur.Cols = cols
+		case MsgBatch:
+			batch, err := tdf.Decode(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			cur.Batches = append(cur.Batches, batch)
+		case MsgComplete:
+			r := wire.NewReader(payload)
+			cur.Command = r.String()
+			cur.Affected = r.I64()
+			out = append(out, cur)
+			cur = &StatementResult{}
+		case MsgError:
+			r := wire.NewReader(payload)
+			code := r.U32()
+			msg := r.String()
+			// Consume the trailing End.
+			if k, _, err := wire.ReadMessage(c.conn); err == nil && k != MsgEnd {
+				return nil, fmt.Errorf("cwp: protocol error after failure")
+			}
+			return nil, &BackendError{Code: int(code), Message: msg}
+		case MsgEnd:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("cwp: unexpected message 0x%02x", kind)
+		}
+	}
+}
+
+// Close logs off and closes the connection.
+func (c *Client) Close() error {
+	_ = wire.WriteMessage(c.conn, MsgLogoff, nil)
+	return c.conn.Close()
+}
+
+// BackendError is a typed error from the backend.
+type BackendError struct {
+	Code    int
+	Message string
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("backend error %d: %s", e.Code, e.Message)
+}

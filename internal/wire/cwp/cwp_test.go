@@ -1,0 +1,161 @@
+package cwp
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+)
+
+// startServer runs a CWP server over a loaded engine and returns its
+// address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	eng := engine.New(dialect.TeradataProfile())
+	s := eng.NewSession()
+	for _, sql := range []string{
+		"CREATE TABLE t (a INT, b VARCHAR(10), c DECIMAL(10,2), d DATE)",
+		"INSERT INTO t VALUES (1, 'x', 1.50, DATE '2020-01-01'), (2, NULL, NULL, NULL)",
+	} {
+		if _, err := s.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = Serve(ln, eng) }()
+	return ln.Addr().String()
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	results, err := c.Exec("SELECT a, b, c, d FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	rows := results[0].Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1].S != "x" || rows[0][2].String() != "1.50" || rows[0][3].String() != "2020-01-01" {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if !rows[1][1].Null || !rows[1][3].Null {
+		t.Fatalf("row 1 nulls lost: %v", rows[1])
+	}
+	if results[0].Cols[2].Type.Scale != 2 {
+		t.Errorf("decimal scale lost: %+v", results[0].Cols[2])
+	}
+}
+
+func TestMultiStatementRequest(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	results, err := c.Exec("INSERT INTO t (a) VALUES (3); SELECT COUNT(*) FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Affected != 1 || results[0].Command != "INSERT" {
+		t.Fatalf("insert = %+v", results[0])
+	}
+	if results[1].Rows()[0][0].I != 3 {
+		t.Fatalf("count = %v", results[1].Rows()[0][0])
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT nope FROM t")
+	be, ok := err.(*BackendError)
+	if !ok || !strings.Contains(be.Message, "nope") {
+		t.Fatalf("err = %v", err)
+	}
+	// The session survives a failed request.
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("session dead after error: %v", err)
+	}
+}
+
+func TestLogonRequired(t *testing.T) {
+	addr := startServer(t)
+	if _, err := Dial(addr, "", "pw"); err == nil {
+		t.Error("empty user accepted")
+	}
+}
+
+func TestLargeResultBatching(t *testing.T) {
+	eng := engine.New(dialect.TeradataProfile())
+	s := eng.NewSession()
+	if _, err := s.ExecSQL("CREATE TABLE big (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// More rows than one batch.
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES (0)")
+	for i := 1; i < 3000; i++ {
+		sb.WriteString(",(")
+		sb.WriteString(intToString(i))
+		sb.WriteString(")")
+	}
+	if _, err := s.ExecSQL(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = Serve(ln, eng) }()
+	c, err := Dial(ln.Addr().String(), "u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	results, err := c.Exec("SELECT x FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Batches) < 2 {
+		t.Fatalf("batches = %d, want streaming in multiple batches", len(results[0].Batches))
+	}
+	if len(results[0].Rows()) != 3000 {
+		t.Fatalf("rows = %d", len(results[0].Rows()))
+	}
+}
+
+func intToString(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

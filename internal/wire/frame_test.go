@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, 0x42, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadMessage(&buf)
+	if err != nil || kind != 0x42 || string(payload) != "hello" {
+		t.Fatalf("round trip: %x %q %v", kind, payload, err)
+	}
+}
+
+func TestMessageEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, 0x01, nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadMessage(&buf)
+	if err != nil || kind != 0x01 || len(payload) != 0 {
+		t.Fatalf("empty round trip: %x %q %v", kind, payload, err)
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	big := make([]byte, MaxMessageSize+1)
+	if err := WriteMessage(&bytes.Buffer{}, 0x01, big); err == nil {
+		t.Error("oversized write accepted")
+	}
+	// A forged oversized header must be rejected on read.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadMessage(&buf); err == nil {
+		t.Error("oversized read accepted")
+	}
+}
+
+func TestMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, 0x05, []byte("abcdef"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestBufferReaderRoundTrip(t *testing.T) {
+	var b Buffer
+	b.PutU8(7)
+	b.PutU16(1234)
+	b.PutU32(567890)
+	b.PutU64(1 << 40)
+	b.PutI64(-42)
+	b.PutString("héllo")
+	b.PutBytes([]byte{1, 2, 3})
+	r := NewReader(b.Bytes())
+	if r.U8() != 7 || r.U16() != 1234 || r.U32() != 567890 || r.U64() != 1<<40 {
+		t.Fatal("unsigned round trip failed")
+	}
+	if r.I64() != -42 {
+		t.Fatal("signed round trip failed")
+	}
+	if r.String() != "héllo" {
+		t.Fatal("string round trip failed")
+	}
+	if got := r.Bytes(); len(got) != 3 || got[0] != 1 {
+		t.Fatal("bytes round trip failed")
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{0x00, 0x01})
+	_ = r.U32()
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "truncated") {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// After an error, further reads are inert.
+	if r.U64() != 0 || r.String() != "" {
+		t.Error("reads after error not inert")
+	}
+}
+
+// Property: any string survives Buffer/Reader round trip.
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		var b Buffer
+		b.PutString(s)
+		return NewReader(b.Bytes()).String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleMessagesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := byte(0); i < 5; i++ {
+		if err := WriteMessage(&buf, i, []byte{i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 5; i++ {
+		kind, payload, err := ReadMessage(&buf)
+		if err != nil || kind != i || payload[0] != i {
+			t.Fatalf("message %d: %x %v %v", i, kind, payload, err)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package tdp implements the frontend wire protocol (WP-A): a binary,
+// parcel-oriented protocol in the style of the original warehouse's client
+// interface, spoken by unmodified client applications (the paper's bteq-like
+// clients). The Hyper-Q Protocol Handler terminates this protocol and must
+// reproduce it bit-identically — including the vendor's internal DATE
+// integer encoding in row data — because "database clients become
+// non-functional with the slightest difference in behavior of the database
+// server" (§4.1).
+package tdp
+
+import (
+	"fmt"
+	"math"
+	"net"
+
+	"hyperq/internal/types"
+	"hyperq/internal/wire"
+)
+
+// Parcel kinds.
+const (
+	MsgLogon      byte = 0x11 // c->s: user, password, charset
+	MsgLogonOK    byte = 0x12 // s->c: session number
+	MsgLogonFail  byte = 0x13 // s->c: message
+	MsgRunRequest byte = 0x14 // c->s: request text
+	MsgStmtInfo   byte = 0x15 // s->c: result column metadata
+	MsgRecord     byte = 0x16 // s->c: one data row (IndicData layout)
+	MsgSuccess    byte = 0x17 // s->c: activity count + activity name
+	MsgFailure    byte = 0x18 // s->c: error code + message
+	MsgEndRequest byte = 0x19 // s->c: request complete
+	MsgLogoff     byte = 0x1A // c->s
+)
+
+// ColumnDef describes one result column as presented to the client.
+type ColumnDef struct {
+	Name string
+	Type types.T
+}
+
+// --- row encoding -----------------------------------------------------------
+
+// encodeRow lays a row out in IndicData style: a null-indicator bitmap
+// (one bit per column, set = NULL) followed by the field values of the
+// non-null columns. DATE values travel in the vendor's internal integer
+// encoding — bit-identical to the original system.
+func encodeRow(cols []ColumnDef, row []types.Datum) ([]byte, error) {
+	if len(row) != len(cols) {
+		return nil, fmt.Errorf("tdp: row arity %d != %d", len(row), len(cols))
+	}
+	bitmap := make([]byte, (len(cols)+7)/8)
+	var b wire.Buffer
+	for i, d := range row {
+		if d.Null {
+			bitmap[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	b.PutBytes(bitmap)
+	for i, d := range row {
+		if d.Null {
+			continue
+		}
+		switch cols[i].Type.Kind {
+		case types.KindBool:
+			b.PutU8(uint8(d.I))
+		case types.KindInt:
+			b.PutU32(uint32(int32(d.I)))
+		case types.KindBigInt, types.KindTimestamp, types.KindInterval:
+			b.PutI64(d.I)
+		case types.KindDecimal:
+			b.PutI64(d.DecimalScaled(cols[i].Type.Scale))
+		case types.KindFloat:
+			b.PutU64(math.Float64bits(d.F))
+		case types.KindDate:
+			// Teradata internal DATE integer: (y-1900)*10000 + m*100 + d.
+			b.PutU32(uint32(int32(types.TeradataDateInt(d))))
+		case types.KindTime:
+			b.PutU32(uint32(int32(d.I)))
+		case types.KindChar, types.KindVarChar, types.KindBytes:
+			b.PutString(d.S)
+		case types.KindPeriod:
+			b.PutI64(d.PStart)
+			b.PutI64(d.PEnd)
+		default:
+			return nil, fmt.Errorf("tdp: cannot encode kind %v", cols[i].Type.Kind)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeRow parses an IndicData row under the given column metadata.
+func DecodeRow(cols []ColumnDef, payload []byte) ([]types.Datum, error) {
+	r := wire.NewReader(payload)
+	bitmap := r.Bytes()
+	if r.Err() != nil || len(bitmap) < (len(cols)+7)/8 {
+		return nil, fmt.Errorf("tdp: bad row bitmap")
+	}
+	row := make([]types.Datum, len(cols))
+	for i, c := range cols {
+		if bitmap[i/8]&(1<<(7-i%8)) != 0 {
+			row[i] = types.NewNull(c.Type.Kind)
+			continue
+		}
+		switch c.Type.Kind {
+		case types.KindBool:
+			row[i] = types.NewBool(r.U8() != 0)
+		case types.KindInt:
+			row[i] = types.NewInt(int64(int32(r.U32())))
+		case types.KindBigInt:
+			row[i] = types.NewBigInt(r.I64())
+		case types.KindTimestamp:
+			row[i] = types.NewTimestamp(r.I64())
+		case types.KindInterval:
+			row[i] = types.NewInterval(r.I64())
+		case types.KindDecimal:
+			row[i] = types.NewDecimal(r.I64(), c.Type.Scale)
+		case types.KindFloat:
+			row[i] = types.NewFloat(math.Float64frombits(r.U64()))
+		case types.KindDate:
+			row[i] = types.DateFromTeradataInt(int64(int32(r.U32())))
+		case types.KindTime:
+			row[i] = types.NewTime(int64(int32(r.U32())))
+		case types.KindChar, types.KindVarChar, types.KindBytes:
+			row[i] = types.Datum{K: c.Type.Kind, S: r.String()}
+		case types.KindPeriod:
+			row[i] = types.NewPeriod(c.Type.Elem, r.I64(), r.I64())
+		default:
+			return nil, fmt.Errorf("tdp: cannot decode kind %v", c.Type.Kind)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+func encodeStmtInfo(cols []ColumnDef) []byte {
+	var b wire.Buffer
+	b.PutU32(uint32(len(cols)))
+	for _, c := range cols {
+		b.PutString(c.Name)
+		b.PutU8(uint8(c.Type.Kind))
+		b.PutU32(uint32(c.Type.Scale))
+		b.PutU32(uint32(c.Type.Length))
+		b.PutU8(uint8(c.Type.Elem))
+	}
+	return b.Bytes()
+}
+
+func decodeStmtInfo(payload []byte) ([]ColumnDef, error) {
+	r := wire.NewReader(payload)
+	n := int(r.U32())
+	if n > 1<<16 {
+		return nil, fmt.Errorf("tdp: implausible column count %d", n)
+	}
+	cols := make([]ColumnDef, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		kind := types.Kind(r.U8())
+		scale := int(r.U32())
+		length := int(r.U32())
+		elem := types.Kind(r.U8())
+		t := types.T{Kind: kind, Scale: scale, Length: length, Elem: elem}
+		if kind == types.KindDecimal {
+			t.Precision = 18
+		}
+		cols[i] = ColumnDef{Name: name, Type: t}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// --- server ----------------------------------------------------------------
+
+// ResponseWriter streams one request's response parcels back to the client.
+type ResponseWriter interface {
+	// BeginResultSet announces result columns for the current statement.
+	BeginResultSet(cols []ColumnDef) error
+	// Row sends one data row; only valid after BeginResultSet.
+	Row(row []types.Datum) error
+	// EndStatement completes the current statement with its activity count.
+	EndStatement(activity int64, activityName string) error
+	// Failure reports a request failure (code + message) and ends the request.
+	Failure(code int, msg string) error
+}
+
+// SessionHandler processes requests for one logged-on session.
+type SessionHandler interface {
+	// Request handles one (possibly multi-statement) request, writing its
+	// response parcels. A returned error tears the connection down.
+	Request(sql string, w ResponseWriter) error
+	// Close releases session state.
+	Close()
+}
+
+// Handler authenticates sessions.
+type Handler interface {
+	Logon(user, password string) (SessionHandler, error)
+}
+
+// Serve accepts and serves connections until the listener closes.
+func Serve(ln net.Listener, h Handler) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	kind, payload, err := wire.ReadMessage(conn)
+	if err != nil || kind != MsgLogon {
+		return
+	}
+	r := wire.NewReader(payload)
+	user := r.String()
+	pass := r.String()
+	if r.Err() != nil {
+		return
+	}
+	sess, err := h.Logon(user, pass)
+	if err != nil {
+		var b wire.Buffer
+		b.PutString(err.Error())
+		_ = wire.WriteMessage(conn, MsgLogonFail, b.Bytes())
+		return
+	}
+	defer sess.Close()
+	var b wire.Buffer
+	b.PutU32(1) // session number
+	if err := wire.WriteMessage(conn, MsgLogonOK, b.Bytes()); err != nil {
+		return
+	}
+	for {
+		kind, payload, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case MsgRunRequest:
+			r := wire.NewReader(payload)
+			sql := r.String()
+			w := &respWriter{conn: conn}
+			if err := sess.Request(sql, w); err != nil {
+				return
+			}
+			if !w.failed {
+				if err := wire.WriteMessage(conn, MsgEndRequest, nil); err != nil {
+					return
+				}
+			}
+		case MsgLogoff:
+			return
+		default:
+			return
+		}
+	}
+}
+
+type respWriter struct {
+	conn   net.Conn
+	cols   []ColumnDef
+	failed bool
+}
+
+func (w *respWriter) BeginResultSet(cols []ColumnDef) error {
+	w.cols = cols
+	return wire.WriteMessage(w.conn, MsgStmtInfo, encodeStmtInfo(cols))
+}
+
+func (w *respWriter) Row(row []types.Datum) error {
+	p, err := encodeRow(w.cols, row)
+	if err != nil {
+		return err
+	}
+	return wire.WriteMessage(w.conn, MsgRecord, p)
+}
+
+func (w *respWriter) EndStatement(activity int64, name string) error {
+	w.cols = nil
+	var b wire.Buffer
+	b.PutI64(activity)
+	b.PutString(name)
+	return wire.WriteMessage(w.conn, MsgSuccess, b.Bytes())
+}
+
+func (w *respWriter) Failure(code int, msg string) error {
+	w.failed = true
+	var b wire.Buffer
+	b.PutU32(uint32(code))
+	b.PutString(msg)
+	if err := wire.WriteMessage(w.conn, MsgFailure, b.Bytes()); err != nil {
+		return err
+	}
+	return wire.WriteMessage(w.conn, MsgEndRequest, nil)
+}
+
+// --- client ----------------------------------------------------------------
+
+// Client is a TDP connection, standing in for the vendor's CLI/bteq client
+// library.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects and logs on.
+func Dial(addr, user, password string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.PutString(user)
+	b.PutString(password)
+	if err := wire.WriteMessage(conn, MsgLogon, b.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	kind, payload, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if kind != MsgLogonOK {
+		conn.Close()
+		r := wire.NewReader(payload)
+		return nil, fmt.Errorf("tdp: logon failed: %s", r.String())
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Statement is one statement's response within a request.
+type Statement struct {
+	Cols     []ColumnDef
+	Rows     [][]types.Datum
+	Activity int64
+	Command  string
+}
+
+// RequestError is a failure parcel surfaced as an error.
+type RequestError struct {
+	Code    int
+	Message string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("request failed [%d]: %s", e.Code, e.Message)
+}
+
+// Request submits one request and collects per-statement responses.
+func (c *Client) Request(sql string) ([]*Statement, error) {
+	var b wire.Buffer
+	b.PutString(sql)
+	if err := wire.WriteMessage(c.conn, MsgRunRequest, b.Bytes()); err != nil {
+		return nil, err
+	}
+	var out []*Statement
+	cur := &Statement{}
+	var reqErr *RequestError
+	for {
+		kind, payload, err := wire.ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case MsgStmtInfo:
+			cols, err := decodeStmtInfo(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Cols = cols
+		case MsgRecord:
+			row, err := DecodeRow(cur.Cols, payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Rows = append(cur.Rows, row)
+		case MsgSuccess:
+			r := wire.NewReader(payload)
+			cur.Activity = r.I64()
+			cur.Command = r.String()
+			out = append(out, cur)
+			cur = &Statement{}
+		case MsgFailure:
+			r := wire.NewReader(payload)
+			reqErr = &RequestError{Code: int(r.U32()), Message: r.String()}
+		case MsgEndRequest:
+			if reqErr != nil {
+				return nil, reqErr
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("tdp: unexpected parcel 0x%02x", kind)
+		}
+	}
+}
+
+// Close logs off.
+func (c *Client) Close() error {
+	_ = wire.WriteMessage(c.conn, MsgLogoff, nil)
+	return c.conn.Close()
+}

@@ -1,0 +1,342 @@
+// Package customer synthesizes the two real customer workloads of the
+// paper's §7.1 study (Table 1: a Health customer with 39,731 queries of
+// which 3,778 are distinct, and a Telco customer with 192,753 / 10,446).
+//
+// The real workloads are proprietary; the paper characterizes them through
+// feature statistics only. This generator is parameterized by exactly those
+// statistics — which of the 27 tracked features each workload contains
+// (Figure 8a) and what fraction of distinct queries each rewrite class
+// affects (Figure 8b) — and emits executable query text. The experiment then
+// replays the queries through the actual rewrite engine and must *recover*
+// the statistics from the instrumentation, exercising the identical code
+// path the paper instrumented.
+package customer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperq/internal/feature"
+)
+
+// FeatureWeight is one feature with its share within a rewrite class.
+type FeatureWeight struct {
+	ID     feature.ID
+	Weight float64
+}
+
+// ClassSpec parameterizes one rewrite class for a workload.
+type ClassSpec struct {
+	// Features present in the workload (Figure 8a numerator).
+	Features []FeatureWeight
+	// QueryPct is the fraction (0..1) of distinct queries affected
+	// (Figure 8b).
+	QueryPct float64
+}
+
+// Spec describes one customer workload.
+type Spec struct {
+	Name     string
+	Sector   string
+	Distinct int
+	Total    int
+
+	Translation    ClassSpec
+	Transformation ClassSpec
+	Emulation      ClassSpec
+
+	seed int64
+}
+
+// Workload1 is Customer 1 (Health): 39,731 total queries, 3,778 distinct.
+// Figure 8a: 55.6% / 77.8% / 33.3% of tracked features present; Figure 8b:
+// 1.4% / 33.6% / 0.2% of distinct queries affected.
+func Workload1() Spec {
+	return Spec{
+		Name:     "Workload 1",
+		Sector:   "Health",
+		Distinct: 3778,
+		Total:    39731,
+		Translation: ClassSpec{ // 5 of 9 features present
+			Features: weights(feature.SelAbbrev, feature.CharsFunc, feature.ZeroIfNull,
+				feature.NullIfZero, feature.AddMonths),
+			QueryPct: 0.014,
+		},
+		Transformation: ClassSpec{ // 7 of 9
+			Features: weights(feature.Qualify, feature.TdRank, feature.ImplicitJoin,
+				feature.NamedExprRef, feature.OrdinalGroupBy, feature.DateIntCompare,
+				feature.DateArith),
+			QueryPct: 0.336,
+		},
+		Emulation: ClassSpec{ // 3 of 9
+			Features: weights(feature.Macro, feature.HelpSession, feature.DmlOnView),
+			QueryPct: 0.002,
+		},
+		seed: 1001,
+	}
+}
+
+// Workload2 is Customer 2 (Telco): 192,753 total queries, 10,446 distinct.
+// Figure 8a: 22.2% / 66.7% / 33.3%; Figure 8b: 0.2% / 4.0% / 79.1%. The
+// emulation share is dominated by macro calls — the paper attributes it to
+// the customer wrapping "a large portion of their business logic in macros".
+func Workload2() Spec {
+	return Spec{
+		Name:     "Workload 2",
+		Sector:   "Telco",
+		Distinct: 10446,
+		Total:    192753,
+		Translation: ClassSpec{ // 2 of 9
+			Features: weights(feature.SelAbbrev, feature.BtEt),
+			QueryPct: 0.002,
+		},
+		Transformation: ClassSpec{ // 6 of 9
+			Features: weights(feature.Qualify, feature.NamedExprRef, feature.OrdinalGroupBy,
+				feature.DateIntCompare, feature.DateArith, feature.VectorSubquery),
+			QueryPct: 0.040,
+		},
+		Emulation: ClassSpec{ // 3 of 9; macros dominate
+			Features: []FeatureWeight{
+				{feature.Macro, 0.90},
+				{feature.HelpTable, 0.05},
+				{feature.MultiStatement, 0.05},
+			},
+			QueryPct: 0.791,
+		},
+		seed: 2002,
+	}
+}
+
+func weights(ids ...feature.ID) []FeatureWeight {
+	out := make([]FeatureWeight, len(ids))
+	w := 1.0 / float64(len(ids))
+	for i, id := range ids {
+		out[i] = FeatureWeight{ID: id, Weight: w}
+	}
+	return out
+}
+
+// Query is one distinct query with its repetition count in the total stream.
+type Query struct {
+	SQL string
+	// Repeats is how many times the query appears in the full workload.
+	Repeats int
+	// Class is the rewrite class the query was generated for (-1 = plain).
+	Class int
+	// Feature is the tracked feature embedded (valid when Class >= 0).
+	Feature feature.ID
+}
+
+// SchemaDDL creates the customer schema on the backend engine (ANSI
+// dialect).
+var SchemaDDL = []string{
+	`CREATE TABLE cust_txn (
+	   txn_id   INTEGER NOT NULL,
+	   acct     INTEGER NOT NULL,
+	   amount   DECIMAL(12,2),
+	   txn_date DATE NOT NULL,
+	   region   INTEGER,
+	   note     VARCHAR(50))`,
+	`CREATE TABLE accts (
+	   acct   INTEGER NOT NULL,
+	   name   VARCHAR(30) NOT NULL,
+	   opened DATE NOT NULL,
+	   region INTEGER)`,
+	`INSERT INTO accts VALUES
+	   (1, 'acme',   DATE '2010-04-01', 1),
+	   (2, 'globex', DATE '2012-09-15', 2),
+	   (3, 'initech',DATE '2015-01-20', 1),
+	   (4, 'umbra',  DATE '2018-06-30', 3)`,
+	`INSERT INTO cust_txn VALUES
+	   (1, 1, 120.50, DATE '2014-02-01', 1, 'wire transfer x'),
+	   (2, 1, 80.00,  DATE '2014-03-05', 1, 'card payment'),
+	   (3, 2, 560.25, DATE '2014-07-19', 2, 'invoice 9912'),
+	   (4, 3, NULL,   DATE '2015-02-28', 1, 'pending review'),
+	   (5, 4, 13.37,  DATE '2016-11-11', 3, 'micro txn'),
+	   (6, 2, 240.00, DATE '2017-05-23', 2, 'renewal')`,
+}
+
+// GatewaySetup is run through the gateway (Teradata dialect) before the
+// measured replay: it provisions the objects the emulation-class queries
+// depend on.
+var GatewaySetup = []string{
+	// The macro body is deliberately plain ANSI: the §7.1 study attributes a
+	// macro call to the emulation class only, so the body must not introduce
+	// features of other classes into the call's instrumentation.
+	`CREATE MACRO m_report (lim INTEGER) AS (
+	   SELECT acct, SUM(amount) AS total FROM cust_txn
+	   WHERE acct <= :lim GROUP BY acct;)`,
+	`CREATE VIEW v_upd AS SELECT txn_id, acct, amount FROM cust_txn`,
+	`CREATE SET TABLE dup_guard (a INTEGER, b INTEGER)`,
+}
+
+// classes indexes the three rewrite classes of a Spec.
+func (s *Spec) classes() []ClassSpec {
+	return []ClassSpec{s.Translation, s.Transformation, s.Emulation}
+}
+
+// Generate emits the workload's distinct queries deterministically.
+func Generate(spec Spec) []Query {
+	rng := rand.New(rand.NewSource(spec.seed))
+	queries := make([]Query, spec.Distinct)
+	for i := range queries {
+		queries[i] = Query{Class: -1}
+	}
+	// Assign class memberships over disjoint index ranges (the class
+	// percentages sum below 1 for both workloads).
+	next := 0
+	for ci, cs := range spec.classes() {
+		count := int(float64(spec.Distinct)*cs.QueryPct + 0.5)
+		if count < len(cs.Features) {
+			count = len(cs.Features) // every present feature appears at least once
+		}
+		for k := 0; k < count && next < len(queries); k, next = k+1, next+1 {
+			queries[next].Class = ci
+			queries[next].Feature = pickFeature(cs.Features, k, rng)
+		}
+	}
+	// Shuffle membership across the index space so repetition weights are
+	// uncorrelated with class.
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	// Render SQL and distribute total counts (Zipf-flavored repetition).
+	weights := make([]float64, len(queries))
+	var wsum float64
+	for i := range queries {
+		queries[i].SQL = renderQuery(&queries[i], i, rng)
+		weights[i] = 1.0 / float64(i+1)
+		wsum += weights[i]
+	}
+	remaining := spec.Total
+	for i := range queries {
+		n := int(float64(spec.Total) * weights[i] / wsum)
+		if n < 1 {
+			n = 1
+		}
+		queries[i].Repeats = n
+		remaining -= n
+	}
+	// Distribute the rounding remainder over the head of the distribution.
+	for i := 0; remaining > 0; i = (i + 1) % len(queries) {
+		queries[i].Repeats++
+		remaining--
+	}
+	for i := 0; remaining < 0 && i < len(queries); i++ {
+		if queries[i].Repeats > 1 {
+			queries[i].Repeats--
+			remaining++
+		}
+	}
+	return queries
+}
+
+// pickFeature selects a feature by weight; the first len(Features) picks are
+// a round-robin so every present feature is guaranteed to appear.
+func pickFeature(fw []FeatureWeight, k int, rng *rand.Rand) feature.ID {
+	if k < len(fw) {
+		return fw[k].ID
+	}
+	r := rng.Float64()
+	acc := 0.0
+	for _, f := range fw {
+		acc += f.Weight
+		if r < acc {
+			return f.ID
+		}
+	}
+	return fw[len(fw)-1].ID
+}
+
+// renderQuery emits the SQL text embedding the query's tracked feature. The
+// parameter i varies literals so queries are textually distinct.
+func renderQuery(q *Query, i int, rng *rand.Rand) string {
+	k := 1 + i%97
+	if q.Class < 0 {
+		// Plain query: standard SQL only, no tracked features.
+		switch i % 4 {
+		case 0:
+			return fmt.Sprintf("SELECT acct, amount FROM cust_txn WHERE amount > %d ORDER BY acct", k)
+		case 1:
+			return fmt.Sprintf("SELECT region, COUNT(*) FROM cust_txn WHERE txn_id <> %d GROUP BY region", k)
+		case 2:
+			return fmt.Sprintf("SELECT t.acct, a.name FROM cust_txn t JOIN accts a ON t.acct = a.acct WHERE t.txn_id > %d", k)
+		default:
+			return fmt.Sprintf("SELECT MAX(amount) FROM cust_txn WHERE acct IN (SELECT acct FROM accts WHERE region = %d)", 1+i%3)
+		}
+	}
+	switch q.Feature {
+	// --- translation class -------------------------------------------------
+	case feature.SelAbbrev:
+		return fmt.Sprintf("SEL acct FROM cust_txn WHERE txn_id > %d", k)
+	case feature.BtEt:
+		return "BT"
+	case feature.CharsFunc:
+		return fmt.Sprintf("SEL acct FROM cust_txn WHERE CHARS(note) > %d", k%20)
+	case feature.ZeroIfNull:
+		return fmt.Sprintf("SELECT ZEROIFNULL(amount) FROM cust_txn WHERE txn_id = %d", k)
+	case feature.NullIfZero:
+		return fmt.Sprintf("SELECT NULLIFZERO(region) FROM cust_txn WHERE txn_id = %d", k)
+	case feature.IndexFunc:
+		return fmt.Sprintf("SEL acct FROM cust_txn WHERE INDEX(note, 'x') > %d", k%3)
+	case feature.AddMonths:
+		return fmt.Sprintf("SELECT ADD_MONTHS(txn_date, %d) FROM cust_txn", 1+k%11)
+	case feature.ModOperator:
+		return fmt.Sprintf("SEL acct FROM cust_txn WHERE acct MOD %d = 0", 2+k%5)
+	case feature.CollectStats:
+		return "COLLECT STATISTICS ON cust_txn COLUMN (acct)"
+	// --- transformation class ----------------------------------------------
+	case feature.Qualify:
+		return fmt.Sprintf("SELECT acct, amount FROM cust_txn QUALIFY RANK() OVER (ORDER BY amount DESC) <= %d", 1+k%9)
+	case feature.TdRank:
+		return fmt.Sprintf("SELECT acct, amount FROM cust_txn QUALIFY RANK(amount DESC) <= %d", 1+k%9)
+	case feature.ImplicitJoin:
+		return fmt.Sprintf("SELECT cust_txn.acct FROM cust_txn WHERE accts.acct = cust_txn.acct AND accts.region = %d", 1+k%3)
+	case feature.NamedExprRef:
+		return fmt.Sprintf("SELECT amount * 2 AS dbl FROM cust_txn WHERE dbl > %d", k)
+	case feature.OrdinalGroupBy:
+		return fmt.Sprintf("SELECT region, SUM(amount) FROM cust_txn WHERE txn_id <> %d GROUP BY 1", k)
+	case feature.GroupingSets:
+		return "SELECT region, SUM(amount) FROM cust_txn GROUP BY ROLLUP(region)"
+	case feature.DateIntCompare:
+		return fmt.Sprintf("SELECT acct FROM cust_txn WHERE txn_date > %d", 1140101+k)
+	case feature.DateArith:
+		return fmt.Sprintf("SELECT txn_date + %d FROM cust_txn", 1+k%30)
+	case feature.VectorSubquery:
+		return "SELECT txn_id FROM cust_txn WHERE (acct, region) IN (SELECT acct, region FROM accts)"
+	// --- emulation class ---------------------------------------------------
+	case feature.Macro:
+		return fmt.Sprintf("EXEC m_report(%d)", 1+k%10)
+	case feature.HelpSession:
+		return "HELP SESSION"
+	case feature.HelpTable:
+		if i%2 == 0 {
+			return "HELP TABLE cust_txn"
+		}
+		return "HELP TABLE accts"
+	case feature.DmlOnView:
+		return fmt.Sprintf("UPDATE v_upd SET amount = amount WHERE txn_id = %d", k)
+	case feature.SetTable:
+		return fmt.Sprintf("INSERT INTO dup_guard (a, b) VALUES (%d, %d)", k, k)
+	case feature.MultiStatement:
+		return fmt.Sprintf("SELECT %d; SELECT COUNT(*) FROM cust_txn;", k)
+	case feature.RecursiveQuery:
+		return `WITH RECURSIVE r (acct) AS (
+		  SELECT acct FROM accts WHERE region = 1
+		  UNION ALL
+		  SELECT accts.acct FROM accts, r WHERE accts.acct = r.acct + 100
+		) SELECT COUNT(*) FROM r`
+	case feature.Merge:
+		return fmt.Sprintf(`MERGE INTO accts USING (SELECT %d AS acct FROM accts WHERE acct = 1) s
+		  ON accts.acct = s.acct WHEN MATCHED THEN UPDATE SET region = region`, k%4+1)
+	}
+	_ = rng
+	return "SELECT 1"
+}
+
+// TotalOf sums the repetition counts (must equal Spec.Total).
+func TotalOf(qs []Query) int {
+	n := 0
+	for _, q := range qs {
+		n += q.Repeats
+	}
+	return n
+}

@@ -1,0 +1,306 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperq/internal/types"
+)
+
+// gen is the deterministic data generator. Row counts follow the TPC-H
+// ratios; value distributions are simplified but keep the correlations the
+// queries depend on (ship/commit/receipt date ordering, returnflag vs
+// shipdate, price ~ quantity).
+type gen struct {
+	sf  float64
+	rng *rand.Rand
+
+	suppliers int
+	customers int
+	parts     int
+	orders    int
+
+	// ordersCache keeps the generated orders so lineitem rows derive from
+	// the same order keys and dates that were loaded.
+	ordersCache [][]types.Datum
+}
+
+const genSeed = 19920401
+
+func newGen(sf float64) *gen {
+	g := &gen{sf: sf, rng: rand.New(rand.NewSource(genSeed))}
+	g.suppliers = maxInt(10, int(10000*sf))
+	g.customers = maxInt(30, int(150000*sf))
+	g.parts = maxInt(40, int(200000*sf))
+	g.orders = maxInt(150, int(1500000*sf))
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE", "JUMBO PKG"}
+var typeAdjs = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeMats = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeMetals = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+var nameParts = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+	"blue", "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral",
+	"cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+	"honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+}
+
+func (g *gen) str(words []string) string { return words[g.rng.Intn(len(words))] }
+
+func (g *gen) decimal(lo, hi float64) types.Datum {
+	v := lo + g.rng.Float64()*(hi-lo)
+	return types.NewDecimal(int64(v*100), 2)
+}
+
+// dateIn returns a date between 1992-01-01 and 1998-08-02 shifted by delta
+// days.
+func (g *gen) dateIn(delta int) types.Datum {
+	base := types.DateToEpochDays(types.EncodeDate(1992, 1, 1))
+	span := int64(types.DateToEpochDays(types.EncodeDate(1998, 8, 2)) - base)
+	d := base + g.rng.Int63n(span) + int64(delta)
+	return types.NewDateEnc(types.EpochDaysToDate(d))
+}
+
+func comment(g *gen, n int) types.Datum {
+	out := ""
+	for len(out) < n {
+		if out != "" {
+			out += " "
+		}
+		out += g.str(nameParts)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return types.NewString(out)
+}
+
+// table generates the full contents of one table.
+func (g *gen) table(name string) [][]types.Datum {
+	switch name {
+	case "region":
+		return g.regionRows()
+	case "nation":
+		return g.nationRows()
+	case "supplier":
+		return g.supplierRows()
+	case "customer":
+		return g.customerRows()
+	case "part":
+		return g.partRows()
+	case "partsupp":
+		return g.partsuppRows()
+	case "orders":
+		return g.cachedOrders()
+	case "lineitem":
+		return g.lineitemRows()
+	}
+	panic("tpch: unknown table " + name)
+}
+
+func (g *gen) regionRows() [][]types.Datum {
+	out := make([][]types.Datum, len(regions))
+	for i, r := range regions {
+		out[i] = []types.Datum{types.NewInt(int64(i)), types.NewChar(r), comment(g, 30)}
+	}
+	return out
+}
+
+func (g *gen) nationRows() [][]types.Datum {
+	out := make([][]types.Datum, len(nations))
+	for i, n := range nations {
+		out[i] = []types.Datum{
+			types.NewInt(int64(i)), types.NewChar(n.name), types.NewInt(int64(n.region)), comment(g, 40),
+		}
+	}
+	return out
+}
+
+func (g *gen) supplierRows() [][]types.Datum {
+	out := make([][]types.Datum, g.suppliers)
+	for i := 0; i < g.suppliers; i++ {
+		k := int64(i + 1)
+		bal := g.decimal(-999.99, 9999.99)
+		cmt := comment(g, 40)
+		// ~5% of suppliers carry the Q16/Q21 "Customer Complaints" marker.
+		if g.rng.Intn(20) == 0 {
+			cmt = types.NewString("Customer Complaints " + cmt.S)
+		}
+		out[i] = []types.Datum{
+			types.NewInt(k),
+			types.NewChar(fmt.Sprintf("Supplier#%09d", k)),
+			types.NewString(fmt.Sprintf("addr %d %s", k, g.str(nameParts))),
+			types.NewInt(int64(g.rng.Intn(len(nations)))),
+			types.NewChar(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+g.rng.Intn(25), g.rng.Intn(1000), g.rng.Intn(1000), g.rng.Intn(10000))),
+			bal,
+			cmt,
+		}
+	}
+	return out
+}
+
+func (g *gen) customerRows() [][]types.Datum {
+	out := make([][]types.Datum, g.customers)
+	for i := 0; i < g.customers; i++ {
+		k := int64(i + 1)
+		nation := g.rng.Intn(len(nations))
+		out[i] = []types.Datum{
+			types.NewInt(k),
+			types.NewString(fmt.Sprintf("Customer#%09d", k)),
+			types.NewString(fmt.Sprintf("addr %d %s", k, g.str(nameParts))),
+			types.NewInt(int64(nation)),
+			types.NewChar(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, g.rng.Intn(1000), g.rng.Intn(1000), g.rng.Intn(10000))),
+			g.decimal(-999.99, 9999.99),
+			types.NewChar(g.str(segments)),
+			comment(g, 60),
+		}
+	}
+	return out
+}
+
+func (g *gen) partRows() [][]types.Datum {
+	out := make([][]types.Datum, g.parts)
+	for i := 0; i < g.parts; i++ {
+		k := int64(i + 1)
+		ptype := g.str(typeAdjs) + " " + g.str(typeMats) + " " + g.str(typeMetals)
+		out[i] = []types.Datum{
+			types.NewInt(k),
+			types.NewString(g.str(nameParts) + " " + g.str(nameParts) + " " + g.str(nameParts)),
+			types.NewChar(fmt.Sprintf("Manufacturer#%d", 1+g.rng.Intn(5))),
+			types.NewChar(fmt.Sprintf("Brand#%d%d", 1+g.rng.Intn(5), 1+g.rng.Intn(5))),
+			types.NewString(ptype),
+			types.NewInt(int64(1 + g.rng.Intn(50))),
+			types.NewChar(g.str(containers)),
+			g.decimal(900, 2000),
+			comment(g, 14),
+		}
+	}
+	return out
+}
+
+func (g *gen) partsuppRows() [][]types.Datum {
+	// 4 suppliers per part, as in the standard.
+	out := make([][]types.Datum, 0, g.parts*4)
+	for p := 1; p <= g.parts; p++ {
+		for j := 0; j < 4; j++ {
+			s := (p+j*(g.suppliers/4+1))%g.suppliers + 1
+			out = append(out, []types.Datum{
+				types.NewInt(int64(p)),
+				types.NewInt(int64(s)),
+				types.NewInt(int64(1 + g.rng.Intn(9999))),
+				g.decimal(1, 1000),
+				comment(g, 50),
+			})
+		}
+	}
+	return out
+}
+
+func (g *gen) orderRows() [][]types.Datum {
+	out := make([][]types.Datum, g.orders)
+	for i := 0; i < g.orders; i++ {
+		k := int64(i + 1)
+		date := g.dateIn(0)
+		status := "O"
+		if cut, _ := types.Compare(date, types.NewDate(1995, 6, 17)); cut < 0 {
+			status = "F"
+		}
+		out[i] = []types.Datum{
+			types.NewInt(k),
+			types.NewInt(int64(1 + g.rng.Intn(g.customers))),
+			types.NewChar(status),
+			g.decimal(1000, 400000),
+			date,
+			types.NewChar(g.str(priorities)),
+			types.NewChar(fmt.Sprintf("Clerk#%09d", 1+g.rng.Intn(1000))),
+			types.NewInt(0),
+			comment(g, 40),
+		}
+	}
+	return out
+}
+
+func (g *gen) cachedOrders() [][]types.Datum {
+	if g.ordersCache == nil {
+		g.ordersCache = g.orderRows()
+	}
+	return g.ordersCache
+}
+
+func (g *gen) lineitemRows() [][]types.Datum {
+	// Derive line items from the same generated orders that were loaded so
+	// order keys and dates stay consistent across the two tables.
+	orders := g.cachedOrders()
+	out := make([][]types.Datum, 0, g.orders*4)
+	for _, o := range orders {
+		okey := o[0].I
+		odate := o[4]
+		lines := 1 + g.rng.Intn(7)
+		for ln := 1; ln <= lines; ln++ {
+			qty := 1 + g.rng.Intn(50)
+			price := float64(qty) * (900 + g.rng.Float64()*1100)
+			ship := types.AddDays(odate, int64(1+g.rng.Intn(121)))
+			commit := types.AddDays(odate, int64(30+g.rng.Intn(60)))
+			receipt := types.AddDays(ship, int64(1+g.rng.Intn(30)))
+			returnflag := "N"
+			if c, _ := types.Compare(receipt, types.NewDate(1995, 6, 17)); c <= 0 {
+				if g.rng.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			}
+			linestatus := "O"
+			if c, _ := types.Compare(ship, types.NewDate(1995, 6, 17)); c <= 0 {
+				linestatus = "F"
+			}
+			out = append(out, []types.Datum{
+				types.NewInt(okey),
+				types.NewInt(int64(1 + g.rng.Intn(g.parts))),
+				types.NewInt(int64(1 + g.rng.Intn(g.suppliers))),
+				types.NewInt(int64(ln)),
+				types.NewDecimal(int64(qty*100), 2),
+				types.NewDecimal(int64(price*100), 2),
+				types.NewDecimal(int64(g.rng.Intn(11)), 2), // 0.00 - 0.10
+				types.NewDecimal(int64(g.rng.Intn(9)), 2),  // 0.00 - 0.08
+				types.NewChar(returnflag),
+				types.NewChar(linestatus),
+				ship,
+				commit,
+				receipt,
+				types.NewChar(g.str(shipInstructs)),
+				types.NewChar(g.str(shipModes)),
+				comment(g, 20),
+			})
+		}
+	}
+	return out
+}

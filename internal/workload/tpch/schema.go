@@ -1,0 +1,122 @@
+// Package tpch provides the TPC-H workload used by the paper's performance
+// experiments (§7.2–7.3): the eight-table schema, a deterministic data
+// generator with a scale-factor knob, and the 22 benchmark queries written
+// in the source (Teradata) dialect so they exercise the full translation
+// pipeline.
+package tpch
+
+import (
+	"fmt"
+
+	"hyperq/internal/engine"
+)
+
+// DDL is the schema in the canonical column order.
+var DDL = []string{
+	`CREATE TABLE region (
+	   r_regionkey INTEGER NOT NULL,
+	   r_name      CHAR(25) NOT NULL,
+	   r_comment   VARCHAR(152))`,
+	`CREATE TABLE nation (
+	   n_nationkey INTEGER NOT NULL,
+	   n_name      CHAR(25) NOT NULL,
+	   n_regionkey INTEGER NOT NULL,
+	   n_comment   VARCHAR(152))`,
+	`CREATE TABLE supplier (
+	   s_suppkey   INTEGER NOT NULL,
+	   s_name      CHAR(25) NOT NULL,
+	   s_address   VARCHAR(40) NOT NULL,
+	   s_nationkey INTEGER NOT NULL,
+	   s_phone     CHAR(15) NOT NULL,
+	   s_acctbal   DECIMAL(15,2) NOT NULL,
+	   s_comment   VARCHAR(101) NOT NULL)`,
+	`CREATE TABLE customer (
+	   c_custkey    INTEGER NOT NULL,
+	   c_name       VARCHAR(25) NOT NULL,
+	   c_address    VARCHAR(40) NOT NULL,
+	   c_nationkey  INTEGER NOT NULL,
+	   c_phone      CHAR(15) NOT NULL,
+	   c_acctbal    DECIMAL(15,2) NOT NULL,
+	   c_mktsegment CHAR(10) NOT NULL,
+	   c_comment    VARCHAR(117) NOT NULL)`,
+	`CREATE TABLE part (
+	   p_partkey     INTEGER NOT NULL,
+	   p_name        VARCHAR(55) NOT NULL,
+	   p_mfgr        CHAR(25) NOT NULL,
+	   p_brand       CHAR(10) NOT NULL,
+	   p_type        VARCHAR(25) NOT NULL,
+	   p_size        INTEGER NOT NULL,
+	   p_container   CHAR(10) NOT NULL,
+	   p_retailprice DECIMAL(15,2) NOT NULL,
+	   p_comment     VARCHAR(23) NOT NULL)`,
+	`CREATE TABLE partsupp (
+	   ps_partkey    INTEGER NOT NULL,
+	   ps_suppkey    INTEGER NOT NULL,
+	   ps_availqty   INTEGER NOT NULL,
+	   ps_supplycost DECIMAL(15,2) NOT NULL,
+	   ps_comment    VARCHAR(199) NOT NULL)`,
+	`CREATE TABLE orders (
+	   o_orderkey      INTEGER NOT NULL,
+	   o_custkey       INTEGER NOT NULL,
+	   o_orderstatus   CHAR(1) NOT NULL,
+	   o_totalprice    DECIMAL(15,2) NOT NULL,
+	   o_orderdate     DATE NOT NULL,
+	   o_orderpriority CHAR(15) NOT NULL,
+	   o_clerk         CHAR(15) NOT NULL,
+	   o_shippriority  INTEGER NOT NULL,
+	   o_comment       VARCHAR(79) NOT NULL)`,
+	`CREATE TABLE lineitem (
+	   l_orderkey      INTEGER NOT NULL,
+	   l_partkey       INTEGER NOT NULL,
+	   l_suppkey       INTEGER NOT NULL,
+	   l_linenumber    INTEGER NOT NULL,
+	   l_quantity      DECIMAL(15,2) NOT NULL,
+	   l_extendedprice DECIMAL(15,2) NOT NULL,
+	   l_discount      DECIMAL(15,2) NOT NULL,
+	   l_tax           DECIMAL(15,2) NOT NULL,
+	   l_returnflag    CHAR(1) NOT NULL,
+	   l_linestatus    CHAR(1) NOT NULL,
+	   l_shipdate      DATE NOT NULL,
+	   l_commitdate    DATE NOT NULL,
+	   l_receiptdate   DATE NOT NULL,
+	   l_shipinstruct  CHAR(25) NOT NULL,
+	   l_shipmode      CHAR(10) NOT NULL,
+	   l_comment       VARCHAR(44) NOT NULL)`,
+}
+
+// TableNames lists the schema tables in dependency order.
+var TableNames = []string{
+	"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+}
+
+// CreateSchema runs the DDL on an engine session.
+func CreateSchema(s *engine.Session) error {
+	for _, ddl := range DDL {
+		if _, err := s.ExecSQL(ddl); err != nil {
+			return fmt.Errorf("tpch: schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load generates and bulk-loads data at the given scale factor: SF 1.0
+// corresponds to the standard 6M-row lineitem; the in-memory substrate is
+// typically driven at SF 0.01–0.1.
+func Load(s *engine.Session, sf float64) error {
+	g := newGen(sf)
+	for _, tbl := range TableNames {
+		rows := g.table(tbl)
+		if err := s.InsertRows(tbl, rows); err != nil {
+			return fmt.Errorf("tpch: load %s: %w", tbl, err)
+		}
+	}
+	return nil
+}
+
+// SetupEngine creates the schema and loads data in one step.
+func SetupEngine(s *engine.Session, sf float64) error {
+	if err := CreateSchema(s); err != nil {
+		return err
+	}
+	return Load(s, sf)
+}

@@ -1,0 +1,148 @@
+package tpch
+
+import (
+	"testing"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+
+	"hyperq/internal/hyperq"
+)
+
+func loadedEngine(t *testing.T, sf float64) *engine.Engine {
+	t.Helper()
+	eng := engine.New(dialect.CloudA())
+	s := eng.NewSession()
+	if err := SetupEngine(s, sf); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := newGen(0.001)
+	g2 := newGen(0.001)
+	r1 := g1.table("supplier")
+	r2 := g2.table("supplier")
+	if len(r1) != len(r2) {
+		t.Fatalf("sizes differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		for j := range r1[i] {
+			if r1[i][j].String() != r2[i][j].String() {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorScaling(t *testing.T) {
+	small := newGen(0.001)
+	big := newGen(0.01)
+	if big.orders <= small.orders {
+		t.Error("orders do not scale")
+	}
+	if len(small.table("region")) != 5 || len(small.table("nation")) != 25 {
+		t.Error("fixed tables wrong size")
+	}
+}
+
+func TestLineitemConsistentWithOrders(t *testing.T) {
+	g := newGen(0.001)
+	orders := g.table("orders")
+	lines := g.table("lineitem")
+	keys := map[int64]bool{}
+	for _, o := range orders {
+		keys[o[0].I] = true
+	}
+	for _, l := range lines {
+		if !keys[l[0].I] {
+			t.Fatalf("lineitem references missing order %d", l[0].I)
+		}
+		// shipdate >= orderdate is implied by construction; spot check
+		// receipt >= ship.
+		if l[12].I < l[10].I {
+			t.Fatalf("receipt before ship: %v vs %v", l[12], l[10])
+		}
+	}
+}
+
+func TestSetupEngineLoads(t *testing.T) {
+	eng := loadedEngine(t, 0.001)
+	s := eng.NewSession()
+	for _, tbl := range TableNames {
+		n, err := s.RowCount(tbl)
+		if err != nil || n == 0 {
+			t.Fatalf("table %s: %d rows, %v", tbl, n, err)
+		}
+	}
+}
+
+// All 22 queries and all vendor variants must run through the full gateway
+// pipeline on every modeled cloud target.
+func TestAll22QueriesThroughGateway(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-H sweep in short mode")
+	}
+	for _, target := range dialect.CloudTargets() {
+		eng := engine.New(target)
+		if err := SetupEngine(eng.NewSession(), 0.002); err != nil {
+			t.Fatal(err)
+		}
+		g, err := hyperq.New(hyperq.Config{
+			Target:  target,
+			Driver:  &odbc.LocalDriver{Engine: eng},
+			Catalog: eng.Catalog().Clone(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := g.NewLocalSession("tpch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qn := range QueryNumbers() {
+			if _, err := s.Run(Queries[qn]); err != nil {
+				t.Errorf("target %s Q%d: %v", target.Name, qn, err)
+			}
+		}
+		for i, v := range VendorVariants {
+			if _, err := s.Run(v); err != nil {
+				t.Errorf("target %s variant %d: %v", target.Name, i+1, err)
+			}
+		}
+		s.Close()
+	}
+}
+
+// Q1 must produce the classic 4-group shape with plausible aggregates.
+func TestQ1Shape(t *testing.T) {
+	eng := loadedEngine(t, 0.002)
+	g, err := hyperq.New(hyperq.Config{
+		Target:  dialect.CloudA(),
+		Driver:  &odbc.LocalDriver{Engine: eng},
+		Catalog: eng.Catalog().Clone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.NewLocalSession("tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) < 3 || len(rows) > 4 {
+		t.Fatalf("Q1 groups = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row[9].I <= 0 { // count_order
+			t.Errorf("empty group in Q1: %v", row)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+	"hyperq/internal/types"
+
+	"hyperq/internal/hyperq"
+)
+
+// Cross-check the full pipeline against an independent Go computation over
+// the raw generated rows: Q6 (filter + sum) and Q1's count column.
+func TestQ6AgainstIndependentComputation(t *testing.T) {
+	const sf = 0.002
+	// Independent computation straight from the generator (tables must be
+	// generated in load order so the deterministic PRNG state matches).
+	lines := generatedLineitem(sf)
+	lo := types.EncodeDate(1994, 1, 1)
+	hi := types.EncodeDate(1995, 1, 1)
+	var expected int64 // scaled at 4 decimals (price*discount scales 2+2)
+	for _, l := range lines {
+		ship := l[10].I
+		disc := l[6]
+		qty := l[4]
+		if ship >= lo && ship < hi &&
+			disc.I >= 5 && disc.I <= 7 && // 0.05..0.07 at scale 2
+			qty.I < 2400 { // 24 at scale 2
+			expected += l[5].DecimalScaled(2) * disc.DecimalScaled(2)
+		}
+	}
+
+	// Through the full gateway pipeline.
+	eng := engine.New(dialect.CloudA())
+	if err := SetupEngine(eng.NewSession(), sf); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := hyperq.New(hyperq.Config{
+		Target:  dialect.CloudA(),
+		Driver:  &odbc.LocalDriver{Engine: eng},
+		Catalog: eng.Catalog().Clone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gw.NewLocalSession("verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res[0].Rows[0][0]
+	if got.Null && expected == 0 {
+		return
+	}
+	if got.DecimalScaled(4) != expected {
+		t.Fatalf("Q6 revenue = %s (scaled %d), independent computation %d",
+			got, got.DecimalScaled(4), expected)
+	}
+}
+
+func TestQ1CountsAgainstIndependentComputation(t *testing.T) {
+	const sf = 0.002
+	lines := generatedLineitem(sf)
+	cutoff := types.AddDays(types.NewDate(1998, 12, 1), -90)
+	expected := map[string]int64{}
+	for _, l := range lines {
+		if l[10].I <= cutoff.I {
+			key := strings.TrimSpace(l[8].S) + "|" + strings.TrimSpace(l[9].S)
+			expected[key]++
+		}
+	}
+
+	eng := engine.New(dialect.CloudB())
+	if err := SetupEngine(eng.NewSession(), sf); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := hyperq.New(hyperq.Config{
+		Target:  dialect.CloudB(),
+		Driver:  &odbc.LocalDriver{Engine: eng},
+		Catalog: eng.Catalog().Clone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gw.NewLocalSession("verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Rows) != len(expected) {
+		t.Fatalf("Q1 groups = %d, independent %d", len(res[0].Rows), len(expected))
+	}
+	for _, row := range res[0].Rows {
+		key := strings.TrimSpace(row[0].S) + "|" + strings.TrimSpace(row[1].S)
+		if row[9].I != expected[key] {
+			t.Fatalf("group %s count = %d, independent %d", key, row[9].I, expected[key])
+		}
+	}
+}
+
+// Cross-target consistency: the same Teradata request must return identical
+// data through the gateway regardless of which cloud target executes it —
+// the correctness requirement §3.1 calls "basic, non-negotiable".
+func TestCrossTargetConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-target sweep in short mode")
+	}
+	queries := []string{
+		Queries[1], Queries[3], Queries[5], Queries[6], Queries[10],
+		Queries[12], Queries[14], Queries[19], Queries[22],
+		VendorVariants[0], VendorVariants[3], VendorVariants[4],
+	}
+	var reference []string
+	for ti, target := range dialect.CloudTargets() {
+		eng := engine.New(target)
+		if err := SetupEngine(eng.NewSession(), 0.001); err != nil {
+			t.Fatal(err)
+		}
+		gw, err := hyperq.New(hyperq.Config{
+			Target:  target,
+			Driver:  &odbc.LocalDriver{Engine: eng},
+			Catalog: eng.Catalog().Clone(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := gw.NewLocalSession("consistency")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rendered []string
+		for qi, q := range queries {
+			res, err := s.Run(q)
+			if err != nil {
+				t.Fatalf("target %s query %d: %v", target.Name, qi, err)
+			}
+			var sb strings.Builder
+			for _, fr := range res {
+				for _, row := range fr.Rows {
+					for _, d := range row {
+						sb.WriteString(d.String())
+						sb.WriteByte('|')
+					}
+					sb.WriteByte('\n')
+				}
+			}
+			rendered = append(rendered, sb.String())
+		}
+		s.Close()
+		if ti == 0 {
+			reference = rendered
+			continue
+		}
+		for qi := range queries {
+			if rendered[qi] != reference[qi] {
+				t.Errorf("target %s disagrees with %s on query %d:\n%s\nvs\n%s",
+					target.Name, dialect.CloudTargets()[0].Name, qi,
+					clip(rendered[qi]), clip(reference[qi]))
+			}
+		}
+	}
+}
+
+// generatedLineitem replays the generator in load order and returns the
+// lineitem rows the loader would have inserted.
+func generatedLineitem(sf float64) [][]types.Datum {
+	g := newGen(sf)
+	var lines [][]types.Datum
+	for _, tbl := range TableNames {
+		rows := g.table(tbl)
+		if tbl == "lineitem" {
+			lines = rows
+		}
+	}
+	return lines
+}
+
+func clip(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

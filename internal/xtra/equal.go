@@ -1,0 +1,155 @@
+package xtra
+
+// ScalarEqual reports structural equality of two scalar expressions. Column
+// references compare by ColumnID; subquery expressions compare by input
+// operator identity.
+func ScalarEqual(a, b Scalar) bool {
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.Col.ID == y.Col.ID
+	case *ConstExpr:
+		y, ok := b.(*ConstExpr)
+		return ok && x.Val.Equal(y.Val)
+	case *CompExpr:
+		y, ok := b.(*CompExpr)
+		return ok && x.Op == y.Op && ScalarEqual(x.L, y.L) && ScalarEqual(x.R, y.R)
+	case *BoolExpr:
+		y, ok := b.(*BoolExpr)
+		if !ok || x.Op != y.Op || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !ScalarEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *NotExpr:
+		y, ok := b.(*NotExpr)
+		return ok && ScalarEqual(x.X, y.X)
+	case *IsNullExpr:
+		y, ok := b.(*IsNullExpr)
+		return ok && x.Not == y.Not && ScalarEqual(x.X, y.X)
+	case *ArithExpr:
+		y, ok := b.(*ArithExpr)
+		return ok && x.Op == y.Op && ScalarEqual(x.L, y.L) && ScalarEqual(x.R, y.R)
+	case *NegExpr:
+		y, ok := b.(*NegExpr)
+		return ok && ScalarEqual(x.X, y.X)
+	case *ConcatExpr:
+		y, ok := b.(*ConcatExpr)
+		return ok && ScalarEqual(x.L, y.L) && ScalarEqual(x.R, y.R)
+	case *LikeExpr:
+		y, ok := b.(*LikeExpr)
+		return ok && x.Not == y.Not && ScalarEqual(x.X, y.X) && ScalarEqual(x.Pattern, y.Pattern)
+	case *FuncExpr:
+		y, ok := b.(*FuncExpr)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !ScalarEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *ExtractExpr:
+		y, ok := b.(*ExtractExpr)
+		return ok && x.Field == y.Field && ScalarEqual(x.X, y.X)
+	case *CastExpr:
+		y, ok := b.(*CastExpr)
+		return ok && x.To.Equal(y.To) && ScalarEqual(x.X, y.X)
+	case *CaseExpr:
+		y, ok := b.(*CaseExpr)
+		if !ok || len(x.Whens) != len(y.Whens) {
+			return false
+		}
+		for i := range x.Whens {
+			if !ScalarEqual(x.Whens[i].Cond, y.Whens[i].Cond) || !ScalarEqual(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		if (x.Else == nil) != (y.Else == nil) {
+			return false
+		}
+		return x.Else == nil || ScalarEqual(x.Else, y.Else)
+	case *InValues:
+		y, ok := b.(*InValues)
+		if !ok || x.Not != y.Not || len(x.Vals) != len(y.Vals) || !ScalarEqual(x.X, y.X) {
+			return false
+		}
+		for i := range x.Vals {
+			if !ScalarEqual(x.Vals[i], y.Vals[i]) {
+				return false
+			}
+		}
+		return true
+	case *ExistsExpr:
+		y, ok := b.(*ExistsExpr)
+		return ok && x.Not == y.Not && x.Input == y.Input
+	case *SubqueryCmp:
+		y, ok := b.(*SubqueryCmp)
+		if !ok || x.Cmp != y.Cmp || x.Quant != y.Quant || x.Input != y.Input || len(x.Left) != len(y.Left) {
+			return false
+		}
+		for i := range x.Left {
+			if !ScalarEqual(x.Left[i], y.Left[i]) {
+				return false
+			}
+		}
+		return true
+	case *ScalarSubquery:
+		y, ok := b.(*ScalarSubquery)
+		return ok && x.Input == y.Input
+	}
+	return false
+}
+
+// definedColumns collects every ColumnID produced by any operator within the
+// subtree rooted at op (including subquery inputs nested in scalars).
+func definedColumns(op Op, out map[ColumnID]bool) {
+	WalkOps(op, func(o Op) bool {
+		for _, c := range o.Columns() {
+			out[c.ID] = true
+		}
+		// Window and aggregation outputs are covered by Columns(); group
+		// output columns too. Nothing further needed.
+		return true
+	})
+}
+
+// FreeColRefsIn returns the column references of s that are *free*: not
+// defined by any operator inside subquery inputs nested in s. Free refs are
+// the correlation edges to the enclosing query.
+func FreeColRefsIn(s Scalar) map[ColumnID]bool {
+	refs := ColRefsIn(s)
+	defined := map[ColumnID]bool{}
+	for _, sub := range SubOps(s) {
+		definedColumns(sub, defined)
+	}
+	out := map[ColumnID]bool{}
+	for id := range refs {
+		if !defined[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// FreeRefsOfOp returns the column references within the operator tree that
+// are not defined by any operator of the tree — i.e. the tree's correlation
+// dependencies on an outer query.
+func FreeRefsOfOp(op Op) map[ColumnID]bool {
+	refs := map[ColumnID]bool{}
+	collectOpColRefs(op, refs)
+	defined := map[ColumnID]bool{}
+	definedColumns(op, defined)
+	out := map[ColumnID]bool{}
+	for id := range refs {
+		if !defined[id] {
+			out[id] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package xtra
+
+import (
+	"testing"
+
+	"hyperq/internal/types"
+)
+
+func ref(id int) *ColRef {
+	return &ColRef{Col: Col{ID: ColumnID(id), Name: "c", Type: types.Int}}
+}
+
+func TestScalarEqualBasics(t *testing.T) {
+	if !ScalarEqual(ref(1), ref(1)) {
+		t.Error("identical refs unequal")
+	}
+	if ScalarEqual(ref(1), ref(2)) {
+		t.Error("distinct refs equal")
+	}
+	a := &CompExpr{Op: CmpGT, L: ref(1), R: NewConst(types.NewInt(5))}
+	b := &CompExpr{Op: CmpGT, L: ref(1), R: NewConst(types.NewInt(5))}
+	if !ScalarEqual(a, b) {
+		t.Error("structurally equal comparisons unequal")
+	}
+	c := &CompExpr{Op: CmpLT, L: ref(1), R: NewConst(types.NewInt(5))}
+	if ScalarEqual(a, c) {
+		t.Error("different operators equal")
+	}
+	if ScalarEqual(a, ref(1)) {
+		t.Error("different node kinds equal")
+	}
+}
+
+func TestScalarEqualComposite(t *testing.T) {
+	mk := func() Scalar {
+		return MakeAnd(
+			&LikeExpr{X: ref(1), Pattern: NewConst(types.NewString("a%"))},
+			&IsNullExpr{Not: true, X: ref(2)},
+			&FuncExpr{Name: "COALESCE", Args: []Scalar{ref(3), NewConst(types.NewInt(0))}, T: types.Int},
+		)
+	}
+	if !ScalarEqual(mk(), mk()) {
+		t.Error("composite equality failed")
+	}
+}
+
+func TestScalarEqualCase(t *testing.T) {
+	mk := func(elseVal int64) Scalar {
+		return &CaseExpr{
+			Whens: []CaseWhen{{Cond: &IsNullExpr{X: ref(1)}, Then: NewConst(types.NewInt(1))}},
+			Else:  NewConst(types.NewInt(elseVal)),
+			T:     types.Int,
+		}
+	}
+	if !ScalarEqual(mk(2), mk(2)) || ScalarEqual(mk(2), mk(3)) {
+		t.Error("case equality wrong")
+	}
+}
+
+func TestFreeColRefsIn(t *testing.T) {
+	inner := &Get{Table: "T", Cols: []Col{{ID: 10, Name: "x", Type: types.Int}}}
+	corr := &CompExpr{Op: CmpEQ, L: &ColRef{Col: inner.Cols[0]}, R: ref(99)}
+	exists := &ExistsExpr{Input: &Select{Input: inner, Pred: corr}}
+	pred := MakeAnd(&CompExpr{Op: CmpGT, L: ref(5), R: NewConst(types.NewInt(0))}, exists)
+
+	free := FreeColRefsIn(pred)
+	if !free[5] {
+		t.Error("direct ref not free")
+	}
+	if !free[99] {
+		t.Error("correlated ref not free")
+	}
+	if free[10] {
+		t.Error("subquery-defined column reported free")
+	}
+}
+
+func TestFreeRefsOfOp(t *testing.T) {
+	g := &Get{Table: "T", Cols: []Col{{ID: 1, Name: "a", Type: types.Int}}}
+	// Correlated: predicate references #42 which no op in the tree defines.
+	corr := &Select{Input: g, Pred: &CompExpr{Op: CmpEQ, L: &ColRef{Col: g.Cols[0]}, R: ref(42)}}
+	free := FreeRefsOfOp(corr)
+	if len(free) != 1 || !free[42] {
+		t.Fatalf("free = %v", free)
+	}
+	// Uncorrelated: all references defined internally.
+	plain := &Select{Input: g, Pred: &CompExpr{Op: CmpGT, L: &ColRef{Col: g.Cols[0]}, R: NewConst(types.NewInt(0))}}
+	if len(FreeRefsOfOp(plain)) != 0 {
+		t.Error("uncorrelated tree has free refs")
+	}
+}
+
+func TestFreeRefsThroughWindowAndAgg(t *testing.T) {
+	g := &Get{Table: "T", Cols: []Col{{ID: 1, Name: "a", Type: types.Int}}}
+	agg := &Agg{
+		Input:  g,
+		Groups: []GroupCol{{Out: Col{ID: 2, Name: "a", Type: types.Int}, Expr: &ColRef{Col: g.Cols[0]}}},
+		Aggs:   []AggDef{{Out: Col{ID: 3, Name: "n", Type: types.BigInt}, Func: "COUNT", Star: true}},
+	}
+	proj := &Project{Input: agg, Exprs: []NamedScalar{
+		{Col: Col{ID: 4, Name: "out", Type: types.BigInt}, Expr: &ColRef{Col: Col{ID: 3, Type: types.BigInt}}},
+	}}
+	if len(FreeRefsOfOp(proj)) != 0 {
+		t.Errorf("agg outputs not recognized as defined: %v", FreeRefsOfOp(proj))
+	}
+}

@@ -1,0 +1,267 @@
+package xtra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree printing in the style of the paper's Figures 4–6:
+//
+//	+-select
+//	|-window(RANK, DESC, AMOUNT)
+//	| +-select
+//	| |-get(SALES)
+//	| +-boolexpr(AND)
+//	...
+//
+// The printer renders both relational operators and scalar expressions as
+// tree nodes. It is deterministic, so golden tests can assert on the shape
+// of bound and transformed plans.
+
+type treeNode struct {
+	label    string
+	children []treeNode
+}
+
+// Format renders an operator tree.
+func Format(op Op) string {
+	var b strings.Builder
+	writeTree(&b, opNodeTree(op), "", true)
+	return b.String()
+}
+
+// FormatScalar renders a scalar expression tree.
+func FormatScalar(s Scalar) string {
+	var b strings.Builder
+	writeTree(&b, scalarTree(s), "", true)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, n treeNode, prefix string, last bool) {
+	marker := "|-"
+	if last {
+		marker = "+-"
+	}
+	b.WriteString(prefix)
+	b.WriteString(marker)
+	b.WriteString(n.label)
+	b.WriteByte('\n')
+	childPrefix := prefix + "| "
+	if last && prefix != "" {
+		childPrefix = prefix + "  "
+	} else if last {
+		childPrefix = prefix + "  "
+	}
+	for i, c := range n.children {
+		writeTree(b, c, childPrefix, i == len(n.children)-1)
+	}
+}
+
+func opNodeTree(op Op) treeNode {
+	switch o := op.(type) {
+	case *Get:
+		lbl := fmt.Sprintf("get(%s)", o.Table)
+		if o.Alias != "" && !strings.EqualFold(o.Alias, o.Table) {
+			lbl = fmt.Sprintf("get(%s '%s')", o.Table, o.Alias)
+		}
+		return treeNode{label: lbl}
+	case *Select:
+		return treeNode{label: "select", children: []treeNode{opNodeTree(o.Input), scalarTree(o.Pred)}}
+	case *Project:
+		var cols []string
+		var kids []treeNode
+		for _, e := range o.Exprs {
+			cols = append(cols, e.Col.Name)
+			kids = append(kids, scalarTree(e.Expr))
+		}
+		n := treeNode{label: fmt.Sprintf("project[%s]", strings.Join(cols, ", "))}
+		n.children = append([]treeNode{opNodeTree(o.Input)}, kids...)
+		return n
+	case *Window:
+		var fs []string
+		for _, f := range o.Funcs {
+			fs = append(fs, f.Name)
+		}
+		lbl := fmt.Sprintf("window(%s", strings.Join(fs, ", "))
+		for _, k := range o.OrderBy {
+			dir := "ASC"
+			if k.Desc {
+				dir = "DESC"
+			}
+			lbl += ", " + dir + ", " + scalarInline(k.Expr)
+		}
+		lbl += ")"
+		return treeNode{label: lbl, children: []treeNode{opNodeTree(o.Input)}}
+	case *Join:
+		n := treeNode{label: fmt.Sprintf("join(%s)", o.Kind)}
+		n.children = append(n.children, opNodeTree(o.L), opNodeTree(o.R))
+		if o.Pred != nil {
+			n.children = append(n.children, scalarTree(o.Pred))
+		}
+		return n
+	case *Agg:
+		var gs []string
+		for _, g := range o.Groups {
+			gs = append(gs, scalarInline(g.Expr))
+		}
+		var as []string
+		for _, a := range o.Aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = scalarInline(a.Arg)
+			}
+			if a.Distinct {
+				arg = "DISTINCT " + arg
+			}
+			as = append(as, fmt.Sprintf("%s(%s)", a.Func, arg))
+		}
+		lbl := fmt.Sprintf("agg[%s][%s]", strings.Join(gs, ", "), strings.Join(as, ", "))
+		if o.GroupingSets != nil {
+			lbl += fmt.Sprintf(" sets=%d", len(o.GroupingSets))
+		}
+		return treeNode{label: lbl, children: []treeNode{opNodeTree(o.Input)}}
+	case *Sort:
+		var ks []string
+		for _, k := range o.Keys {
+			d := "ASC"
+			if k.Desc {
+				d = "DESC"
+			}
+			ks = append(ks, scalarInline(k.Expr)+" "+d)
+		}
+		return treeNode{label: fmt.Sprintf("sort[%s]", strings.Join(ks, ", ")), children: []treeNode{opNodeTree(o.Input)}}
+	case *Limit:
+		lbl := fmt.Sprintf("limit(%d)", o.N)
+		if o.WithTies {
+			lbl = fmt.Sprintf("limit(%d WITH TIES)", o.N)
+		}
+		return treeNode{label: lbl, children: []treeNode{opNodeTree(o.Input)}}
+	case *SetOp:
+		lbl := strings.ToLower(o.Kind.String())
+		if o.All {
+			lbl += "_all"
+		}
+		return treeNode{label: lbl, children: []treeNode{opNodeTree(o.L), opNodeTree(o.R)}}
+	case *Values:
+		return treeNode{label: fmt.Sprintf("values(%d rows)", len(o.Rows))}
+	case *RecursiveUnion:
+		return treeNode{label: "recursive_union", children: []treeNode{opNodeTree(o.Seed), opNodeTree(o.Recursive)}}
+	case *WorkScan:
+		return treeNode{label: fmt.Sprintf("workscan(%s)", o.Name)}
+	}
+	return treeNode{label: fmt.Sprintf("<%T>", op)}
+}
+
+func scalarTree(s Scalar) treeNode {
+	switch x := s.(type) {
+	case *ColRef:
+		return treeNode{label: fmt.Sprintf("ident(%s)", x.Col.Name)}
+	case *ConstExpr:
+		return treeNode{label: fmt.Sprintf("const(%s)", x.Val)}
+	case *ParamExpr:
+		return treeNode{label: fmt.Sprintf("param(:%s)", x.Name)}
+	case *CompExpr:
+		return treeNode{label: fmt.Sprintf("comp(%s)", x.Op), children: []treeNode{scalarTree(x.L), scalarTree(x.R)}}
+	case *BoolExpr:
+		n := treeNode{label: fmt.Sprintf("boolexpr(%s)", x.Op)}
+		for _, a := range x.Args {
+			n.children = append(n.children, scalarTree(a))
+		}
+		return n
+	case *NotExpr:
+		return treeNode{label: "not", children: []treeNode{scalarTree(x.X)}}
+	case *IsNullExpr:
+		lbl := "isnull"
+		if x.Not {
+			lbl = "isnotnull"
+		}
+		return treeNode{label: lbl, children: []treeNode{scalarTree(x.X)}}
+	case *ArithExpr:
+		return treeNode{label: fmt.Sprintf("arith(%s)", x.Op), children: []treeNode{scalarTree(x.L), scalarTree(x.R)}}
+	case *NegExpr:
+		return treeNode{label: "neg", children: []treeNode{scalarTree(x.X)}}
+	case *ConcatExpr:
+		return treeNode{label: "concat", children: []treeNode{scalarTree(x.L), scalarTree(x.R)}}
+	case *LikeExpr:
+		lbl := "like"
+		if x.Not {
+			lbl = "notlike"
+		}
+		return treeNode{label: lbl, children: []treeNode{scalarTree(x.X), scalarTree(x.Pattern)}}
+	case *FuncExpr:
+		n := treeNode{label: fmt.Sprintf("func(%s)", x.Name)}
+		for _, a := range x.Args {
+			n.children = append(n.children, scalarTree(a))
+		}
+		return n
+	case *ExtractExpr:
+		return treeNode{label: fmt.Sprintf("extract(%s, %s)", x.Field, scalarInline(x.X))}
+	case *CastExpr:
+		return treeNode{label: fmt.Sprintf("cast(%s)", x.To), children: []treeNode{scalarTree(x.X)}}
+	case *CaseExpr:
+		n := treeNode{label: "case"}
+		for _, w := range x.Whens {
+			n.children = append(n.children, treeNode{label: "when", children: []treeNode{scalarTree(w.Cond), scalarTree(w.Then)}})
+		}
+		if x.Else != nil {
+			n.children = append(n.children, treeNode{label: "else", children: []treeNode{scalarTree(x.Else)}})
+		}
+		return n
+	case *ExistsExpr:
+		lbl := "subq(EXISTS)"
+		if x.Not {
+			lbl = "subq(NOT EXISTS)"
+		}
+		return treeNode{label: lbl, children: []treeNode{opNodeTree(x.Input)}}
+	case *SubqueryCmp:
+		var names []string
+		inputCols := x.Input.Columns()
+		for _, c := range inputCols {
+			names = append(names, c.Name)
+		}
+		n := treeNode{label: fmt.Sprintf("subq(%s, %s, [%s])", x.Quant, x.Cmp, strings.Join(names, ", "))}
+		n.children = append(n.children, opNodeTree(x.Input))
+		list := treeNode{label: "list"}
+		for _, l := range x.Left {
+			list.children = append(list.children, scalarTree(l))
+		}
+		n.children = append(n.children, list)
+		return n
+	case *InValues:
+		lbl := "in"
+		if x.Not {
+			lbl = "notin"
+		}
+		n := treeNode{label: lbl, children: []treeNode{scalarTree(x.X)}}
+		for _, v := range x.Vals {
+			n.children = append(n.children, scalarTree(v))
+		}
+		return n
+	case *ScalarSubquery:
+		return treeNode{label: "subq(SCALAR)", children: []treeNode{opNodeTree(x.Input)}}
+	}
+	return treeNode{label: fmt.Sprintf("<%T>", s)}
+}
+
+// scalarInline renders simple scalars compactly for operator labels.
+func scalarInline(s Scalar) string {
+	switch x := s.(type) {
+	case *ColRef:
+		return x.Col.Name
+	case *ConstExpr:
+		return x.Val.String()
+	case *ExtractExpr:
+		return fmt.Sprintf("EXTRACT(%s)", x.Field)
+	case *ArithExpr:
+		return fmt.Sprintf("%s %s %s", scalarInline(x.L), x.Op, scalarInline(x.R))
+	case *FuncExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, scalarInline(a))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *CastExpr:
+		return fmt.Sprintf("CAST(%s AS %s)", scalarInline(x.X), x.To)
+	}
+	return "expr"
+}

@@ -1,0 +1,90 @@
+package xtra
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/types"
+)
+
+// Exercise the tree printer across every operator and scalar node kind so
+// golden tests elsewhere can rely on stable labels.
+func TestFormatCoversAllOperators(t *testing.T) {
+	g := &Get{Table: "T", Cols: []Col{{ID: 1, Name: "a", Type: types.Int}}}
+	g2 := &Get{Table: "U", Cols: []Col{{ID: 2, Name: "b", Type: types.Int}}}
+	aref := &ColRef{Col: g.Cols[0]}
+	bref := &ColRef{Col: g2.Cols[0]}
+
+	plan := Op(&Limit{
+		N: 5, WithTies: true,
+		Keys: []SortKey{{Expr: aref, Desc: true}},
+		Input: &Sort{
+			Keys: []SortKey{{Expr: aref}},
+			Input: &SetOp{
+				Kind: SetExcept, Cols: []Col{{ID: 9, Name: "o", Type: types.Int}},
+				L: &Agg{
+					Input:        &Join{Kind: JoinFull, L: g, R: g2, Pred: &CompExpr{Op: CmpEQ, L: aref, R: bref}},
+					Groups:       []GroupCol{{Out: Col{ID: 3, Name: "a", Type: types.Int}, Expr: aref}},
+					Aggs:         []AggDef{{Out: Col{ID: 4, Name: "s", Type: types.BigInt}, Func: "SUM", Arg: bref, Distinct: true}},
+					GroupingSets: [][]int{{0}, {}},
+				},
+				R: &Values{Rows: [][]Scalar{{NewConst(types.NewInt(1))}}, Cols: []Col{{ID: 8, Name: "v", Type: types.Int}}},
+			},
+		},
+	})
+	out := Format(plan)
+	for _, want := range []string{
+		"limit(5 WITH TIES)", "sort[a ASC]", "except", "agg[a][SUM(DISTINCT b)] sets=2",
+		"join(FULL)", "values(1 rows)", "get(T)", "get(U)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	ru := &RecursiveUnion{Seed: g, Recursive: &WorkScan{Name: "w", WorkID: 1}, Cols: g.Cols}
+	out = Format(ru)
+	if !strings.Contains(out, "recursive_union") || !strings.Contains(out, "workscan(w)") {
+		t.Errorf("recursive format:\n%s", out)
+	}
+}
+
+func TestFormatScalarCoversAllNodes(t *testing.T) {
+	a := &ColRef{Col: Col{ID: 1, Name: "a", Type: types.VarChar(10)}}
+	g := &Get{Table: "S", Cols: []Col{{ID: 2, Name: "x", Type: types.Int}}}
+	nodes := []Scalar{
+		&NotExpr{X: &IsNullExpr{X: a}},
+		&NegExpr{X: NewConst(types.NewInt(3))},
+		&ConcatExpr{L: a, R: NewConst(types.NewString("!"))},
+		&LikeExpr{Not: true, X: a, Pattern: NewConst(types.NewString("%z%"))},
+		&CastExpr{X: a, To: types.Int},
+		&InValues{Not: true, X: a, Vals: []Scalar{NewConst(types.NewString("q"))}},
+		&ScalarSubquery{Input: g, T: types.Int},
+		&ExistsExpr{Not: true, Input: g},
+		&ParamExpr{Name: "p", T: types.Int},
+	}
+	labels := []string{"not", "isnull", "neg", "concat", "notlike", "cast(INTEGER)",
+		"notin", "subq(SCALAR)", "subq(NOT EXISTS)", "param(:p)"}
+	var all strings.Builder
+	for _, n := range nodes {
+		all.WriteString(FormatScalar(n))
+	}
+	for _, want := range labels {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("missing scalar label %q in:\n%s", want, all.String())
+		}
+	}
+}
+
+func TestScalarInlineFallback(t *testing.T) {
+	// Complex expressions fall back to a generic label inside operator
+	// headers rather than exploding.
+	w := &Window{
+		Input:   &Get{Table: "T", Cols: []Col{{ID: 1, Name: "a", Type: types.Int}}},
+		OrderBy: []SortKey{{Expr: &CaseExpr{Whens: []CaseWhen{{Cond: NewConst(types.NewBool(true)), Then: NewConst(types.NewInt(1))}}, T: types.Int}}},
+		Funcs:   []WindowDef{{Out: Col{ID: 2, Name: "r", Type: types.BigInt}, Name: "RANK"}},
+	}
+	if !strings.Contains(Format(w), "expr") {
+		t.Errorf("inline fallback missing:\n%s", Format(w))
+	}
+}

@@ -1,0 +1,92 @@
+package xtra
+
+import (
+	"hyperq/internal/catalog"
+)
+
+// Statement is a bound statement: a query plan or a DML/DDL action with
+// bound expressions.
+type Statement interface{ xtraStmt() }
+
+// Query is a read-only statement.
+type Query struct {
+	Root Op
+}
+
+// Insert appends the rows of Input to Table. Ordinals maps each input column
+// to a target column ordinal; unlisted columns receive their defaults.
+type Insert struct {
+	Table    string
+	Ordinals []int
+	Input    Op
+}
+
+// ColAssign assigns an expression to a target column ordinal.
+type ColAssign struct {
+	Ordinal int
+	Expr    Scalar
+}
+
+// Update modifies rows of Table matching Pred. Cols carries the ColumnIDs
+// under which the table's columns are visible to Pred and the assignment
+// expressions (which may contain correlated subqueries).
+type Update struct {
+	Table   string
+	Cols    []Col
+	Assigns []ColAssign
+	Pred    Scalar
+}
+
+// Delete removes rows of Table matching Pred.
+type Delete struct {
+	Table string
+	Cols  []Col
+	Pred  Scalar
+}
+
+// CreateTable creates a table, optionally populated from Input (CTAS).
+type CreateTable struct {
+	Def         *catalog.Table
+	Input       Op
+	IfNotExists bool
+}
+
+// DropTable drops a table.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateView registers a view definition.
+type CreateView struct {
+	Def     *catalog.View
+	Replace bool
+}
+
+// DropView drops a view.
+type DropView struct {
+	Name string
+}
+
+// Txn is a transaction-control statement; the engine treats each request as
+// auto-committed, so these are no-ops that still produce a success response.
+type Txn struct {
+	Kind string
+}
+
+// NoOp is a statement eliminated by translation (e.g. COLLECT STATISTICS on
+// a self-tuning target). Comment records what was eliminated.
+type NoOp struct {
+	Comment string
+}
+
+func (*Query) xtraStmt()       {}
+func (*Insert) xtraStmt()      {}
+func (*Update) xtraStmt()      {}
+func (*Delete) xtraStmt()      {}
+func (*CreateTable) xtraStmt() {}
+func (*DropTable) xtraStmt()   {}
+func (*CreateView) xtraStmt()  {}
+func (*DropView) xtraStmt()    {}
+func (*Txn) xtraStmt()         {}
+func (*NoOp) xtraStmt()        {}
