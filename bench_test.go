@@ -179,6 +179,74 @@ func BenchmarkTranslationPipeline(b *testing.B) {
 	}
 }
 
+// --- Translation cache ------------------------------------------------------
+
+// newCacheBenchGateway builds a TPC-H gateway with explicit cache settings.
+func newCacheBenchGateway(b *testing.B, disableCache bool) *hyperq.Gateway {
+	b.Helper()
+	target := dialect.CloudA()
+	eng := engine.New(target)
+	if err := tpch.SetupEngine(eng.NewSession(), benchSF); err != nil {
+		b.Fatal(err)
+	}
+	g, err := hyperq.New(hyperq.Config{
+		Target:                  target,
+		Driver:                  &odbc.LocalDriver{Engine: eng},
+		Catalog:                 eng.Catalog().Clone(),
+		DisableTranslationCache: disableCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTranslationCache measures the translation-time effect of the
+// gateway statement cache on a repeated query shape: cold runs the full
+// parse→bind→transform→serialize pipeline every time, warm replays
+// byte-identical requests (request tier), and literal-variant replays the
+// same shape with changing literal values (fingerprint tier). Translation
+// time is taken from the gateway metrics so backend execution does not
+// pollute the comparison.
+func BenchmarkTranslationCache(b *testing.B) {
+	const shape = "SEL L_RETURNFLAG, L_LINESTATUS, SUM(L_QUANTITY), COUNT(*) FROM LINEITEM WHERE L_QUANTITY < %d GROUP BY L_RETURNFLAG, L_LINESTATUS ORDER BY L_RETURNFLAG, L_LINESTATUS"
+	runCase := func(b *testing.B, disableCache bool, query func(i int) string) {
+		g := newCacheBenchGateway(b, disableCache)
+		s, err := g.NewLocalSession("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		// Warm up (fills the cache when enabled) outside the measurement.
+		for i := 0; i < 8; i++ {
+			if _, err := s.Run(query(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g.ResetMetrics()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(query(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		m := g.MetricsSnapshot()
+		b.ReportMetric(float64(m.Translate.Microseconds())/float64(m.Requests), "translate-µs/query")
+		b.ReportMetric(float64(m.CacheHits), "hits")
+		b.ReportMetric(float64(m.CacheMisses), "misses")
+	}
+	b.Run("cold", func(b *testing.B) {
+		runCase(b, true, func(int) string { return fmt.Sprintf(shape, 30) })
+	})
+	b.Run("warm", func(b *testing.B) {
+		runCase(b, false, func(int) string { return fmt.Sprintf(shape, 30) })
+	})
+	b.Run("literal-variant", func(b *testing.B) {
+		runCase(b, false, func(i int) string { return fmt.Sprintf(shape, 10+i%40) })
+	})
+}
+
 // BenchmarkResultConversion measures the Result Converter path in isolation:
 // a wide SELECT whose output is dominated by conversion work.
 func BenchmarkResultConversion(b *testing.B) {

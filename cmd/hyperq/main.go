@@ -17,6 +17,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"hyperq/internal/dialect"
 	"hyperq/internal/odbc"
@@ -37,6 +38,9 @@ func main() {
 	schema := flag.String("schema", "", "Teradata-dialect DDL file imported into the gateway catalog")
 	user := flag.String("backend-user", "hyperq", "user for backend sessions")
 	pass := flag.String("backend-password", "hyperq", "password for backend sessions")
+	cacheEntries := flag.Int("cache-entries", 0, "translation cache entry bound (0 = default 4096, negative = disable)")
+	cacheBytes := flag.Int("cache-bytes", 0, "translation cache byte bound (0 = default 32 MiB)")
+	statsEvery := flag.Duration("stats", 0, "log gateway metrics at this interval (0 = off), e.g. -stats 30s")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -51,9 +55,12 @@ func main() {
 		log.Printf("hyperq: imported catalog from %s (%d tables)", *schema, len(cat.Tables()))
 	}
 	g, err := hyperq.New(hyperq.Config{
-		Target:  prof,
-		Driver:  &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
-		Catalog: cat,
+		Target:                  prof,
+		Driver:                  &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
+		Catalog:                 cat,
+		CacheEntries:            *cacheEntries,
+		CacheBytes:              *cacheBytes,
+		DisableTranslationCache: *cacheEntries < 0,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -62,8 +69,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
 	}
+	if *statsEvery > 0 {
+		go logStats(g, *statsEvery)
+	}
 	fmt.Printf("hyperq: virtualizing %s via %s, listening on %s\n", prof.Name, *backend, ln.Addr())
 	log.Fatal(tdp.Serve(ln, g))
+}
+
+// logStats periodically logs the gateway metrics, including the translation
+// cache counters.
+func logStats(g *hyperq.Gateway, every time.Duration) {
+	for range time.Tick(every) {
+		m := g.MetricsSnapshot()
+		log.Printf("hyperq: requests=%d statements=%d translate=%s execute=%s convert=%s overhead=%.1f%% cache hit=%d miss=%d bypass=%d evict=%d",
+			m.Requests, m.Statements, m.Translate, m.Execute, m.Convert,
+			100*m.Overhead(), m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict)
+	}
 }
 
 // importSchema parses a Teradata DDL script and registers the table and view

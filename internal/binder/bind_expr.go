@@ -45,7 +45,9 @@ func (b *Binder) bindScalarCtx(e sqlast.Expr, sc *scope, ctx selCtx) (xtra.Scala
 	case *sqlast.Ident:
 		return b.bindIdent(x, sc, ctx)
 	case *sqlast.Const:
-		return xtra.NewConst(x.Val), nil
+		c := xtra.NewConst(x.Val)
+		c.Lit = x.Lit
+		return c, nil
 	case *sqlast.Param:
 		return b.bindParam(x)
 	case *sqlast.Star:

@@ -110,6 +110,10 @@ type Catalog struct {
 	tables map[string]*Table
 	views  map[string]*View
 	macros map[string]*Macro
+	// version is a monotonic counter bumped by every successful DDL/macro
+	// mutation. Consumers (the gateway translation cache) embed it in cache
+	// keys so plans translated against stale metadata can never be served.
+	version uint64
 }
 
 // New returns an empty catalog.
@@ -146,6 +150,7 @@ func (c *Catalog) CreateTable(t *Table) error {
 		return fmt.Errorf("catalog: %s already exists as a view", t.Name)
 	}
 	c.tables[k] = t.Clone()
+	c.version++
 	return nil
 }
 
@@ -158,6 +163,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %s does not exist", name)
 	}
 	delete(c.tables, k)
+	c.version++
 	return nil
 }
 
@@ -194,6 +200,7 @@ func (c *Catalog) CreateView(v *View) error {
 	}
 	cp := *v
 	c.views[k] = &cp
+	c.version++
 	return nil
 }
 
@@ -206,6 +213,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: view %s does not exist", name)
 	}
 	delete(c.views, k)
+	c.version++
 	return nil
 }
 
@@ -228,6 +236,7 @@ func (c *Catalog) CreateMacro(m *Macro, replace bool) error {
 	cp := *m
 	cp.Params = append([]MacroParam(nil), m.Params...)
 	c.macros[k] = &cp
+	c.version++
 	return nil
 }
 
@@ -240,6 +249,7 @@ func (c *Catalog) DropMacro(name string) error {
 		return fmt.Errorf("catalog: macro %s does not exist", name)
 	}
 	delete(c.macros, k)
+	c.version++
 	return nil
 }
 
@@ -261,6 +271,15 @@ func (c *Catalog) Macros() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Version returns the monotonic mutation counter: it increases on every
+// successful CREATE/DROP/REPLACE of a table, view, or macro. Two reads
+// returning the same value guarantee the metadata did not change in between.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Clone returns a deep copy of the catalog; used to give each engine session

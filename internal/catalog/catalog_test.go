@@ -193,3 +193,61 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	<-done
 }
+
+func TestVersionBumpsOnEveryMutation(t *testing.T) {
+	c := New()
+	if c.Version() != 0 {
+		t.Fatalf("fresh catalog version = %d", c.Version())
+	}
+	expect := func(step string, want uint64) {
+		t.Helper()
+		if got := c.Version(); got != want {
+			t.Fatalf("after %s: version = %d, want %d", step, got, want)
+		}
+	}
+	if err := c.CreateTable(sampleTable("T")); err != nil {
+		t.Fatal(err)
+	}
+	expect("CREATE TABLE", 1)
+	if err := c.CreateView(&View{Name: "V", SQL: "SELECT ID FROM T"}); err != nil {
+		t.Fatal(err)
+	}
+	expect("CREATE VIEW", 2)
+	if err := c.CreateMacro(&Macro{Name: "M", Body: "SELECT 1;"}, false); err != nil {
+		t.Fatal(err)
+	}
+	expect("CREATE MACRO", 3)
+	if err := c.CreateMacro(&Macro{Name: "M", Body: "SELECT 2;"}, true); err != nil {
+		t.Fatal(err)
+	}
+	expect("REPLACE MACRO", 4)
+	if err := c.DropMacro("M"); err != nil {
+		t.Fatal(err)
+	}
+	expect("DROP MACRO", 5)
+	if err := c.DropView("V"); err != nil {
+		t.Fatal(err)
+	}
+	expect("DROP VIEW", 6)
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	expect("DROP TABLE", 7)
+}
+
+func TestVersionUnchangedOnFailedMutation(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(sampleTable("T")); err != nil {
+		t.Fatal(err)
+	}
+	v := c.Version()
+	if err := c.CreateTable(sampleTable("T")); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if err := c.DropTable("MISSING"); err == nil {
+		t.Fatal("drop of missing table succeeded")
+	}
+	if got := c.Version(); got != v {
+		t.Fatalf("failed mutations moved version %d -> %d", v, got)
+	}
+}

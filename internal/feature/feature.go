@@ -207,6 +207,15 @@ func (r *Recorder) Set() Set {
 	return r.set
 }
 
+// Merge folds a previously recorded set into the recorder. The translation
+// cache replays a statement's recorded features on a cache hit so workload
+// statistics are independent of cache state. Safe on a nil receiver.
+func (r *Recorder) Merge(s Set) {
+	if r != nil {
+		r.set.Union(s)
+	}
+}
+
 // Reset clears the recorder for reuse.
 func (r *Recorder) Reset() {
 	if r != nil {

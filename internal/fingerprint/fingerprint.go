@@ -1,0 +1,570 @@
+// Package fingerprint canonicalizes parsed statements for the gateway's
+// translation cache. A fingerprint is a dialect-independent rendering of the
+// statement shape: identifiers are uppercased, whitespace is immaterial (the
+// encoding works off the AST, not the text), and literal constants are lifted
+// out into a parameter vector so `INSERT INTO t VALUES (1)` and `VALUES (2)`
+// share one cache entry whose translated SQL-B is re-instantiated by splicing
+// serialized literals back in.
+//
+// Lifting is deliberately conservative. A literal is only lifted where the
+// translation pipeline treats it as an opaque value that flows verbatim into
+// the output SQL. Positions where the binder branches on the *value* keep the
+// value in the fingerprint instead:
+//
+//   - bare numeric constants in GROUP BY / ORDER BY lists (ordinal column
+//     positions, Table 2's "ordinal group by"),
+//   - INTERVAL literals (folded into day counts or microsecond ticks during
+//     binding),
+//   - the unit argument of DATEADD (emitted as a bare keyword),
+//   - NULL and boolean literals (candidates for value-dependent
+//     simplification).
+//
+// Statements containing :name/? parameters, and statement kinds outside
+// SELECT/INSERT/UPDATE/DELETE, are reported as uncacheable. As a final
+// backstop, the cache layer verifies after serialization that every lifted
+// literal actually survived to the output text (see ParseTemplate); entries
+// where translation consumed a literal degrade to exact-match caching.
+package fingerprint
+
+import (
+	"strconv"
+	"strings"
+
+	"hyperq/internal/sqlast"
+	"hyperq/internal/types"
+)
+
+// Result is the outcome of fingerprinting one statement.
+type Result struct {
+	// Key is the canonical statement encoding with lifted literals replaced
+	// by ordinal placeholders (tagged with their type so literals of
+	// different kinds never share an entry).
+	Key string
+	// Literals is the lifted literal vector, in placeholder order.
+	Literals []types.Datum
+	// Tables lists every table name referenced at the source level
+	// (uppercased, including CTE references — an over-approximation used by
+	// the session-catalog bypass check).
+	Tables []string
+	// Cacheable reports whether the statement is eligible for the
+	// translation cache at all.
+	Cacheable bool
+	// Reason explains ineligibility (for diagnostics).
+	Reason string
+}
+
+// Statement fingerprints a parsed statement. As a side effect it assigns
+// sqlast.Const.Lit ordinals (1-based) to every lifted literal so the binder
+// and serializer can track them through the pipeline.
+func Statement(stmt sqlast.Statement) Result {
+	e := &enc{ok: true}
+	e.stmt(stmt)
+	if !e.ok {
+		return Result{Cacheable: false, Reason: e.reason}
+	}
+	return Result{
+		Key:       e.b.String(),
+		Literals:  e.lits,
+		Tables:    e.tables,
+		Cacheable: true,
+	}
+}
+
+type enc struct {
+	b      strings.Builder
+	lits   []types.Datum
+	tables []string
+	ok     bool
+	reason string
+}
+
+func (e *enc) fail(reason string) {
+	if e.ok {
+		e.ok = false
+		e.reason = reason
+	}
+}
+
+func (e *enc) s(parts ...string) {
+	for _, p := range parts {
+		e.b.WriteString(p)
+	}
+}
+
+func (e *enc) up(s string) { e.b.WriteString(strings.ToUpper(s)) }
+
+func (e *enc) num(n int) { e.b.WriteString(strconv.Itoa(n)) }
+
+func (e *enc) flag(f bool) {
+	if f {
+		e.b.WriteByte('1')
+	} else {
+		e.b.WriteByte('0')
+	}
+}
+
+func (e *enc) table(name string) {
+	e.tables = append(e.tables, strings.ToUpper(name))
+	e.up(name)
+}
+
+// liftable reports whether a datum kind is safe to lift: its serialized form
+// is opaque to the translation pipeline and its runtime type carries no
+// value-dependent attributes beyond the tag written by litTag.
+func liftable(d types.Datum) bool {
+	if d.Null {
+		return false
+	}
+	switch d.K {
+	case types.KindInt, types.KindBigInt, types.KindFloat, types.KindDecimal,
+		types.KindChar, types.KindVarChar, types.KindDate, types.KindTime,
+		types.KindTimestamp, types.KindBytes:
+		return true
+	}
+	return false
+}
+
+// lit lifts a constant into the parameter vector, or encodes its value
+// verbatim when lifting is unsafe for the datum kind.
+func (e *enc) lit(c *sqlast.Const) {
+	if !liftable(c.Val) {
+		e.constVal(c)
+		return
+	}
+	idx := len(e.lits)
+	e.lits = append(e.lits, c.Val)
+	c.Lit = idx + 1
+	e.b.WriteByte('?')
+	e.num(idx)
+	e.b.WriteByte('@')
+	e.num(int(c.Val.K))
+	if c.Val.K == types.KindDecimal {
+		e.b.WriteByte('.')
+		e.num(int(c.Val.Scale))
+	}
+}
+
+// constVal encodes a constant by value (no lifting).
+func (e *enc) constVal(c *sqlast.Const) {
+	c.Lit = 0
+	e.s("c")
+	e.num(int(c.Val.K))
+	e.s("(", c.Val.SQLLiteral(), ")")
+}
+
+// --- statements -------------------------------------------------------------
+
+func (e *enc) stmt(stmt sqlast.Statement) {
+	switch t := stmt.(type) {
+	case *sqlast.SelectStmt:
+		e.s("S(")
+		e.query(t.Query)
+		e.s(")")
+	case *sqlast.InsertStmt:
+		e.s("I(")
+		e.table(t.Table)
+		e.s(";")
+		for _, c := range t.Columns {
+			e.up(c)
+			e.s(",")
+		}
+		if t.Query != nil {
+			e.s(";Q")
+			e.query(t.Query)
+		} else {
+			e.s(";R")
+			e.num(len(t.Rows))
+			for _, row := range t.Rows {
+				e.s("(")
+				for _, v := range row {
+					e.expr(v, true)
+					e.s(",")
+				}
+				e.s(")")
+			}
+		}
+		e.s(")")
+	case *sqlast.UpdateStmt:
+		e.s("U(")
+		e.table(t.Table)
+		e.s(";")
+		e.up(t.Alias)
+		e.s(";")
+		for _, a := range t.Set {
+			e.up(a.Column)
+			e.s("=")
+			e.expr(a.Value, true)
+			e.s(",")
+		}
+		e.s(";")
+		for _, f := range t.From {
+			e.tableExpr(f)
+		}
+		e.s(";")
+		e.expr(t.Where, true)
+		e.s(")")
+	case *sqlast.DeleteStmt:
+		e.s("D(")
+		e.table(t.Table)
+		e.s(";")
+		e.up(t.Alias)
+		e.s(";")
+		e.expr(t.Where, true)
+		e.s(";")
+		e.flag(t.All)
+		e.s(")")
+	default:
+		e.fail("statement kind not cacheable")
+	}
+}
+
+// --- queries ----------------------------------------------------------------
+
+func (e *enc) query(q *sqlast.QueryExpr) {
+	if !e.ok {
+		return
+	}
+	if q == nil {
+		e.s("<nilq>")
+		return
+	}
+	e.s("Q(")
+	if q.With != nil {
+		e.s("W")
+		e.flag(q.With.Recursive)
+		for _, cte := range q.With.CTEs {
+			// CTE names are verbatim: they become output-visible identifiers.
+			e.s("(", cte.Name, ";")
+			for _, c := range cte.Columns {
+				e.s(c, ",")
+			}
+			e.s(";")
+			e.query(cte.Query)
+			e.s(")")
+		}
+	}
+	e.body(q.Body)
+	e.orderBy(q.OrderBy)
+	e.top(q.Limit)
+	e.s(")")
+}
+
+func (e *enc) body(b sqlast.QueryBody) {
+	if !e.ok {
+		return
+	}
+	switch t := b.(type) {
+	case *sqlast.SelectCore:
+		e.core(t)
+	case *sqlast.SetOpBody:
+		e.s("O(")
+		e.num(int(t.Op))
+		e.flag(t.All)
+		e.body(t.L)
+		e.s("|")
+		e.body(t.R)
+		e.s(")")
+	case *sqlast.QueryExpr:
+		e.query(t)
+	default:
+		e.fail("unknown query body")
+	}
+}
+
+func (e *enc) top(t *sqlast.TopClause) {
+	if t == nil {
+		return
+	}
+	// TOP/LIMIT counts are part of the statement shape: the serializer bakes
+	// them into FETCH FIRST clauses, so they must never be lifted.
+	e.s("T(")
+	e.b.WriteString(strconv.FormatInt(t.N, 10))
+	e.flag(t.Percent)
+	e.flag(t.WithTies)
+	e.s(")")
+}
+
+func (e *enc) core(c *sqlast.SelectCore) {
+	e.s("C(")
+	e.flag(c.Distinct)
+	e.top(c.Top)
+	e.s(";")
+	for _, it := range c.Items {
+		e.expr(it.Expr, true)
+		// Aliases are verbatim: they become frontend result column names.
+		e.s("a(", it.Alias, "),")
+	}
+	e.s(";")
+	for _, f := range c.From {
+		e.tableExpr(f)
+	}
+	e.s(";")
+	e.expr(c.Where, true)
+	e.s(";")
+	for _, g := range c.GroupBy {
+		// Bare numeric constants in GROUP BY are ordinal column positions
+		// (value-dependent binding) — never lifted.
+		e.bareOrLifted(g)
+		e.s(",")
+	}
+	e.s(";")
+	if c.GroupingSets != nil {
+		e.s("G")
+		for _, set := range c.GroupingSets {
+			e.s("(")
+			for _, i := range set {
+				e.num(i)
+				e.s(",")
+			}
+			e.s(")")
+		}
+	}
+	e.s(";")
+	e.expr(c.Having, true)
+	e.s(";")
+	e.expr(c.Qualify, true)
+	e.s(")")
+}
+
+// bareOrLifted encodes a GROUP BY / ORDER BY element: top-level constants by
+// value (ordinal semantics), everything else with normal lifting.
+func (e *enc) bareOrLifted(x sqlast.Expr) {
+	if c, ok := x.(*sqlast.Const); ok {
+		e.constVal(c)
+		return
+	}
+	e.expr(x, true)
+}
+
+func (e *enc) orderBy(items []sqlast.OrderItem) {
+	if len(items) == 0 {
+		return
+	}
+	e.s("B(")
+	for _, it := range items {
+		e.bareOrLifted(it.Expr)
+		e.flag(it.Desc)
+		if it.NullsFirst == nil {
+			e.s("n")
+		} else {
+			e.flag(*it.NullsFirst)
+		}
+		e.s(",")
+	}
+	e.s(")")
+}
+
+// --- table expressions ------------------------------------------------------
+
+func (e *enc) tableExpr(t sqlast.TableExpr) {
+	if !e.ok {
+		return
+	}
+	switch x := t.(type) {
+	case *sqlast.TableRef:
+		e.s("t(")
+		e.table(x.Name)
+		e.s(";")
+		e.up(x.Alias)
+		e.s(";")
+		for _, c := range x.ColAliases {
+			e.s(c, ",")
+		}
+		e.s(")")
+	case *sqlast.DerivedTable:
+		e.s("d(")
+		e.query(x.Query)
+		e.s(";")
+		e.up(x.Alias)
+		e.s(";")
+		for _, c := range x.ColAliases {
+			e.s(c, ",")
+		}
+		e.s(")")
+	case *sqlast.JoinExpr:
+		e.s("j(")
+		e.num(int(x.Kind))
+		e.tableExpr(x.L)
+		e.s("|")
+		e.tableExpr(x.R)
+		e.s("|")
+		e.expr(x.On, true)
+		e.s(")")
+	default:
+		e.fail("unknown table expression")
+	}
+}
+
+// --- expressions ------------------------------------------------------------
+
+// expr encodes one scalar expression. lift controls whether constants in this
+// subtree may be lifted into the parameter vector.
+func (e *enc) expr(x sqlast.Expr, lift bool) {
+	if !e.ok {
+		return
+	}
+	if x == nil {
+		e.s("_")
+		return
+	}
+	switch t := x.(type) {
+	case *sqlast.Const:
+		if lift {
+			e.lit(t)
+		} else {
+			e.constVal(t)
+		}
+	case *sqlast.Ident:
+		e.s("i(")
+		for _, p := range t.Parts {
+			e.up(p)
+			e.s(".")
+		}
+		e.s(")")
+	case *sqlast.Param:
+		// Parameter references require session state (macro EXEC scope);
+		// those statements bypass the cache entirely.
+		e.fail("statement references a parameter")
+	case *sqlast.Star:
+		e.s("*(")
+		e.up(t.Table)
+		e.s(")")
+	case *sqlast.BinExpr:
+		e.s("b")
+		e.num(int(t.Op))
+		e.s("(")
+		e.expr(t.L, lift)
+		e.s(",")
+		e.expr(t.R, lift)
+		e.s(")")
+	case *sqlast.UnaryExpr:
+		e.s("u")
+		e.num(int(t.Op))
+		e.s("(")
+		e.expr(t.X, lift)
+		e.s(")")
+	case *sqlast.FuncCall:
+		e.funcCall(t, lift)
+	case *sqlast.WindowFunc:
+		e.s("w(")
+		e.funcCall(&t.Func, lift)
+		e.s(";")
+		for _, p := range t.Over.PartitionBy {
+			e.expr(p, lift)
+			e.s(",")
+		}
+		e.s(";")
+		e.orderBy(t.Over.OrderBy)
+		e.flag(t.Over.RowsUnboundedPreceding)
+		e.flag(t.TdForm)
+		e.s(")")
+	case *sqlast.CaseExpr:
+		e.s("k(")
+		e.expr(t.Operand, lift)
+		for _, wh := range t.Whens {
+			e.s(";")
+			e.expr(wh.Cond, lift)
+			e.s(":")
+			e.expr(wh.Then, lift)
+		}
+		e.s(";e")
+		e.expr(t.Else, lift)
+		e.s(")")
+	case *sqlast.CastExpr:
+		e.s("z(")
+		e.expr(t.X, lift)
+		e.s(";")
+		e.typeName(t.To)
+		e.s(")")
+	case *sqlast.ExtractExpr:
+		e.s("x(")
+		e.up(t.Field)
+		e.s(";")
+		e.expr(t.X, lift)
+		e.s(")")
+	case *sqlast.Subquery:
+		e.s("q(")
+		e.query(t.Query)
+		e.s(")")
+	case *sqlast.ExistsExpr:
+		e.s("e")
+		e.flag(t.Not)
+		e.s("(")
+		e.query(t.Query)
+		e.s(")")
+	case *sqlast.InExpr:
+		e.s("n")
+		e.flag(t.Not)
+		e.s("(")
+		for _, l := range t.Left {
+			e.expr(l, lift)
+			e.s(",")
+		}
+		e.s(";")
+		e.num(len(t.List))
+		for _, l := range t.List {
+			e.expr(l, lift)
+			e.s(",")
+		}
+		e.s(";")
+		if t.Query != nil {
+			e.query(t.Query)
+		}
+		e.s(")")
+	case *sqlast.QuantifiedCmp:
+		e.s("y")
+		e.num(int(t.Op))
+		e.num(int(t.Quant))
+		e.s("(")
+		for _, l := range t.Left {
+			e.expr(l, lift)
+			e.s(",")
+		}
+		e.s(";")
+		e.query(t.Query)
+		e.s(")")
+	case *sqlast.Tuple:
+		e.s("p(")
+		for _, it := range t.Items {
+			e.expr(it, lift)
+			e.s(",")
+		}
+		e.s(")")
+	case *sqlast.IntervalExpr:
+		// The binder folds INTERVAL literals into day counts / microsecond
+		// ticks; the value shapes the plan and must stay in the key.
+		e.s("v(")
+		e.up(t.Unit)
+		e.s(";")
+		e.expr(t.Value, false)
+		e.s(")")
+	default:
+		e.fail("unknown expression")
+	}
+}
+
+func (e *enc) funcCall(t *sqlast.FuncCall, lift bool) {
+	name := strings.ToUpper(t.Name)
+	e.s("f(", name, ";")
+	e.flag(t.Distinct)
+	e.flag(t.Star)
+	for i, a := range t.Args {
+		// DATEADD's unit argument is emitted as a bare keyword by the
+		// serializer — its value is part of the output shape.
+		argLift := lift
+		if name == "DATEADD" && i == 0 {
+			argLift = false
+		}
+		e.expr(a, argLift)
+		e.s(",")
+	}
+	e.s(")")
+}
+
+func (e *enc) typeName(t sqlast.TypeName) {
+	e.up(t.Name)
+	for _, a := range t.Args {
+		e.s(",")
+		e.num(a)
+	}
+}

@@ -1,0 +1,156 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+	"hyperq/internal/types"
+)
+
+func parseOne(t *testing.T, sql string) sqlast.Statement {
+	t.Helper()
+	stmts, err := parser.Parse(sql, parser.Teradata, nil)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("parse %q: %d statements", sql, len(stmts))
+	}
+	return stmts[0]
+}
+
+func TestSameShapeSharesKey(t *testing.T) {
+	a := Statement(parseOne(t, "INSERT INTO T VALUES (1, 'x')"))
+	b := Statement(parseOne(t, "insert into t values (2, 'y')"))
+	if !a.Cacheable || !b.Cacheable {
+		t.Fatalf("not cacheable: %+v %+v", a, b)
+	}
+	if a.Key != b.Key {
+		t.Fatalf("keys differ:\n%q\n%q", a.Key, b.Key)
+	}
+	if len(a.Literals) != 2 || len(b.Literals) != 2 {
+		t.Fatalf("literals = %v / %v", a.Literals, b.Literals)
+	}
+	if a.Literals[0].I != 1 || b.Literals[0].I != 2 {
+		t.Fatalf("literal values = %v / %v", a.Literals, b.Literals)
+	}
+}
+
+func TestLiteralKindsSeparateKeys(t *testing.T) {
+	a := Statement(parseOne(t, "SELECT A FROM T WHERE B = 1"))
+	b := Statement(parseOne(t, "SELECT A FROM T WHERE B = 'one'"))
+	if a.Key == b.Key {
+		t.Fatalf("int and string literal share key %q", a.Key)
+	}
+}
+
+func TestOrdinalGroupByNotLifted(t *testing.T) {
+	r := Statement(parseOne(t, "SELECT STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 ORDER BY 2"))
+	if !r.Cacheable {
+		t.Fatalf("not cacheable: %s", r.Reason)
+	}
+	if len(r.Literals) != 0 {
+		t.Fatalf("ordinals were lifted: %v", r.Literals)
+	}
+	r2 := Statement(parseOne(t, "SELECT STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 ORDER BY 1"))
+	if r.Key == r2.Key {
+		t.Fatal("ORDER BY 2 and ORDER BY 1 share a key")
+	}
+}
+
+func TestTopClauseNotLifted(t *testing.T) {
+	a := Statement(parseOne(t, "SELECT TOP 3 A FROM T"))
+	b := Statement(parseOne(t, "SELECT TOP 5 A FROM T"))
+	if a.Key == b.Key {
+		t.Fatal("TOP n folded into shared key")
+	}
+}
+
+func TestParamUncacheable(t *testing.T) {
+	r := Statement(parseOne(t, "SELECT A FROM T WHERE B = :p"))
+	if r.Cacheable {
+		t.Fatal("parameterized statement marked cacheable")
+	}
+}
+
+func TestDDLUncacheable(t *testing.T) {
+	r := Statement(parseOne(t, "CREATE TABLE T (A INT)"))
+	if r.Cacheable {
+		t.Fatal("DDL marked cacheable")
+	}
+}
+
+func TestTablesCollected(t *testing.T) {
+	r := Statement(parseOne(t, "SELECT * FROM SALES S JOIN EMP E ON S.STORE = E.EMPNO"))
+	want := map[string]bool{"SALES": true, "EMP": true}
+	for _, n := range r.Tables {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing tables %v in %v", want, r.Tables)
+	}
+}
+
+func TestLitOrdinalsAssigned(t *testing.T) {
+	stmt := parseOne(t, "SELECT A FROM T WHERE B = 7 AND C = 'x'")
+	r := Statement(stmt)
+	if len(r.Literals) != 2 {
+		t.Fatalf("literals = %v", r.Literals)
+	}
+	var ords []int
+	sqlast.WalkExpr(stmt.(*sqlast.SelectStmt).Query.Body.(*sqlast.SelectCore).Where, func(e sqlast.Expr) bool {
+		if c, ok := e.(*sqlast.Const); ok {
+			ords = append(ords, c.Lit)
+		}
+		return true
+	})
+	if len(ords) != 2 || ords[0] != 1 || ords[1] != 2 {
+		t.Fatalf("assigned ordinals = %v", ords)
+	}
+}
+
+func TestTemplateRoundTrip(t *testing.T) {
+	marked := "SELECT a FROM t WHERE b = " + Marker(0) + " AND c = " + Marker(1)
+	tpl, complete := ParseTemplate(marked, 2)
+	if !complete || !tpl.Valid() {
+		t.Fatalf("complete=%v valid=%v", complete, tpl.Valid())
+	}
+	got := tpl.Instantiate([]types.Datum{types.NewInt(42), types.NewString("x")})
+	want := "SELECT a FROM t WHERE b = 42 AND c = 'x'"
+	if got != want {
+		t.Fatalf("instantiated %q", got)
+	}
+	if strings.ContainsRune(got, 0) {
+		t.Fatal("NUL leaked into output")
+	}
+}
+
+func TestTemplateIncomplete(t *testing.T) {
+	// Ordinal 1 never appears: translation consumed its value.
+	marked := "SELECT a FROM t WHERE b = " + Marker(0)
+	_, complete := ParseTemplate(marked, 2)
+	if complete {
+		t.Fatal("missing ordinal reported complete")
+	}
+}
+
+func TestTemplateRepeatedSlot(t *testing.T) {
+	marked := Marker(0) + " + " + Marker(0)
+	tpl, complete := ParseTemplate(marked, 1)
+	if !complete {
+		t.Fatal("repeated ordinal reported incomplete")
+	}
+	if got := tpl.Instantiate([]types.Datum{types.NewInt(3)}); got != "3 + 3" {
+		t.Fatalf("instantiated %q", got)
+	}
+}
+
+func TestLitSigDistinguishesValues(t *testing.T) {
+	a := LitSig([]types.Datum{types.NewInt(1), types.NewInt(2)})
+	b := LitSig([]types.Datum{types.NewInt(1), types.NewInt(3)})
+	if a == b {
+		t.Fatal("signatures collide")
+	}
+}

@@ -1,0 +1,99 @@
+package fingerprint
+
+import (
+	"strconv"
+	"strings"
+
+	"hyperq/internal/types"
+)
+
+// Marker returns the placeholder the serializer emits, in lift mode, for the
+// literal with the given 0-based vector ordinal. NUL bytes cannot occur in
+// serialized SQL, so the markers never collide with statement text.
+func Marker(idx int) string {
+	return "\x00" + strconv.Itoa(idx) + "\x00"
+}
+
+// Template is a serialized statement with literal slots: the statement text
+// split at markers, ready to be re-instantiated with a new literal vector.
+type Template struct {
+	segs  []string // len(slots)+1 text segments
+	slots []int    // literal ordinal spliced between segs[i] and segs[i+1]
+	fixed int      // total byte length of segs
+}
+
+// ParseTemplate splits marked SQL text into a template over n literals.
+// complete reports whether every ordinal 0..n-1 appears at least once; when
+// it does not, translation consumed a literal's value (constant folding,
+// ordinal binding, ...) and the cache entry must degrade to exact matching.
+func ParseTemplate(marked string, n int) (t Template, complete bool) {
+	seen := make([]bool, n)
+	rest := marked
+	for {
+		i := strings.IndexByte(rest, 0)
+		if i < 0 {
+			break
+		}
+		j := strings.IndexByte(rest[i+1:], 0)
+		if j < 0 {
+			// Unterminated marker: treat the NUL as text (cannot happen with
+			// serializer-produced input).
+			break
+		}
+		ord, err := strconv.Atoi(rest[i+1 : i+1+j])
+		if err != nil || ord < 0 || ord >= n {
+			return Template{}, false
+		}
+		t.segs = append(t.segs, rest[:i])
+		t.slots = append(t.slots, ord)
+		t.fixed += i
+		seen[ord] = true
+		rest = rest[i+1+j+1:]
+	}
+	t.segs = append(t.segs, rest)
+	t.fixed += len(rest)
+	complete = true
+	for _, s := range seen {
+		complete = complete && s
+	}
+	return t, complete
+}
+
+// Valid reports whether the template was parsed successfully (Instantiate
+// must not be called on an invalid template).
+func (t *Template) Valid() bool { return len(t.segs) > 0 }
+
+// Instantiate splices serialized literals into the template slots.
+func (t *Template) Instantiate(lits []types.Datum) string {
+	if len(t.slots) == 0 {
+		return t.segs[0]
+	}
+	var b strings.Builder
+	b.Grow(t.fixed + 16*len(t.slots))
+	for i, slot := range t.slots {
+		b.WriteString(t.segs[i])
+		b.WriteString(lits[slot].SQLLiteral())
+	}
+	b.WriteString(t.segs[len(t.segs)-1])
+	return b.String()
+}
+
+// Size approximates the retained byte size of the template for cache
+// accounting.
+func (t *Template) Size() int {
+	return t.fixed + 24*len(t.slots) + 48
+}
+
+// LitSig returns a comparable signature of a literal vector's values, used by
+// exact-match cache entries where the translated text depends on the values.
+func LitSig(lits []types.Datum) string {
+	if len(lits) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range lits {
+		b.WriteString(d.SQLLiteral())
+		b.WriteByte(0)
+	}
+	return b.String()
+}

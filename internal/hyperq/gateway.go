@@ -41,6 +41,14 @@ type Config struct {
 	// Stats, when non-nil, accumulates per-request feature statistics (the
 	// §7.1 instrumentation).
 	Stats *feature.Stats
+	// CacheEntries bounds the translation cache entry count. 0 selects 4096.
+	CacheEntries int
+	// CacheBytes bounds the translation cache retained bytes. 0 selects
+	// 32 MiB.
+	CacheBytes int
+	// DisableTranslationCache turns the translation cache off entirely
+	// (every statement runs the full pipeline — the cold baseline).
+	DisableTranslationCache bool
 }
 
 // Metrics aggregates the three timing components of Figure 9: query
@@ -51,6 +59,10 @@ type Metrics struct {
 	convertNs   int64
 	requests    int64
 	statements  int64
+	cacheHits   int64
+	cacheMisses int64
+	cacheBypass int64
+	cacheEvict  int64
 }
 
 // MetricsSnapshot is a point-in-time copy of the gateway metrics.
@@ -60,6 +72,13 @@ type MetricsSnapshot struct {
 	Convert    time.Duration
 	Requests   int64
 	Statements int64
+	// Translation-cache counters: hits served from a cached translation,
+	// misses that filled the cache, bypasses for cache-ineligible statements
+	// (macro scope, session objects, non-DML), and LRU evictions.
+	CacheHits   int64
+	CacheMisses int64
+	CacheBypass int64
+	CacheEvict  int64
 }
 
 // Overhead returns the fraction of total time spent in the gateway
@@ -77,6 +96,12 @@ type Gateway struct {
 	cfg     Config
 	cat     *catalog.Catalog
 	metrics Metrics
+	// cache is the translation cache; nil when disabled.
+	cache *translationCache
+	// nextSessionID mints globally unique session identities for cache keys
+	// (sessions with a populated session catalog stamp their overlay version
+	// under this identity).
+	nextSessionID uint64
 }
 
 // New creates a gateway.
@@ -96,7 +121,17 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.ConvertWorkers == 0 {
 		cfg.ConvertWorkers = runtime.GOMAXPROCS(0)
 	}
-	return &Gateway{cfg: cfg, cat: cfg.Catalog}, nil
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 32 << 20
+	}
+	g := &Gateway{cfg: cfg, cat: cfg.Catalog}
+	if !cfg.DisableTranslationCache {
+		g.cache = newTranslationCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	return g, nil
 }
 
 // Catalog exposes the gateway-side metadata store.
@@ -108,11 +143,15 @@ func (g *Gateway) Target() *dialect.Profile { return g.cfg.Target }
 // MetricsSnapshot returns current cumulative metrics.
 func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Translate:  time.Duration(atomic.LoadInt64(&g.metrics.translateNs)),
-		Execute:    time.Duration(atomic.LoadInt64(&g.metrics.executeNs)),
-		Convert:    time.Duration(atomic.LoadInt64(&g.metrics.convertNs)),
-		Requests:   atomic.LoadInt64(&g.metrics.requests),
-		Statements: atomic.LoadInt64(&g.metrics.statements),
+		Translate:   time.Duration(atomic.LoadInt64(&g.metrics.translateNs)),
+		Execute:     time.Duration(atomic.LoadInt64(&g.metrics.executeNs)),
+		Convert:     time.Duration(atomic.LoadInt64(&g.metrics.convertNs)),
+		Requests:    atomic.LoadInt64(&g.metrics.requests),
+		Statements:  atomic.LoadInt64(&g.metrics.statements),
+		CacheHits:   atomic.LoadInt64(&g.metrics.cacheHits),
+		CacheMisses: atomic.LoadInt64(&g.metrics.cacheMisses),
+		CacheBypass: atomic.LoadInt64(&g.metrics.cacheBypass),
+		CacheEvict:  atomic.LoadInt64(&g.metrics.cacheEvict),
 	}
 }
 
@@ -128,6 +167,10 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.convertNs, 0)
 	atomic.StoreInt64(&g.metrics.requests, 0)
 	atomic.StoreInt64(&g.metrics.statements, 0)
+	atomic.StoreInt64(&g.metrics.cacheHits, 0)
+	atomic.StoreInt64(&g.metrics.cacheMisses, 0)
+	atomic.StoreInt64(&g.metrics.cacheBypass, 0)
+	atomic.StoreInt64(&g.metrics.cacheEvict, 0)
 }
 
 // Logon implements tdp.Handler: it opens the paired backend session.

@@ -2,6 +2,8 @@ package hyperq
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"hyperq/internal/catalog"
 	"hyperq/internal/dialect"
 	"hyperq/internal/feature"
+	"hyperq/internal/fingerprint"
 	"hyperq/internal/odbc"
 	"hyperq/internal/parser"
 	"hyperq/internal/serializer"
@@ -36,16 +39,54 @@ type Session struct {
 	// macroParams holds bound :name parameter values during EXEC.
 	macroParams map[string]types.Datum
 	nextTemp    int
+
+	// id is the gateway-unique session identity; sessions with a populated
+	// session catalog stamp translation-cache keys under it so overlay
+	// objects never leak entries across sessions.
+	id      uint64
+	logonAt time.Time
+	// settingsSig is the canonical rendering of the session settings,
+	// embedded in cache keys so settings-dependent translations cannot be
+	// shared across differently configured sessions.
+	settingsSig string
+
+	// Per-request raw-cache fill state (see runCachedRaw): translateCalls
+	// counts pipeline invocations during the current Run; rawPlan holds the
+	// request-tier entry candidate when exactly one cache-eligible statement
+	// was translated.
+	translateCalls int
+	rawPlan        *cacheEntry
 }
 
 func newSession(g *Gateway, be odbc.Executor, user string) *Session {
-	return &Session{
+	s := &Session{
 		g:          g,
 		be:         be,
 		user:       user,
 		settings:   map[string]string{"CHARSET": "ASCII", "DATEFORM": "integerdate"},
 		sessionCat: catalog.New(),
+		id:         atomic.AddUint64(&g.nextSessionID, 1),
+		logonAt:    time.Now(),
 	}
+	s.settingsSig = settingsSignature(s.settings)
+	return s
+}
+
+// settingsSignature renders the session settings deterministically.
+func settingsSignature(settings map[string]string) string {
+	keys := make([]string, 0, len(settings))
+	for k := range settings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(settings[k])
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 // Table implements binder.Resolver with the session overlay.
@@ -99,6 +140,11 @@ func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
 // Run processes a request string and returns per-statement results.
 func (s *Session) Run(sql string) ([]*FrontResult, error) {
 	rec := &feature.Recorder{}
+	if out, done, err := s.runCachedRaw(sql, rec); done {
+		return out, err
+	}
+	s.translateCalls = 0
+	s.rawPlan = nil
 	t0 := time.Now()
 	stmts, err := parser.Parse(sql, parser.Teradata, rec)
 	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
@@ -128,8 +174,76 @@ func (s *Session) Run(sql string) ([]*FrontResult, error) {
 		}
 		atomic.AddInt64(&s.g.metrics.statements, 1)
 	}
+	s.fillRawEntry(sql, units, rec)
 	s.finishRequest(rec)
 	return out, nil
+}
+
+// runCachedRaw is the request-tier cache fast path: a byte-identical repeat
+// of a previously translated single-statement request skips parsing and
+// fingerprinting entirely and replays the stored translation. done reports
+// whether the request was served (successfully or not) from the cache.
+func (s *Session) runCachedRaw(sql string, rec *feature.Recorder) (out []*FrontResult, done bool, err error) {
+	cache := s.g.cache
+	if cache == nil {
+		return nil, false, nil
+	}
+	t0 := time.Now()
+	e := cache.get(s.cacheKey("R", sql))
+	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	if e == nil {
+		return nil, false, nil
+	}
+	atomic.AddInt64(&s.g.metrics.cacheHits, 1)
+	rec.Merge(e.feats)
+	out, err = s.execTranslated(e.sql, e.cols, func(string) string { return e.cmd })
+	if err == nil {
+		atomic.AddInt64(&s.g.metrics.statements, 1)
+	} else {
+		out = nil
+	}
+	s.finishRequest(rec)
+	return out, true, err
+}
+
+// fillRawEntry promotes the just-translated request into the request tier
+// when it is a single cache-eligible statement (no batching, no DDL, no
+// session-dependent translation: exactly one pipeline invocation that
+// produced a fingerprint-tier plan).
+func (s *Session) fillRawEntry(sql string, units []execUnit, rec *feature.Recorder) {
+	cache := s.g.cache
+	if cache == nil || s.rawPlan == nil || s.translateCalls != 1 ||
+		len(units) != 1 || units[0].perStmtRows != nil {
+		return
+	}
+	e := s.rawPlan
+	s.rawPlan = nil
+	e.key = s.cacheKey("R", sql)
+	// Request-level features include parse-stage recordings, so a raw hit
+	// replays exactly what the full pipeline would have recorded.
+	e.feats = rec.Set()
+	e.size = e.entrySize()
+	if evicted := cache.put(e); evicted > 0 {
+		atomic.AddInt64(&s.g.metrics.cacheEvict, int64(evicted))
+	}
+}
+
+// cacheKey builds a translation-cache key. Besides the statement body it
+// embeds everything a cached translation depends on: the tier, the target
+// dialect, the global catalog version, the session-overlay stamp, and the
+// session settings. Sessions whose overlay catalog has ever changed get
+// session-private keys (overlay objects can shadow global ones through
+// views, invisible to the statement-level table check).
+func (s *Session) cacheKey(tier, body string) string {
+	overlay := "0"
+	if v := s.sessionCat.Version(); v != 0 {
+		overlay = strconv.FormatUint(s.id, 10) + "." + strconv.FormatUint(v, 10)
+	}
+	return tier + "|" + s.g.cfg.Target.Name +
+		"|" + strconv.FormatUint(s.g.cat.Version(), 10) +
+		"|" + overlay +
+		"|" + s.settingsSig +
+		"|" + body
 }
 
 func (s *Session) finishRequest(rec *feature.Recorder) {
@@ -149,6 +263,7 @@ func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([
 		return s.execHelp(t)
 	case *sqlast.SetSessionStmt:
 		s.settings[strings.ToUpper(t.Option)] = t.Value
+		s.settingsSig = settingsSignature(s.settings)
 		return []*FrontResult{{Command: "SET SESSION"}}, nil
 	case *sqlast.CreateMacroStmt:
 		return s.execCreateMacro(t)
@@ -192,33 +307,161 @@ func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([
 }
 
 // translateAndRun performs the paper's core pipeline for one statement:
-// bind → binding-stage transform → serialize → execute → convert.
+// translate (bind → binding-stage transform → serialize, consulting the
+// translation cache) → execute → convert.
 func (s *Session) translateAndRun(stmt sqlast.Statement, rec *feature.Recorder) ([]*FrontResult, error) {
+	sql, frontCols, err := s.translateStatement(stmt, rec)
+	if err != nil {
+		return nil, err
+	}
+	if sql == "" {
+		// Statement eliminated by translation.
+		return []*FrontResult{{Command: "OK"}}, nil
+	}
+	return s.execTranslated(sql, frontCols, func(backend string) string {
+		return commandName(stmt, backend)
+	})
+}
+
+// cacheableKind reports whether a statement kind is eligible for the
+// translation cache at all. DDL and emulated constructs always take the
+// full pipeline: they are rare, side-effecting, and mutate the very
+// metadata the cache keys on.
+func cacheableKind(stmt sqlast.Statement) bool {
+	switch stmt.(type) {
+	case *sqlast.SelectStmt, *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
+		return true
+	}
+	return false
+}
+
+// refsSessionObject reports whether any referenced table name resolves in
+// the session catalog (volatile tables, global-temporary instances,
+// emulation work tables): such translations are session-state-dependent.
+func (s *Session) refsSessionObject(tables []string) bool {
+	for _, name := range tables {
+		if _, ok := s.sessionCat.Table(name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// translateStatement produces the backend SQL text and frontend column
+// metadata for one statement, consulting the translation cache. An empty
+// SQL result means translation eliminated the statement.
+func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorder) (string, []xtra.Col, error) {
+	s.translateCalls++
 	t0 := time.Now()
+	defer func() {
+		atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	}()
+	cache := s.g.cache
+	if cache == nil || !cacheableKind(stmt) {
+		return s.bindTransformSerialize(stmt, rec, false)
+	}
+	if s.macroParams != nil {
+		// Macro scope: statement text contains :params bound per EXEC.
+		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
+		return s.bindTransformSerialize(stmt, rec, false)
+	}
+	fp := fingerprint.Statement(stmt)
+	if !fp.Cacheable || s.refsSessionObject(fp.Tables) {
+		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
+		return s.bindTransformSerialize(stmt, rec, false)
+	}
+	key := s.cacheKey("F", fp.Key)
+	if e := cache.get(key); e != nil && (!e.exact || e.litsig == fingerprint.LitSig(fp.Literals)) {
+		atomic.AddInt64(&s.g.metrics.cacheHits, 1)
+		rec.Merge(e.feats)
+		sql := e.tpl.Instantiate(fp.Literals)
+		s.noteRawCandidate(sql, e.cols, commandName(stmt, ""), e.feats)
+		return sql, e.cols, nil
+	}
+	atomic.AddInt64(&s.g.metrics.cacheMisses, 1)
+	// Translate with an inner recorder so the cache entry can replay the
+	// statement's features on later hits.
+	inner := &feature.Recorder{}
+	marked, cols, err := s.bindTransformSerialize(stmt, inner, true)
+	rec.Merge(inner.Set())
+	if err != nil {
+		return "", nil, err
+	}
+	if marked == "" {
+		// Statement eliminated by translation; nothing worth caching.
+		return "", cols, nil
+	}
+	tpl, complete := fingerprint.ParseTemplate(marked, len(fp.Literals))
+	if !tpl.Valid() {
+		// Marker parsing failed (a non-lifted literal contained a NUL
+		// byte): re-serialize without lifting and skip caching.
+		sql, _, err := s.bindTransformSerialize(stmt, &feature.Recorder{}, false)
+		return sql, cols, err
+	}
+	e := &cacheEntry{key: key, tpl: tpl, cols: cols, cmd: commandName(stmt, ""), feats: inner.Set()}
+	if !complete {
+		// A lifted literal's value was consumed by translation (folding,
+		// value-dependent binding): the text is only valid for these exact
+		// values.
+		e.exact = true
+		e.litsig = fingerprint.LitSig(fp.Literals)
+	}
+	e.size = e.entrySize()
+	if evicted := cache.put(e); evicted > 0 {
+		atomic.AddInt64(&s.g.metrics.cacheEvict, int64(evicted))
+	}
+	sql := tpl.Instantiate(fp.Literals)
+	s.noteRawCandidate(sql, cols, e.cmd, inner.Set())
+	return sql, cols, nil
+}
+
+// noteRawCandidate remembers the first fingerprint-tier translation of the
+// current request as a request-tier fill candidate (committed by
+// fillRawEntry once the whole request is known to qualify).
+func (s *Session) noteRawCandidate(sql string, cols []xtra.Col, cmd string, feats feature.Set) {
+	if s.translateCalls == 1 {
+		s.rawPlan = &cacheEntry{sql: sql, cols: cols, cmd: cmd, feats: feats}
+	} else {
+		s.rawPlan = nil
+	}
+}
+
+// bindTransformSerialize runs bind → binding-stage transform → serialize.
+// With lift set, serialized output carries literal placeholders
+// (fingerprint markers) instead of the lifted literal values.
+func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Recorder, lift bool) (string, []xtra.Col, error) {
 	b := binder.New(s, parser.Teradata, rec)
 	if s.macroParams != nil {
 		b.SetParams(s.macroParams)
 	}
 	bound, err := b.Bind(stmt)
 	if err != nil {
-		atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
-		return nil, failf(3707, "%v", err) // semantic error
+		return "", nil, failf(3707, "%v", err) // semantic error
 	}
 	ctx := transform.NewContext(nil, rec, b.MaxColumnID())
 	mid, err := transform.BindingStage().Statement(bound, ctx)
 	if err != nil {
-		atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
-		return nil, failf(3707, "%v", err)
+		return "", nil, failf(3707, "%v", err)
 	}
-	sql, err := serializer.New(s.g.cfg.Target, rec).Serialize(mid)
-	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	ser := serializer.New(s.g.cfg.Target, rec)
+	if lift {
+		ser.LiftLiterals()
+	}
+	sql, err := ser.Serialize(mid)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return "", nil, failf(3707, "%v", err)
 	}
-	if sql == "" {
-		// Statement eliminated by translation.
-		return []*FrontResult{{Command: "OK"}}, nil
+	var frontCols []xtra.Col
+	if q, ok := mid.(*xtra.Query); ok {
+		frontCols = q.Root.Columns()
 	}
+	return sql, frontCols, nil
+}
+
+// execTranslated executes translated SQL on the backend and converts the
+// results to the frontend representation. cmd maps the backend command tag
+// to the frontend activity name.
+func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
 	t1 := time.Now()
 	backendResults, err := s.be.Exec(sql)
 	atomic.AddInt64(&s.g.metrics.executeNs, int64(time.Since(t1)))
@@ -230,13 +473,9 @@ func (s *Session) translateAndRun(stmt sqlast.Statement, rec *feature.Recorder) 
 	defer func() {
 		atomic.AddInt64(&s.g.metrics.convertNs, int64(time.Since(t2)))
 	}()
-	var frontCols []xtra.Col
-	if q, ok := mid.(*xtra.Query); ok {
-		frontCols = q.Root.Columns()
-	}
 	var out []*FrontResult
 	for _, br := range backendResults {
-		fr := &FrontResult{Activity: br.Affected, Command: commandName(stmt, br.Command)}
+		fr := &FrontResult{Activity: br.Affected, Command: cmd(br.Command)}
 		if br.Cols != nil {
 			if frontCols == nil {
 				return nil, failf(3807, "unexpected result set from backend")
@@ -431,7 +670,7 @@ func (s *Session) execHelp(t *sqlast.HelpStmt) ([]*FrontResult, error) {
 		}
 		add("User Name", s.user)
 		add("Account Name", s.user)
-		add("Logon Date", "26/07/05")
+		add("Logon Date", s.logonAt.Format("06/01/02"))
 		add("Default Database", "hyperq")
 		add("Transaction Semantics", "Teradata")
 		add("Current DateForm", s.settings["DATEFORM"])

@@ -1,0 +1,325 @@
+package hyperq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hyperq/internal/dialect"
+)
+
+// TestTranslationCacheHitMissCounters checks the counter discipline: first
+// occurrence misses, byte-identical repeats hit the request tier, and
+// literal variants hit the fingerprint tier.
+func TestTranslationCacheHitMissCounters(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	const q = "SEL STORE FROM SALES WHERE AMOUNT > 90"
+	run(t, s, q)
+	m := g.MetricsSnapshot()
+	if m.CacheMisses != 1 || m.CacheHits != 0 {
+		t.Fatalf("cold: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+	run(t, s, q) // byte-identical: request tier
+	run(t, s, q)
+	m = g.MetricsSnapshot()
+	if m.CacheHits != 2 || m.CacheMisses != 1 {
+		t.Fatalf("warm: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+	run(t, s, "SEL STORE FROM SALES WHERE AMOUNT > 200") // literal variant: fingerprint tier
+	m = g.MetricsSnapshot()
+	if m.CacheHits != 3 || m.CacheMisses != 1 {
+		t.Fatalf("variant: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+}
+
+// TestTranslationCacheLiteralVariants checks that literal-variant hits
+// return value-correct results (the spliced literals actually take effect).
+func TestTranslationCacheLiteralVariants(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	counts := map[int]int{90: 3, 200: 2, 10000: 0}
+	// Seed the template, then vary the literal.
+	for _, threshold := range []int{90, 200, 10000, 90, 200} {
+		res := run(t, s, fmt.Sprintf("SEL STORE FROM SALES WHERE AMOUNT > %d", threshold))
+		if len(res[0].Rows) != counts[threshold] {
+			t.Fatalf("threshold %d: %d rows, want %d", threshold, len(res[0].Rows), counts[threshold])
+		}
+	}
+	if m := g.MetricsSnapshot(); m.CacheHits < 2 {
+		t.Fatalf("expected fingerprint-tier hits, got %+v", m)
+	}
+}
+
+// TestTranslationCacheResultCorrectness runs a query shape repeatedly across
+// two sessions and compares against a cache-disabled gateway.
+func TestTranslationCacheResultCorrectness(t *testing.T) {
+	cached, _ := newTestGateway(t, dialect.CloudA())
+	cold := newColdGateway(t, dialect.CloudA())
+	queries := []string{
+		"SEL STORE, AMOUNT FROM SALES WHERE AMOUNT > 90 ORDER BY AMOUNT DESC, STORE",
+		"SEL STORE, AMOUNT FROM SALES WHERE AMOUNT > 90 ORDER BY AMOUNT DESC, STORE",
+		"SEL STORE, AMOUNT FROM SALES WHERE AMOUNT > 40 ORDER BY AMOUNT DESC, STORE",
+		"SEL COUNT(*) FROM SALES WHERE SALES_DATE > DATE '2014-01-01'",
+		"SEL COUNT(*) FROM SALES WHERE SALES_DATE > DATE '2013-01-01'",
+	}
+	sc := session(t, cached)
+	defer sc.Close()
+	sd := session(t, cold)
+	defer sd.Close()
+	for _, q := range queries {
+		got := rowStrings(run(t, sc, q)[0])
+		want := rowStrings(run(t, sd, q)[0])
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s:\ncached %v\ncold   %v", q, got, want)
+		}
+	}
+}
+
+func newColdGateway(t *testing.T, target *dialect.Profile) *Gateway {
+	t.Helper()
+	g, _ := newTestGateway(t, target)
+	g.cache = nil
+	return g
+}
+
+// TestTranslationCacheDDLInvalidation proves stale plans are never served
+// after DROP/CREATE TABLE changes a table's shape: the same request text
+// must reflect the new catalog.
+func TestTranslationCacheDDLInvalidation(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	run(t, s, "CREATE TABLE RESHAPE (A INT)")
+	run(t, s, "INSERT INTO RESHAPE VALUES (1)")
+	const q = "SEL * FROM RESHAPE"
+	res := run(t, s, q)
+	run(t, s, q) // ensure both tiers are warm
+	if len(res[0].Cols) != 1 {
+		t.Fatalf("initial cols = %d", len(res[0].Cols))
+	}
+	run(t, s, "DROP TABLE RESHAPE")
+	run(t, s, "CREATE TABLE RESHAPE (A INT, B INT)")
+	run(t, s, "INSERT INTO RESHAPE VALUES (2, 3)")
+	res = run(t, s, q)
+	if len(res[0].Cols) != 2 {
+		t.Fatalf("stale star expansion survived DDL: cols = %v", res[0].Cols)
+	}
+	if got := rowStrings(res[0]); len(got) != 1 || got[0] != "2|3" {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+// TestTranslationCacheViewInvalidation proves REPLACE VIEW invalidates
+// cached translations referencing the view.
+func TestTranslationCacheViewInvalidation(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	run(t, s, "CREATE VIEW TOPSALES AS SEL AMOUNT FROM SALES WHERE AMOUNT > 200")
+	const q = "SEL * FROM TOPSALES"
+	res := run(t, s, q)
+	run(t, s, q)
+	if len(res[0].Cols) != 1 || len(res[0].Rows) != 2 {
+		t.Fatalf("initial view result: %v", rowStrings(res[0]))
+	}
+	run(t, s, "REPLACE VIEW TOPSALES AS SEL STORE, AMOUNT FROM SALES WHERE AMOUNT > 90")
+	res = run(t, s, q)
+	if len(res[0].Cols) != 2 || len(res[0].Rows) != 3 {
+		t.Fatalf("stale view translation survived REPLACE VIEW: %v", rowStrings(res[0]))
+	}
+}
+
+// TestTranslationCacheGroupByOrdinal: ordinal GROUP BY / ORDER BY positions
+// bind by value and must not share cache entries.
+func TestTranslationCacheGroupByOrdinal(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	a := rowStrings(run(t, s, "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 ORDER BY 1")[0])
+	b := rowStrings(run(t, s, "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 ORDER BY 2")[0])
+	if fmt.Sprint(a) == fmt.Sprint(b) {
+		t.Fatalf("ORDER BY ordinal ignored: %v vs %v", a, b)
+	}
+	if a[0] != "1|350.00" || b[0] != "3|40.00" {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+// TestTranslationCacheExactDowngrade: when translation consumes a lifted
+// literal (select-item/GROUP BY expression matching), the entry must only
+// serve byte-equal literal vectors — a different literal re-translates.
+func TestTranslationCacheExactDowngrade(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	a := rowStrings(run(t, s, "SEL AMOUNT+1 FROM SALES WHERE STORE = 3 GROUP BY AMOUNT+1")[0])
+	if len(a) != 1 || a[0] != "41.00" {
+		t.Fatalf("a = %v", a)
+	}
+	// Same fingerprint shape, different literal values: must not reuse the
+	// value-specialized text.
+	b := rowStrings(run(t, s, "SEL AMOUNT+2 FROM SALES WHERE STORE = 3 GROUP BY AMOUNT+2")[0])
+	if len(b) != 1 || b[0] != "42.00" {
+		t.Fatalf("b = %v (stale value-dependent plan?)", b)
+	}
+	// And identical values may reuse it.
+	c := rowStrings(run(t, s, "SEL AMOUNT+2 FROM SALES WHERE STORE = 3 GROUP BY AMOUNT+2")[0])
+	if fmt.Sprint(b) != fmt.Sprint(c) {
+		t.Fatalf("repeat differs: %v vs %v", b, c)
+	}
+}
+
+// TestTranslationCacheBypass: session-dependent statements must not populate
+// or consult the cache.
+func TestTranslationCacheBypass(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s := session(t, g)
+	defer s.Close()
+
+	run(t, s, "CREATE VOLATILE TABLE SCRATCH (N INT) ON COMMIT PRESERVE ROWS")
+	run(t, s, "INSERT INTO SCRATCH VALUES (1)")
+	before := g.MetricsSnapshot()
+	run(t, s, "SEL N FROM SCRATCH")
+	run(t, s, "SEL N FROM SCRATCH")
+	after := g.MetricsSnapshot()
+	if after.CacheBypass <= before.CacheBypass {
+		t.Fatalf("volatile-table statements not bypassed: %+v", after)
+	}
+	if after.CacheHits != before.CacheHits {
+		t.Fatalf("volatile-table statement served from cache: %+v", after)
+	}
+
+	// Macro bodies run with bound parameters: also bypassed.
+	run(t, s, "CREATE MACRO getstore (s INT) AS (SEL AMOUNT FROM SALES WHERE STORE = :s;)")
+	before = g.MetricsSnapshot()
+	r1 := run(t, s, "EXEC getstore(3)")
+	r2 := run(t, s, "EXEC getstore(1)")
+	after = g.MetricsSnapshot()
+	if after.CacheBypass <= before.CacheBypass {
+		t.Fatalf("macro statements not bypassed: %+v", after)
+	}
+	if len(r1[0].Rows) != 1 || len(r2[0].Rows) != 2 {
+		t.Fatalf("macro results: %v / %v", rowStrings(r1[0]), rowStrings(r2[0]))
+	}
+}
+
+// TestTranslationCacheCrossSessionSharing: cache entries are gateway-wide —
+// a second session's identical statement hits.
+func TestTranslationCacheCrossSessionSharing(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s1 := session(t, g)
+	defer s1.Close()
+	run(t, s1, "SEL STORE FROM SALES WHERE AMOUNT > 90")
+
+	s2 := session(t, g)
+	defer s2.Close()
+	before := g.MetricsSnapshot()
+	run(t, s2, "SEL STORE FROM SALES WHERE AMOUNT > 90")
+	after := g.MetricsSnapshot()
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("cross-session hit missing: %+v", after)
+	}
+}
+
+// TestTranslationCacheSessionOverlayIsolation: once a session holds volatile
+// state, its cache entries are private — another session with a same-named
+// volatile table of different shape must not reuse them.
+func TestTranslationCacheSessionOverlayIsolation(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	s1 := session(t, g)
+	defer s1.Close()
+	s2 := session(t, g)
+	defer s2.Close()
+	run(t, s1, "CREATE VOLATILE TABLE VT (A INT) ON COMMIT PRESERVE ROWS")
+	run(t, s1, "INSERT INTO VT VALUES (1)")
+	run(t, s2, "CREATE VOLATILE TABLE VT (A INT, B INT) ON COMMIT PRESERVE ROWS")
+	run(t, s2, "INSERT INTO VT VALUES (2, 3)")
+	r1 := run(t, s1, "SEL * FROM VT")
+	r2 := run(t, s2, "SEL * FROM VT")
+	if len(r1[0].Cols) != 1 || len(r2[0].Cols) != 2 {
+		t.Fatalf("volatile isolation broken: %d / %d cols", len(r1[0].Cols), len(r2[0].Cols))
+	}
+}
+
+// TestConcurrentSessions drives N concurrent sessions through a mix of DML,
+// DDL and volatile-table work against one gateway — meaningful under -race:
+// it exercises the shared translation cache, catalog versioning, and the
+// metrics counters concurrently.
+func TestConcurrentSessions(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudA())
+	const n = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := g.NewLocalSession(fmt.Sprintf("user%d", w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			tbl := fmt.Sprintf("W%d", w)
+			if _, err := s.Run(fmt.Sprintf("CREATE TABLE %s (A INT, B INT)", tbl)); err != nil {
+				errs <- fmt.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if _, err := s.Run(fmt.Sprintf("CREATE VOLATILE TABLE V%d (N INT) ON COMMIT PRESERVE ROWS", w)); err != nil {
+				errs <- fmt.Errorf("worker %d: %v", w, err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				stmts := []string{
+					fmt.Sprintf("INSERT INTO %s VALUES (%d, %d)", tbl, i, i*i),
+					// Shared-shape query: contends on the same cache entries
+					// across workers.
+					fmt.Sprintf("SEL STORE FROM SALES WHERE AMOUNT > %d", 50+10*(i%3)),
+					"SEL STORE FROM SALES WHERE AMOUNT > 90",
+					fmt.Sprintf("INSERT INTO V%d VALUES (%d)", w, i),
+				}
+				for _, q := range stmts {
+					if _, err := s.Run(q); err != nil {
+						errs <- fmt.Errorf("worker %d %q: %v", w, q, err)
+						return
+					}
+				}
+			}
+			res, err := s.Run(fmt.Sprintf("SEL COUNT(*) FROM %s", tbl))
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if got := rowStrings(res[0]); got[0] != fmt.Sprint(iters) {
+				errs <- fmt.Errorf("worker %d: count = %v, want %d", w, got, iters)
+				return
+			}
+			if _, err := s.Run(fmt.Sprintf("DROP TABLE %s", tbl)); err != nil {
+				errs <- fmt.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	m := g.MetricsSnapshot()
+	if m.CacheHits == 0 {
+		t.Errorf("no cache hits under concurrency: %+v", m)
+	}
+	wantStmts := int64(n * (2 + iters*4 + 2))
+	if m.Statements != wantStmts {
+		t.Errorf("statements = %d, want %d", m.Statements, wantStmts)
+	}
+}

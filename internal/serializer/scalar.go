@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hyperq/internal/fingerprint"
 	"hyperq/internal/types"
 	"hyperq/internal/xtra"
 )
@@ -18,6 +19,9 @@ func (w *writer) scalar(s xtra.Scalar) (string, error) {
 		}
 		return n, nil
 	case *xtra.ConstExpr:
+		if w.lift && x.Lit > 0 {
+			return fingerprint.Marker(x.Lit - 1), nil
+		}
 		return x.Val.SQLLiteral(), nil
 	case *xtra.CompExpr:
 		l, err := w.scalar(x.L)

@@ -25,11 +25,21 @@ import (
 type Serializer struct {
 	profile *dialect.Profile
 	rec     *feature.Recorder
+	lift    bool
 }
 
 // New returns a serializer for the target.
 func New(profile *dialect.Profile, rec *feature.Recorder) *Serializer {
 	return &Serializer{profile: profile, rec: rec}
+}
+
+// LiftLiterals switches the serializer into translation-cache template mode:
+// constants carrying a fingerprint ordinal are emitted as placeholder markers
+// (fingerprint.Marker) instead of SQL literals. Returns the receiver for
+// chaining.
+func (s *Serializer) LiftLiterals() *Serializer {
+	s.lift = true
+	return s
 }
 
 // Serialize applies the target's serialization-stage transformations and
@@ -45,7 +55,7 @@ func (s *Serializer) Serialize(stmt xtra.Statement) (string, error) {
 		}
 		stmt = out
 	}
-	w := &writer{profile: s.profile, names: map[xtra.ColumnID]string{}, workCTE: map[int]workInfo{}}
+	w := &writer{profile: s.profile, names: map[xtra.ColumnID]string{}, workCTE: map[int]workInfo{}, lift: s.lift}
 	return w.statement(stmt)
 }
 
@@ -127,6 +137,7 @@ type writer struct {
 	nextA   int
 	nextCTE int
 	workCTE map[int]workInfo
+	lift    bool
 }
 
 func (w *writer) alias() string {

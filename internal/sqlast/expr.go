@@ -32,6 +32,11 @@ func (i *Ident) Qualifier() string {
 // Const is a literal constant.
 type Const struct {
 	Val types.Datum
+	// Lit is the 1-based literal-vector ordinal assigned by the fingerprint
+	// pass when this constant is lifted into the translation-cache parameter
+	// vector; 0 means the constant is not lifted. The binder propagates the
+	// ordinal into the bound plan so the serializer can emit a placeholder.
+	Lit int
 }
 
 // Param is a named (:name) or positional (?) parameter reference.

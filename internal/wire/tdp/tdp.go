@@ -9,6 +9,7 @@
 package tdp
 
 import (
+	"bufio"
 	"fmt"
 	"math"
 	"net"
@@ -212,6 +213,11 @@ func Serve(ln net.Listener, h Handler) error {
 
 func serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
+	// All response parcels go through one buffered writer: row parcels are
+	// small, and writing each one straight to the socket costs a syscall per
+	// row. The buffer is flushed at statement boundaries and before reading
+	// the next request.
+	out := bufio.NewWriterSize(conn, 32<<10)
 	kind, payload, err := wire.ReadMessage(conn)
 	if err != nil || kind != MsgLogon {
 		return
@@ -226,13 +232,17 @@ func serveConn(conn net.Conn, h Handler) {
 	if err != nil {
 		var b wire.Buffer
 		b.PutString(err.Error())
-		_ = wire.WriteMessage(conn, MsgLogonFail, b.Bytes())
+		_ = wire.WriteMessage(out, MsgLogonFail, b.Bytes())
+		_ = out.Flush()
 		return
 	}
 	defer sess.Close()
 	var b wire.Buffer
 	b.PutU32(1) // session number
-	if err := wire.WriteMessage(conn, MsgLogonOK, b.Bytes()); err != nil {
+	if err := wire.WriteMessage(out, MsgLogonOK, b.Bytes()); err != nil {
+		return
+	}
+	if err := out.Flush(); err != nil {
 		return
 	}
 	for {
@@ -244,14 +254,17 @@ func serveConn(conn net.Conn, h Handler) {
 		case MsgRunRequest:
 			r := wire.NewReader(payload)
 			sql := r.String()
-			w := &respWriter{conn: conn}
+			w := &respWriter{out: out}
 			if err := sess.Request(sql, w); err != nil {
 				return
 			}
 			if !w.failed {
-				if err := wire.WriteMessage(conn, MsgEndRequest, nil); err != nil {
+				if err := wire.WriteMessage(out, MsgEndRequest, nil); err != nil {
 					return
 				}
+			}
+			if err := out.Flush(); err != nil {
+				return
 			}
 		case MsgLogoff:
 			return
@@ -262,14 +275,14 @@ func serveConn(conn net.Conn, h Handler) {
 }
 
 type respWriter struct {
-	conn   net.Conn
+	out    *bufio.Writer
 	cols   []ColumnDef
 	failed bool
 }
 
 func (w *respWriter) BeginResultSet(cols []ColumnDef) error {
 	w.cols = cols
-	return wire.WriteMessage(w.conn, MsgStmtInfo, encodeStmtInfo(cols))
+	return wire.WriteMessage(w.out, MsgStmtInfo, encodeStmtInfo(cols))
 }
 
 func (w *respWriter) Row(row []types.Datum) error {
@@ -277,7 +290,7 @@ func (w *respWriter) Row(row []types.Datum) error {
 	if err != nil {
 		return err
 	}
-	return wire.WriteMessage(w.conn, MsgRecord, p)
+	return wire.WriteMessage(w.out, MsgRecord, p)
 }
 
 func (w *respWriter) EndStatement(activity int64, name string) error {
@@ -285,7 +298,10 @@ func (w *respWriter) EndStatement(activity int64, name string) error {
 	var b wire.Buffer
 	b.PutI64(activity)
 	b.PutString(name)
-	return wire.WriteMessage(w.conn, MsgSuccess, b.Bytes())
+	if err := wire.WriteMessage(w.out, MsgSuccess, b.Bytes()); err != nil {
+		return err
+	}
+	return w.out.Flush()
 }
 
 func (w *respWriter) Failure(code int, msg string) error {
@@ -293,10 +309,13 @@ func (w *respWriter) Failure(code int, msg string) error {
 	var b wire.Buffer
 	b.PutU32(uint32(code))
 	b.PutString(msg)
-	if err := wire.WriteMessage(w.conn, MsgFailure, b.Bytes()); err != nil {
+	if err := wire.WriteMessage(w.out, MsgFailure, b.Bytes()); err != nil {
 		return err
 	}
-	return wire.WriteMessage(w.conn, MsgEndRequest, nil)
+	if err := wire.WriteMessage(w.out, MsgEndRequest, nil); err != nil {
+		return err
+	}
+	return w.out.Flush()
 }
 
 // --- client ----------------------------------------------------------------

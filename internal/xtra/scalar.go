@@ -42,6 +42,10 @@ func (c *ColRef) Type() types.T { return c.Col.Type }
 type ConstExpr struct {
 	Val types.Datum
 	T   types.T
+	// Lit is the 1-based translation-cache literal ordinal carried over from
+	// the source AST (sqlast.Const.Lit); 0 for constants that were not lifted
+	// (view-body literals, transform-introduced constants).
+	Lit int
 }
 
 // NewConst builds a constant with its natural type.

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo-wide verification: static analysis plus the full test suite under the
+# race detector. CI and pre-commit entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
