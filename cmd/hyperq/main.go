@@ -41,6 +41,9 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "translation cache entry bound (0 = default 4096, negative = disable)")
 	cacheBytes := flag.Int("cache-bytes", 0, "translation cache byte bound (0 = default 32 MiB)")
 	statsEvery := flag.Duration("stats", 0, "log gateway metrics at this interval (0 = off), e.g. -stats 30s")
+	backendTimeout := flag.Duration("backend-timeout", 30*time.Second, "per-request backend execution deadline (0 = unbounded)")
+	backendRetries := flag.Int("backend-retries", 3, "transparent retries for transient backend failures (negative = disable)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive backend connection failures that open the circuit breaker (negative = disable)")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -54,13 +57,26 @@ func main() {
 		}
 		log.Printf("hyperq: imported catalog from %s (%d tables)", *schema, len(cat.Tables()))
 	}
+	// The network driver is wrapped in the fault-tolerant execution layer:
+	// deadlines, transparent retry/reconnect with session replay, and a
+	// per-backend circuit breaker (DESIGN.md §7).
+	resilience := &odbc.ResilienceMetrics{}
+	driver := &odbc.ResilientDriver{
+		Inner:            &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
+		Timeout:          *backendTimeout,
+		MaxRetries:       *backendRetries,
+		BreakerThreshold: *breakerThreshold,
+		Metrics:          resilience,
+	}
 	g, err := hyperq.New(hyperq.Config{
 		Target:                  prof,
-		Driver:                  &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
+		Driver:                  driver,
 		Catalog:                 cat,
 		CacheEntries:            *cacheEntries,
 		CacheBytes:              *cacheBytes,
 		DisableTranslationCache: *cacheEntries < 0,
+		BackendTimeout:          *backendTimeout,
+		Resilience:              resilience,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -81,9 +97,10 @@ func main() {
 func logStats(g *hyperq.Gateway, every time.Duration) {
 	for range time.Tick(every) {
 		m := g.MetricsSnapshot()
-		log.Printf("hyperq: requests=%d statements=%d translate=%s execute=%s convert=%s overhead=%.1f%% cache hit=%d miss=%d bypass=%d evict=%d",
+		log.Printf("hyperq: requests=%d statements=%d translate=%s execute=%s convert=%s overhead=%.1f%% cache hit=%d miss=%d bypass=%d evict=%d retries=%d reconnects=%d replays=%d breaker_open=%d quarantined=%d",
 			m.Requests, m.Statements, m.Translate, m.Execute, m.Convert,
-			100*m.Overhead(), m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict)
+			100*m.Overhead(), m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
+			m.Retries, m.Reconnects, m.Replays, m.BreakerOpen, m.ReplicaQuarantined)
 	}
 }
 

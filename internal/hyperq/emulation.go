@@ -66,6 +66,7 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 		for _, t := range []string{next, temp, work} {
 			_, _ = s.translateAndRun(&sqlast.DropTableStmt{Name: t, IfExists: true}, nil)
 			_ = s.sessionCat.DropTable(t)
+			s.forgetSessionDDL(t)
 		}
 	}
 	defer cleanup()
@@ -129,9 +130,22 @@ func (s *Session) createEmulationTable(name string, colNames []string, cols []xt
 	if err := s.sessionCat.CreateTable(def); err != nil {
 		return failf(3803, "%v", err)
 	}
-	if _, err := s.translateAndRun(ast, rec); err != nil {
+	// Translate and execute in two steps so the backend DDL is recorded for
+	// post-reconnect session replay (the work table is backend session
+	// state a replacement connection must rebuild).
+	sql, frontCols, err := s.translateStatement(ast, rec)
+	if err != nil {
 		_ = s.sessionCat.DropTable(name)
 		return err
+	}
+	if sql != "" {
+		if _, err := s.execTranslated(sql, frontCols, func(backend string) string {
+			return commandName(ast, backend)
+		}); err != nil {
+			_ = s.sessionCat.DropTable(name)
+			return err
+		}
+		s.recordSessionDDL(name, sql)
 	}
 	return nil
 }

@@ -49,6 +49,14 @@ type Config struct {
 	// DisableTranslationCache turns the translation cache off entirely
 	// (every statement runs the full pipeline — the cold baseline).
 	DisableTranslationCache bool
+	// BackendTimeout bounds each request's backend execution; 0 leaves
+	// requests unbounded. Pair it with an odbc.ResilientDriver so the
+	// deadline also covers reconnect attempts.
+	BackendTimeout time.Duration
+	// Resilience, when non-nil, surfaces the fault-tolerance counters of
+	// the configured backend driver(s) in MetricsSnapshot. Share the same
+	// struct with the odbc.ResilientDriver / odbc.ReplicatedDriver.
+	Resilience *odbc.ResilienceMetrics
 }
 
 // Metrics aggregates the three timing components of Figure 9: query
@@ -79,6 +87,15 @@ type MetricsSnapshot struct {
 	CacheMisses int64
 	CacheBypass int64
 	CacheEvict  int64
+	// Fault-tolerance counters (populated when Config.Resilience is set):
+	// transparent retries, replacement backend sessions, session-state
+	// replays, circuit-breaker open transitions, and replicas quarantined
+	// out of the read rotation.
+	Retries            int64
+	Reconnects         int64
+	Replays            int64
+	BreakerOpen        int64
+	ReplicaQuarantined int64
 }
 
 // Overhead returns the fraction of total time spent in the gateway
@@ -142,7 +159,7 @@ func (g *Gateway) Target() *dialect.Profile { return g.cfg.Target }
 
 // MetricsSnapshot returns current cumulative metrics.
 func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Translate:   time.Duration(atomic.LoadInt64(&g.metrics.translateNs)),
 		Execute:     time.Duration(atomic.LoadInt64(&g.metrics.executeNs)),
 		Convert:     time.Duration(atomic.LoadInt64(&g.metrics.convertNs)),
@@ -153,6 +170,14 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 		CacheBypass: atomic.LoadInt64(&g.metrics.cacheBypass),
 		CacheEvict:  atomic.LoadInt64(&g.metrics.cacheEvict),
 	}
+	if r := g.cfg.Resilience; r != nil {
+		snap.Retries = r.Retries()
+		snap.Reconnects = r.Reconnects()
+		snap.Replays = r.Replays()
+		snap.BreakerOpen = r.BreakerOpen()
+		snap.ReplicaQuarantined = r.ReplicaQuarantined()
+	}
+	return snap
 }
 
 // SetStats attaches (or detaches, with nil) the feature-statistics
@@ -171,16 +196,30 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.cacheMisses, 0)
 	atomic.StoreInt64(&g.metrics.cacheBypass, 0)
 	atomic.StoreInt64(&g.metrics.cacheEvict, 0)
+	g.cfg.Resilience.Reset()
 }
 
-// Logon implements tdp.Handler: it opens the paired backend session.
+// LogonError is the clean logon-failure record surfaced to the client: the
+// tdp server writes its message verbatim into the LogonFail parcel, so a
+// bteq-style application shows the operator a single actionable line
+// instead of a wrapped Go error chain.
+type LogonError struct {
+	Code    int
+	Message string
+}
+
+func (e *LogonError) Error() string { return fmt.Sprintf("[%d] %s", e.Code, e.Message) }
+
+// Logon implements tdp.Handler: it opens the paired backend session. A
+// backend that cannot be reached yields a LogonError (code 3002, "logons
+// disabled" class) rather than a raw connection error.
 func (g *Gateway) Logon(user, password string) (tdp.SessionHandler, error) {
 	if user == "" {
-		return nil, fmt.Errorf("logon: user required")
+		return nil, &LogonError{Code: 3004, Message: "logon failed: user required"}
 	}
 	be, err := g.cfg.Driver.Connect()
 	if err != nil {
-		return nil, fmt.Errorf("logon: backend unavailable: %v", err)
+		return nil, &LogonError{Code: 3002, Message: "backend system unavailable, logon denied; retry later"}
 	}
 	return newSession(g, be, user), nil
 }

@@ -1,6 +1,8 @@
 package hyperq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -56,6 +58,24 @@ type Session struct {
 	// was translated.
 	translateCalls int
 	rawPlan        *cacheEntry
+
+	// reqCtx carries the current request's deadline into backend execution
+	// (sessions process one request at a time); nil outside a request.
+	reqCtx context.Context
+	// replayLog records the backend DDL that established session-scoped
+	// backend state (volatile tables, global-temporary instances, emulation
+	// work tables), in execution order. A reconnecting backend driver
+	// replays it onto the replacement session so the frontend session
+	// survives a backend bounce; the SET overlay itself lives gateway-side
+	// and survives by construction.
+	replayLog []replayEntry
+}
+
+type replayEntry struct {
+	// name is the upper-cased session-object name the entry belongs to, so
+	// dropping the object also drops its replay statement.
+	name string
+	sql  string
 }
 
 func newSession(g *Gateway, be odbc.Executor, user string) *Session {
@@ -69,7 +89,56 @@ func newSession(g *Gateway, be odbc.Executor, user string) *Session {
 		logonAt:    time.Now(),
 	}
 	s.settingsSig = settingsSignature(s.settings)
+	if ra, ok := be.(odbc.ReconnectAware); ok {
+		ra.OnReconnect(s.replaySessionState)
+	}
 	return s
+}
+
+// replaySessionState rebuilds backend session state on a replacement
+// connection after a transparent reconnect: the recorded session-scoped DDL
+// is re-executed in order, so translated statements referencing volatile or
+// temporary objects keep working. Contents of session temporaries are not
+// replayed — the replacement objects are empty, the same guarantee the
+// original warehouse gives after a session reset. The session SET overlay
+// needs no backend action: it is gateway-side state and survives the bounce
+// untouched.
+func (s *Session) replaySessionState(ex odbc.Executor) error {
+	for _, e := range s.replayLog {
+		if _, err := ex.Exec(e.sql); err != nil {
+			return fmt.Errorf("replay %s: %w", e.name, err)
+		}
+	}
+	return nil
+}
+
+// recordSessionDDL remembers backend DDL that must be replayed onto a
+// replacement backend session.
+func (s *Session) recordSessionDDL(name, sql string) {
+	if sql == "" {
+		return
+	}
+	s.replayLog = append(s.replayLog, replayEntry{name: strings.ToUpper(name), sql: sql})
+}
+
+// forgetSessionDDL drops the replay statements of a session object.
+func (s *Session) forgetSessionDDL(name string) {
+	name = strings.ToUpper(name)
+	kept := s.replayLog[:0]
+	for _, e := range s.replayLog {
+		if e.name != name {
+			kept = append(kept, e)
+		}
+	}
+	s.replayLog = kept
+}
+
+// requestCtx is the context bounding the current request's backend work.
+func (s *Session) requestCtx() context.Context {
+	if s.reqCtx != nil {
+		return s.reqCtx
+	}
+	return context.Background()
 }
 
 // settingsSignature renders the session settings deterministically.
@@ -139,6 +208,14 @@ func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
 
 // Run processes a request string and returns per-statement results.
 func (s *Session) Run(sql string) ([]*FrontResult, error) {
+	if t := s.g.cfg.BackendTimeout; t > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), t)
+		s.reqCtx = ctx
+		defer func() {
+			cancel()
+			s.reqCtx = nil
+		}()
+	}
 	rec := &feature.Recorder{}
 	if out, done, err := s.runCachedRaw(sql, rec); done {
 		return out, err
@@ -463,10 +540,10 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 // to the frontend activity name.
 func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
 	t1 := time.Now()
-	backendResults, err := s.be.Exec(sql)
+	backendResults, err := s.be.ExecContext(s.requestCtx(), sql)
 	atomic.AddInt64(&s.g.metrics.executeNs, int64(time.Since(t1)))
 	if err != nil {
-		return nil, failf(3807, "%v", err)
+		return nil, mapBackendError(err)
 	}
 	// Result conversion back to the frontend representation.
 	t2 := time.Now()
@@ -491,6 +568,27 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 		out = append(out, fr)
 	}
 	return out, nil
+}
+
+// mapBackendError converts backend/driver failures into the frontend codes
+// an unmodified client application expects: 3120 for fail-fast circuit
+// rejections ("backend temporarily unavailable, resubmit later"), 2828 for
+// requests lost to a connection failure ("request rolled back, resubmit" —
+// including non-idempotent writes the gateway refused to retry and replica
+// divergence), 3807 for everything else (the generic request failure the
+// gateway already used).
+func mapBackendError(err error) *RequestError {
+	switch {
+	case errors.Is(err, odbc.ErrBreakerOpen):
+		return failf(3120, "backend temporarily unavailable: %v", err)
+	case errors.Is(err, odbc.ErrMaybeApplied):
+		return failf(2828, "%v", err)
+	case errors.Is(err, odbc.ErrReplicaDivergent):
+		return failf(2828, "%v", err)
+	case odbc.Transient(err):
+		return failf(2828, "backend connection failure: %v", err)
+	}
+	return failf(3807, "%v", err)
 }
 
 // commandName maps the backend command tag to the frontend activity name.
@@ -620,8 +718,19 @@ func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Record
 		lowered.Volatile = true
 		t = &lowered
 	}
-	results, err := s.translateAndRun(t, rec)
+	// Translate and execute in two steps (rather than translateAndRun) so
+	// the backend DDL text is available for the session replay log below.
+	sql, frontCols, err := s.translateStatement(t, rec)
 	if err != nil {
+		return nil, err
+	}
+	var results []*FrontResult
+	if sql == "" {
+		// Statement eliminated by translation.
+		results = []*FrontResult{{Command: "OK"}}
+	} else if results, err = s.execTranslated(sql, frontCols, func(backend string) string {
+		return commandName(t, backend)
+	}); err != nil {
 		return nil, err
 	}
 	// Mirror the definition in the gateway catalog so later binds resolve;
@@ -635,6 +744,9 @@ func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Record
 	target := s.g.cat
 	if def.Kind != catalog.KindPersistent {
 		target = s.sessionCat
+		// Session-scoped backend objects vanish with the backend session;
+		// record their DDL so a reconnecting driver can rebuild them.
+		s.recordSessionDDL(def.Name, sql)
 	}
 	if err := target.CreateTable(def); err != nil && !t.IfNotExists {
 		return nil, failf(3803, "%v", err)
@@ -649,6 +761,7 @@ func (s *Session) execDropTable(t *sqlast.DropTableStmt, rec *feature.Recorder) 
 	}
 	if _, ok := s.sessionCat.Table(t.Name); ok {
 		_ = s.sessionCat.DropTable(t.Name)
+		s.forgetSessionDDL(t.Name)
 	} else if err := s.g.cat.DropTable(t.Name); err != nil && !t.IfExists {
 		return nil, failf(3807, "%v", err)
 	}

@@ -1,0 +1,73 @@
+package odbc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+
+	"hyperq/internal/wire/cwp"
+)
+
+// Sentinel errors for the fault-tolerant execution layer. They are exposed
+// so the gateway can map each failure mode onto the frontend error code an
+// unmodified client application expects.
+var (
+	// ErrBreakerOpen fails a request fast while the backend's circuit
+	// breaker is open: the backend has been failing consistently and
+	// piling up timed-out requests would only make recovery slower.
+	ErrBreakerOpen = errors.New("odbc: circuit breaker open, backend failing fast")
+	// ErrMaybeApplied reports a connection loss after a non-idempotent
+	// request was sent: the backend may or may not have applied it, so the
+	// gateway must surface the failure instead of retrying.
+	ErrMaybeApplied = errors.New("odbc: connection lost after request was sent; it may have been applied and was not retried")
+	// ErrReplicaDivergent poisons a replicated executor after a partial
+	// write failure left the replicas with different contents.
+	ErrReplicaDivergent = errors.New("odbc: replicas diverged after partial write failure")
+)
+
+// Transient reports whether err is worth retrying: either a
+// connection-level failure (reset, refused, EOF, timeout) or a backend
+// abort the engine marks as retryable (deadlock, transient resource
+// pressure). SQL and semantic failures are permanent — retrying them would
+// only repeat the same answer slower.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *cwp.BackendError
+	if errors.As(err, &be) {
+		return be.Transient()
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller gave up; retrying would contradict its intent.
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ETIMEDOUT) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// ConnectionError reports whether err indicates the backend session's
+// connection is unusable and must be replaced — as opposed to a transient
+// SQL-level abort (deadlock) on a perfectly healthy connection.
+func ConnectionError(err error) bool {
+	var be *cwp.BackendError
+	if errors.As(err, &be) {
+		return false
+	}
+	return Transient(err)
+}

@@ -1,12 +1,15 @@
 // Package odbc is Hyper-Q's ODBC Server abstraction (§4.5): a uniform API
 // over backend connectivity that "allows Hyper-Q to communicate with
 // different target database systems using their corresponding drivers". Two
-// drivers exist: a network driver speaking the backend wire protocol (cwp)
-// and an in-process driver that calls the engine directly, used by
-// benchmarks to isolate gateway overhead from network noise.
+// base drivers exist: a network driver speaking the backend wire protocol
+// (cwp) and an in-process driver that calls the engine directly, used by
+// benchmarks to isolate gateway overhead from network noise. Composing
+// drivers add fault tolerance (ResilientDriver) and replica scale-out
+// (ReplicatedDriver) on top of any base driver.
 package odbc
 
 import (
+	"context"
 	"fmt"
 
 	"hyperq/internal/engine"
@@ -16,12 +19,48 @@ import (
 )
 
 // Executor submits requests to one backend session and retrieves results in
-// TDF batches.
+// TDF batches. Executors are not safe for concurrent use; the gateway pairs
+// each frontend session with its own executor.
 type Executor interface {
 	// Exec runs a (possibly multi-statement) SQL request.
 	Exec(sql string) ([]*cwp.StatementResult, error)
+	// ExecContext is Exec bounded by the context's deadline: a stalled or
+	// dead backend surfaces as a timeout instead of hanging the session.
+	ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error)
 	// Close releases the backend session.
 	Close() error
+}
+
+// Driver creates backend sessions.
+type Driver interface {
+	Connect() (Executor, error)
+}
+
+// ContextDriver is implemented by drivers whose session establishment can
+// be bounded by a context deadline.
+type ContextDriver interface {
+	Driver
+	ConnectContext(ctx context.Context) (Executor, error)
+}
+
+// ConnectContext connects via d, honouring ctx when the driver supports it.
+func ConnectContext(ctx context.Context, d Driver) (Executor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cd, ok := d.(ContextDriver); ok {
+		return cd.ConnectContext(ctx)
+	}
+	return d.Connect()
+}
+
+// ReconnectAware is implemented by executors that can transparently replace
+// their backend connection. The registered restore hook runs against every
+// replacement session before any statement, rebuilding gateway-managed
+// session state (the session SET overlay's backend footprint: volatile and
+// temporary table DDL) so the frontend session survives a backend bounce.
+type ReconnectAware interface {
+	OnReconnect(restore func(Executor) error)
 }
 
 // NetworkDriver connects over the backend wire protocol.
@@ -33,7 +72,13 @@ type NetworkDriver struct {
 
 // Connect opens a backend session.
 func (d *NetworkDriver) Connect() (Executor, error) {
-	c, err := cwp.Dial(d.Addr, d.User, d.Password)
+	return d.ConnectContext(context.Background())
+}
+
+// ConnectContext opens a backend session, bounding the TCP connect and the
+// logon handshake by the context's deadline.
+func (d *NetworkDriver) ConnectContext(ctx context.Context) (Executor, error) {
+	c, err := cwp.DialContext(ctx, d.Addr, d.User, d.Password)
 	if err != nil {
 		return nil, fmt.Errorf("odbc: connect %s: %w", d.Addr, err)
 	}
@@ -45,7 +90,10 @@ type netExecutor struct {
 }
 
 func (e *netExecutor) Exec(sql string) ([]*cwp.StatementResult, error) { return e.c.Exec(sql) }
-func (e *netExecutor) Close() error                                    { return e.c.Close() }
+func (e *netExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	return e.c.ExecContext(ctx, sql)
+}
+func (e *netExecutor) Close() error { return e.c.Close() }
 
 // LocalDriver executes against an in-process engine.
 type LocalDriver struct {
@@ -93,6 +141,15 @@ func (e *localExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
 	return out, nil
 }
 
+func (e *localExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	// In-process execution cannot be interrupted mid-statement; honour the
+	// deadline at the request boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Exec(sql)
+}
+
 func (e *localExecutor) Close() error { return nil }
 
 func metaFromCols(cols []xtra.Col) []tdf.ColumnMeta {
@@ -103,12 +160,8 @@ func metaFromCols(cols []xtra.Col) []tdf.ColumnMeta {
 	return out
 }
 
-// Driver creates backend sessions.
-type Driver interface {
-	Connect() (Executor, error)
-}
-
 var (
-	_ Driver = (*NetworkDriver)(nil)
-	_ Driver = (*LocalDriver)(nil)
+	_ Driver        = (*NetworkDriver)(nil)
+	_ ContextDriver = (*NetworkDriver)(nil)
+	_ Driver        = (*LocalDriver)(nil)
 )

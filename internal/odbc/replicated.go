@@ -1,6 +1,8 @@
 package odbc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,22 +20,32 @@ import (
 //
 // Read-only requests round-robin across the replicas; any request containing
 // a write (DML/DDL) executes on every replica so their contents stay
-// identical. The paper lists this as an extension under development — here
-// it is implemented as a drop-in backend driver.
+// identical. A replica whose read fails on a connection error is
+// quarantined for the rest of the session and the read fails over to the
+// next replica; a write that lands on some replicas but not others marks
+// the executor divergent, and every subsequent request fails with
+// ErrReplicaDivergent instead of silently serving inconsistent reads.
 type ReplicatedDriver struct {
 	// Replicas are the per-replica drivers (at least one).
 	Replicas []Driver
-	rr       uint64
+	// Metrics, when non-nil, counts replica quarantines.
+	Metrics *ResilienceMetrics
+	rr      uint64
 }
 
 // Connect opens one session per replica.
 func (d *ReplicatedDriver) Connect() (Executor, error) {
+	return d.ConnectContext(context.Background())
+}
+
+// ConnectContext opens one session per replica under the given context.
+func (d *ReplicatedDriver) ConnectContext(ctx context.Context) (Executor, error) {
 	if len(d.Replicas) == 0 {
 		return nil, fmt.Errorf("odbc: replicated driver needs at least one replica")
 	}
 	sessions := make([]Executor, len(d.Replicas))
 	for i, r := range d.Replicas {
-		ex, err := r.Connect()
+		ex, err := ConnectContext(ctx, r)
 		if err != nil {
 			for _, s := range sessions[:i] {
 				_ = s.Close()
@@ -42,12 +54,25 @@ func (d *ReplicatedDriver) Connect() (Executor, error) {
 		}
 		sessions[i] = ex
 	}
-	return &replicatedExecutor{d: d, sessions: sessions}, nil
+	return &replicatedExecutor{d: d, sessions: sessions, down: make([]bool, len(sessions))}, nil
 }
+
+var (
+	_ Driver        = (*ReplicatedDriver)(nil)
+	_ ContextDriver = (*ReplicatedDriver)(nil)
+)
 
 type replicatedExecutor struct {
 	d        *ReplicatedDriver
 	sessions []Executor
+
+	mu sync.Mutex
+	// down marks replicas quarantined after connection failures; they are
+	// skipped by the read rotation and excluded from write fan-out.
+	down []bool
+	// divergent, once set, poisons the executor: a partial write failure
+	// means the replicas no longer hold identical contents.
+	divergent error
 }
 
 // isReadOnly reports whether every statement of the request is a query.
@@ -67,38 +92,146 @@ func isReadOnly(sql string) bool {
 }
 
 func (e *replicatedExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
-	if isReadOnly(sql) {
-		// Round-robin reads.
-		i := atomic.AddUint64(&e.d.rr, 1) % uint64(len(e.sessions))
-		return e.sessions[i].Exec(sql)
+	return e.ExecContext(context.Background(), sql)
+}
+
+func (e *replicatedExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	e.mu.Lock()
+	div := e.divergent
+	e.mu.Unlock()
+	if div != nil {
+		return nil, div
 	}
-	// Writes fan out to every replica so contents stay consistent; all
-	// replicas must succeed.
-	results := make([][]*cwp.StatementResult, len(e.sessions))
-	errs := make([]error, len(e.sessions))
+	if isReadOnly(sql) {
+		return e.execRead(ctx, sql)
+	}
+	return e.execWrite(ctx, sql)
+}
+
+func (e *replicatedExecutor) isDown(i int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down[i]
+}
+
+// quarantine removes replica i from rotation after a connection failure.
+func (e *replicatedExecutor) quarantine(i int) {
+	e.mu.Lock()
+	already := e.down[i]
+	e.down[i] = true
+	e.mu.Unlock()
+	if !already {
+		_ = e.sessions[i].Close()
+		e.d.Metrics.addQuarantine()
+	}
+}
+
+// execRead round-robins across healthy replicas, failing over past any
+// replica whose connection dies. SQL errors surface immediately: replicas
+// hold identical contents, so every replica would answer the same.
+func (e *replicatedExecutor) execRead(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	n := len(e.sessions)
+	start := atomic.AddUint64(&e.d.rr, 1)
+	var lastErr error
+	for k := 0; k < n; k++ {
+		i := int((start + uint64(k)) % uint64(n))
+		if e.isDown(i) {
+			continue
+		}
+		res, err := e.sessions[i].ExecContext(ctx, sql)
+		if err == nil {
+			return res, nil
+		}
+		if !ConnectionError(err) {
+			return nil, err
+		}
+		e.quarantine(i)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("odbc: no healthy replica")
+	}
+	return nil, fmt.Errorf("odbc: all replicas unavailable: %w", lastErr)
+}
+
+// execWrite fans the request out to every healthy replica. All replicas
+// must succeed; a partial failure leaves the contents diverged and poisons
+// the executor.
+func (e *replicatedExecutor) execWrite(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	type outcome struct {
+		res []*cwp.StatementResult
+		err error
+	}
+	outcomes := make([]*outcome, len(e.sessions))
 	var wg sync.WaitGroup
 	for i, s := range e.sessions {
+		if e.isDown(i) {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, s Executor) {
 			defer wg.Done()
-			results[i], errs[i] = s.Exec(sql)
+			res, err := s.ExecContext(ctx, sql)
+			outcomes[i] = &outcome{res: res, err: err}
 		}(i, s)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("odbc: replica %d: %w", i, err)
+	var firstOK []*cwp.StatementResult
+	succeeded, failed := 0, 0
+	var firstErr error
+	for i, o := range outcomes {
+		if o == nil {
+			continue // quarantined before the write
+		}
+		if o.err == nil {
+			succeeded++
+			if firstOK == nil {
+				firstOK = o.res
+			}
+			continue
+		}
+		failed++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("odbc: replica %d: %w", i, o.err)
+		}
+		if ConnectionError(o.err) {
+			e.quarantine(i)
 		}
 	}
-	return results[0], nil
+	if failed == 0 {
+		if succeeded == 0 {
+			return nil, fmt.Errorf("odbc: no healthy replica")
+		}
+		return firstOK, nil
+	}
+	if succeeded > 0 {
+		// The write landed on some replicas only: their contents now
+		// differ, and no replica can be trusted to answer reads for this
+		// session. Poison the executor rather than serve inconsistency.
+		e.mu.Lock()
+		e.divergent = fmt.Errorf("%w: %v", ErrReplicaDivergent, firstErr)
+		div := e.divergent
+		e.mu.Unlock()
+		return nil, div
+	}
+	return nil, firstErr
 }
 
+// Close closes every replica session and aggregates the errors, so a
+// failure mid-slice cannot leak the remaining sessions. Quarantined
+// replicas were already closed when they left the rotation.
 func (e *replicatedExecutor) Close() error {
-	var first error
-	for _, s := range e.sessions {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+	e.mu.Lock()
+	down := append([]bool(nil), e.down...)
+	e.mu.Unlock()
+	errs := make([]error, 0, len(e.sessions))
+	for i, s := range e.sessions {
+		if down[i] {
+			continue
+		}
+		if err := s.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("odbc: replica %d close: %w", i, err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }

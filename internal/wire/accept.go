@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// TransientAcceptError reports whether an Accept failure is transient — the
+// listener is still healthy and the accept loop should continue after a
+// short pause — as opposed to a permanent condition such as a closed
+// listener. Per-connection failures (aborted handshakes, transient resource
+// exhaustion, interrupted syscalls) must not take the whole server down:
+// the gateway's availability contract is that one bad connection never
+// affects the others.
+func TransientAcceptError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.EINTR)
+}

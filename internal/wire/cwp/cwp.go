@@ -8,8 +8,11 @@ package cwp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"log"
 	"net"
+	"time"
 
 	"hyperq/internal/engine"
 	"hyperq/internal/tdf"
@@ -46,11 +49,17 @@ type Engine struct {
 	E *engine.Engine
 }
 
-// Serve accepts connections until the listener closes.
+// Serve accepts connections until the listener closes. Transient Accept
+// failures (aborted handshakes, fd exhaustion) back off briefly and keep
+// the loop alive; only a closed listener or another permanent error exits.
 func Serve(ln net.Listener, eng *engine.Engine) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if wire.TransientAcceptError(err) {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
 			return err
 		}
 		go handleConn(conn, eng)
@@ -59,6 +68,12 @@ func Serve(ln net.Listener, eng *engine.Engine) error {
 
 func handleConn(conn net.Conn, eng *engine.Engine) {
 	defer conn.Close()
+	// One backend session's panic must not take down the other sessions.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("cwp: session handler panic: %v", r)
+		}
+	}()
 	kind, payload, err := wire.ReadMessage(conn)
 	if err != nil {
 		return
@@ -177,9 +192,23 @@ type Client struct {
 
 // Dial connects and authenticates.
 func Dial(addr, user, password string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, user, password)
+}
+
+// DialContext connects and authenticates, honouring the context's deadline
+// for both the TCP connect and the logon handshake. Reconnecting drivers
+// use it so a dead backend cannot hang session establishment.
+func DialContext(ctx context.Context, addr, user, password string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			conn.Close()
+			return nil, err
+		}
 	}
 	var b wire.Buffer
 	b.PutString(user)
@@ -196,6 +225,11 @@ func Dial(addr, user, password string) (*Client, error) {
 	if kind != MsgLogonOK {
 		conn.Close()
 		return nil, fmt.Errorf("cwp: logon failed: %s", payload)
+	}
+	// Handshake deadline no longer applies to the session's lifetime.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
 	}
 	return &Client{conn: conn}, nil
 }
@@ -220,6 +254,26 @@ func (r *StatementResult) Rows() [][]types.Datum {
 // Exec sends one SQL request (possibly multi-statement) and collects all
 // statement results.
 func (c *Client) Exec(sql string) ([]*StatementResult, error) {
+	return c.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec with the context's deadline wired into the socket:
+// every read and write of the request observes it, so a stalled or dead
+// backend surfaces as a timeout instead of blocking the session forever.
+func (c *Client) ExecContext(ctx context.Context, sql string) ([]*StatementResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	return c.exec(sql)
+}
+
+func (c *Client) exec(sql string) ([]*StatementResult, error) {
 	var b wire.Buffer
 	b.PutString(sql)
 	if err := wire.WriteMessage(c.conn, MsgQuery, b.Bytes()); err != nil {
@@ -295,4 +349,19 @@ type BackendError struct {
 
 func (e *BackendError) Error() string {
 	return fmt.Sprintf("backend error %d: %s", e.Code, e.Message)
+}
+
+// Transient reports whether the error is a retryable abort: the backend
+// processed the request, rolled it back, and nothing landed — a deadlock or
+// transient resource condition. Such statements are safe to re-execute on
+// the same session, even writes. All other backend errors are SQL/semantic
+// failures and must never be retried.
+func (e *BackendError) Transient() bool {
+	switch e.Code {
+	case 2631, // transaction aborted by deadlock
+		3111, // request aborted: backend restart in progress
+		3598: // concurrent workload limit, resubmit
+		return true
+	}
+	return false
 }

@@ -1,0 +1,179 @@
+package cwp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/wire"
+)
+
+// scriptListener replays a fixed sequence of Accept outcomes (connections
+// or errors), then reports closed.
+type scriptListener struct {
+	mu     sync.Mutex
+	script []any // net.Conn or error
+}
+
+func (l *scriptListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.script) == 0 {
+		return nil, net.ErrClosed
+	}
+	v := l.script[0]
+	l.script = l.script[1:]
+	switch v := v.(type) {
+	case net.Conn:
+		return v, nil
+	case error:
+		return nil, v
+	}
+	panic("bad script entry")
+}
+
+func (l *scriptListener) Close() error   { return nil }
+func (l *scriptListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// Serve must survive transient Accept failures (aborted handshakes, fd
+// exhaustion) and still serve the connections that follow them.
+func TestServeSurvivesTransientAccept(t *testing.T) {
+	eng := engine.New(dialect.TeradataProfile())
+	if _, err := eng.NewSession().ExecSQL("CREATE TABLE t (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	ln := &scriptListener{script: []any{
+		&net.OpError{Op: "accept", Err: syscall.ECONNABORTED},
+		&net.OpError{Op: "accept", Err: syscall.EMFILE},
+		server,
+	}}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, eng) }()
+
+	// Drive a full logon + query over the pipe: reaching here at all proves
+	// the accept loop outlived the two transient failures.
+	var b wire.Buffer
+	b.PutString("u")
+	b.PutString("p")
+	if err := wire.WriteMessage(client, MsgLogon, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := wire.ReadMessage(client)
+	if err != nil || kind != MsgLogonOK {
+		t.Fatalf("logon after transient accepts: kind=0x%02x err=%v", kind, err)
+	}
+	client.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve exited with %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not exit on closed listener")
+	}
+}
+
+// TransientAcceptError must keep permanent failures fatal.
+func TestTransientAcceptErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+	}{
+		{"nil", nil, false},
+		{"closed", net.ErrClosed, false},
+		{"wrapped-closed", &net.OpError{Op: "accept", Err: net.ErrClosed}, false},
+		{"aborted", &net.OpError{Op: "accept", Err: syscall.ECONNABORTED}, true},
+		{"fd-exhaustion", &net.OpError{Op: "accept", Err: syscall.EMFILE}, true},
+		{"interrupted", &net.OpError{Op: "accept", Err: syscall.EINTR}, true},
+		{"permission", &net.OpError{Op: "accept", Err: os.ErrPermission}, false},
+	}
+	for _, c := range cases {
+		if got := wire.TransientAcceptError(c.err); got != c.transient {
+			t.Errorf("%s: TransientAcceptError = %v, want %v", c.name, got, c.transient)
+		}
+	}
+}
+
+// ExecContext must enforce the context deadline at the socket: a backend
+// that accepts the query but never answers cannot hang the gateway.
+func TestExecContextSocketDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Stall server: completes the logon handshake, then goes silent.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if kind, _, err := wire.ReadMessage(conn); err != nil || kind != MsgLogon {
+			return
+		}
+		var b wire.Buffer
+		b.PutU32(1)
+		_ = wire.WriteMessage(conn, MsgLogonOK, b.Bytes())
+		// Read the query but never respond.
+		_, _, _ = wire.ReadMessage(conn)
+		time.Sleep(5 * time.Second)
+	}()
+	c, err := Dial(ln.Addr().String(), "u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.ExecContext(ctx, "SELECT 1")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("request against stalled backend succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("request took %v, want bounded by the 50ms deadline", elapsed)
+	}
+}
+
+// DialContext must bound the connect + handshake, not just the TCP dial.
+func TestDialContextHandshakeDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept but never complete the logon handshake.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(5 * time.Second)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = DialContext(ctx, ln.Addr().String(), "u", "p")
+	if err == nil {
+		t.Fatal("dial against stalled handshake succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("dial took %v, want bounded by the 50ms deadline", elapsed)
+	}
+}

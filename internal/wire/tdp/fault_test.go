@@ -1,0 +1,124 @@
+package tdp
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hyperq/internal/wire"
+)
+
+// panicHandler serves sessions whose Request panics on the "BOOM" request.
+type panicHandler struct{}
+
+func (panicHandler) Logon(user, password string) (SessionHandler, error) {
+	return &panicSession{}, nil
+}
+
+type panicSession struct{}
+
+func (s *panicSession) Request(sql string, w ResponseWriter) error {
+	if sql == "BOOM" {
+		panic("handler bug")
+	}
+	return w.EndStatement(1, "OK")
+}
+
+func (s *panicSession) Close() {}
+
+// A panicking session handler must tear down only its own connection; the
+// server keeps accepting and serving other sessions.
+func TestServeRecoversSessionPanic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = Serve(ln, panicHandler{}) }()
+
+	victim, err := Dial(ln.Addr().String(), "u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	if _, err := victim.Request("BOOM"); err == nil {
+		t.Fatal("panicking request reported success")
+	}
+
+	// The server survived: a fresh session still works end to end.
+	survivor, err := Dial(ln.Addr().String(), "u", "p")
+	if err != nil {
+		t.Fatalf("logon after handler panic: %v", err)
+	}
+	defer survivor.Close()
+	stmts, err := survivor.Request("SELECT 1")
+	if err != nil {
+		t.Fatalf("request after handler panic: %v", err)
+	}
+	if len(stmts) != 1 || stmts[0].Command != "OK" {
+		t.Fatalf("stmts = %+v", stmts)
+	}
+}
+
+// scriptListener replays a fixed sequence of Accept outcomes, then reports
+// closed.
+type scriptListener struct {
+	mu     sync.Mutex
+	script []any // net.Conn or error
+}
+
+func (l *scriptListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.script) == 0 {
+		return nil, net.ErrClosed
+	}
+	v := l.script[0]
+	l.script = l.script[1:]
+	switch v := v.(type) {
+	case net.Conn:
+		return v, nil
+	case error:
+		return nil, v
+	}
+	panic("bad script entry")
+}
+
+func (l *scriptListener) Close() error   { return nil }
+func (l *scriptListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// Serve must survive transient Accept failures and still serve the
+// connection that follows them.
+func TestServeSurvivesTransientAccept(t *testing.T) {
+	server, client := net.Pipe()
+	ln := &scriptListener{script: []any{
+		&net.OpError{Op: "accept", Err: syscall.ECONNABORTED},
+		&net.OpError{Op: "accept", Err: syscall.EMFILE},
+		server,
+	}}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, panicHandler{}) }()
+
+	var b wire.Buffer
+	b.PutString("u")
+	b.PutString("p")
+	if err := wire.WriteMessage(client, MsgLogon, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := wire.ReadMessage(client)
+	if err != nil || kind != MsgLogonOK {
+		t.Fatalf("logon after transient accepts: kind=0x%02x err=%v", kind, err)
+	}
+	client.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve exited with %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not exit on closed listener")
+	}
+}

@@ -11,8 +11,10 @@ package tdp
 import (
 	"bufio"
 	"fmt"
+	"log"
 	"math"
 	"net"
+	"time"
 
 	"hyperq/internal/types"
 	"hyperq/internal/wire"
@@ -201,10 +203,17 @@ type Handler interface {
 }
 
 // Serve accepts and serves connections until the listener closes.
+// Transient Accept failures (aborted handshakes, fd exhaustion) back off
+// briefly and keep the loop alive; only a closed listener or another
+// permanent error exits.
 func Serve(ln net.Listener, h Handler) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if wire.TransientAcceptError(err) {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
 			return err
 		}
 		go serveConn(conn, h)
@@ -213,6 +222,12 @@ func Serve(ln net.Listener, h Handler) error {
 
 func serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
+	// One client session's panic must not take down the other sessions.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("tdp: session handler panic: %v", r)
+		}
+	}()
 	// All response parcels go through one buffered writer: row parcels are
 	// small, and writing each one straight to the socket costs a syscall per
 	// row. The buffer is flushed at statement boundaries and before reading
