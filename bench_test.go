@@ -247,6 +247,58 @@ func BenchmarkTranslationCache(b *testing.B) {
 	})
 }
 
+// --- observability overhead ---------------------------------------------------
+
+// BenchmarkTracedTranslate measures the cost of per-request span tracing on
+// the full gateway pipeline. Literal-variant queries defeat the raw result
+// cache so every iteration runs parse→bind→transform→serialize→execute→
+// convert; "traced" allocates the span tree and trace-ring entry per request,
+// "untraced" disables tracing (histograms record in both modes). The tracing
+// tax must stay under a few percent of request time.
+func BenchmarkTracedTranslate(b *testing.B) {
+	const shape = "SEL L_RETURNFLAG, COUNT(*) FROM LINEITEM WHERE L_QUANTITY < %d GROUP BY L_RETURNFLAG"
+	for _, disabled := range []bool{false, true} {
+		name := "traced"
+		if disabled {
+			name = "untraced"
+		}
+		b.Run(name, func(b *testing.B) {
+			target := dialect.CloudA()
+			eng := engine.New(target)
+			if err := tpch.SetupEngine(eng.NewSession(), benchSF); err != nil {
+				b.Fatal(err)
+			}
+			g, err := hyperq.New(hyperq.Config{
+				Target:                  target,
+				Driver:                  &odbc.LocalDriver{Engine: eng},
+				Catalog:                 eng.Catalog().Clone(),
+				DisableTranslationCache: true, // full pipeline every request
+				DisableTracing:          disabled,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := g.NewLocalSession("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < 8; i++ { // warm up outside the timer
+				if _, err := s.Run(fmt.Sprintf(shape, 10+i%40)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(fmt.Sprintf(shape, 10+i%40)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkResultConversion measures the Result Converter path in isolation:
 // a wide SELECT whose output is dominated by conversion work.
 func BenchmarkResultConversion(b *testing.B) {

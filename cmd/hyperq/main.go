@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"hyperq/internal/dialect"
 	"hyperq/internal/odbc"
 	"hyperq/internal/parser"
+	"hyperq/internal/querylog"
 	"hyperq/internal/sqlast"
 	"hyperq/internal/wire/tdp"
 
@@ -44,6 +46,11 @@ func main() {
 	backendTimeout := flag.Duration("backend-timeout", 30*time.Second, "per-request backend execution deadline (0 = unbounded)")
 	backendRetries := flag.Int("backend-retries", 3, "transparent retries for transient backend failures (negative = disable)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive backend connection failures that open the circuit breaker (negative = disable)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions on this HTTP address (empty = off)")
+	slowQueryMs := flag.Int("slow-query-ms", 200, "slow-query threshold for /traces/slow retention (0 = disable)")
+	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity")
+	queryLogPath := flag.String("query-log", "", "append one JSON line per request to this file (empty = off)")
+	queryLogRedact := flag.Bool("query-log-redact", false, "redact literal values in query-log SQL text")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -68,6 +75,18 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		Metrics:          resilience,
 	}
+	var qlog *querylog.Writer
+	if *queryLogPath != "" {
+		qlog, err = querylog.Open(*queryLogPath, *queryLogRedact)
+		if err != nil {
+			log.Fatalf("hyperq: query log: %v", err)
+		}
+		defer qlog.Close()
+	}
+	slowQuery := time.Duration(*slowQueryMs) * time.Millisecond
+	if *slowQueryMs <= 0 {
+		slowQuery = -1 // retain nothing in the slow list
+	}
 	g, err := hyperq.New(hyperq.Config{
 		Target:                  prof,
 		Driver:                  driver,
@@ -77,6 +96,9 @@ func main() {
 		DisableTranslationCache: *cacheEntries < 0,
 		BackendTimeout:          *backendTimeout,
 		Resilience:              resilience,
+		SlowQuery:               slowQuery,
+		TraceRingSize:           *traceRing,
+		QueryLog:                qlog,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -84,6 +106,14 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("hyperq: introspection on http://%s/metrics", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, g.DebugHandler()); err != nil {
+				log.Printf("hyperq: debug endpoint: %v", err)
+			}
+		}()
 	}
 	if *statsEvery > 0 {
 		go logStats(g, *statsEvery)
@@ -93,13 +123,20 @@ func main() {
 }
 
 // logStats periodically logs the gateway metrics, including the translation
-// cache counters.
+// cache counters. Translation overhead is reported as the p50/p95 of the
+// per-request overhead distribution (histogram-backed) rather than a single
+// cumulative ratio, so a few long backend scans cannot mask slow translation.
 func logStats(g *hyperq.Gateway, every time.Duration) {
 	for range time.Tick(every) {
 		m := g.MetricsSnapshot()
-		log.Printf("hyperq: requests=%d statements=%d translate=%s execute=%s convert=%s overhead=%.1f%% cache hit=%d miss=%d bypass=%d evict=%d retries=%d reconnects=%d replays=%d breaker_open=%d quarantined=%d",
+		ov := g.OverheadQuantiles(0.5, 0.95)
+		req := g.Stages().Request.Snapshot()
+		log.Printf("hyperq: requests=%d statements=%d translate=%s execute=%s convert=%s overhead p50=%.1f%% p95=%.1f%% request p50=%s p95=%s cache hit=%d miss=%d bypass=%d evict=%d retries=%d reconnects=%d replays=%d breaker_open=%d quarantined=%d",
 			m.Requests, m.Statements, m.Translate, m.Execute, m.Convert,
-			100*m.Overhead(), m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
+			100*ov[0], 100*ov[1],
+			time.Duration(req.Quantile(0.5)*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(req.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond),
+			m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
 			m.Retries, m.Reconnects, m.Replays, m.BreakerOpen, m.ReplicaQuarantined)
 	}
 }

@@ -23,6 +23,11 @@ const maxRecursionSteps = 10000
 // WorkTable, and stops when a step yields no rows; finally the main query
 // runs with the CTE substituted by WorkTable.
 func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	// The emulation span wraps the whole multi-request protocol; the trace's
+	// BackendRequests counter records the resulting fan-out.
+	esp := s.tr.Start("emulate")
+	esp.Set("feature", "recursive")
+	defer esp.End()
 	plan, err := emulate.PlanRecursive(sel.Query)
 	if err != nil {
 		return nil, failf(3707, "%v", err)
@@ -202,6 +207,9 @@ func selectStarFrom(table string) *sqlast.QueryExpr {
 // execMerge emulates MERGE by decomposition into UPDATE + INSERT (§6),
 // reporting the combined activity count.
 func (s *Session) execMerge(m *sqlast.MergeStmt, rec *feature.Recorder) ([]*FrontResult, error) {
+	esp := s.tr.Start("emulate")
+	esp.Set("feature", "merge")
+	defer esp.End()
 	rec.Record(feature.Merge)
 	stmts, err := emulate.DecomposeMerge(m)
 	if err != nil {

@@ -11,13 +11,18 @@ package hyperq
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyperq/internal/catalog"
 	"hyperq/internal/dialect"
 	"hyperq/internal/feature"
+	"hyperq/internal/metrics"
 	"hyperq/internal/odbc"
+	"hyperq/internal/querylog"
+	"hyperq/internal/trace"
 	"hyperq/internal/types"
 	"hyperq/internal/wire/tdp"
 )
@@ -57,6 +62,18 @@ type Config struct {
 	// the configured backend driver(s) in MetricsSnapshot. Share the same
 	// struct with the odbc.ResilientDriver / odbc.ReplicatedDriver.
 	Resilience *odbc.ResilienceMetrics
+	// SlowQuery is the slow-query threshold: traces at or above it are
+	// retained in the slow list regardless of recent-trace churn. 0 selects
+	// 200ms; negative disables slow retention.
+	SlowQuery time.Duration
+	// TraceRingSize bounds the recent-trace ring. 0 selects 256.
+	TraceRingSize int
+	// DisableTracing turns per-request span traces off (histograms stay on).
+	// The tracing-overhead benchmark's baseline; also useful when a trace
+	// ring per gateway is unwanted.
+	DisableTracing bool
+	// QueryLog, when non-nil, receives one JSON line per request.
+	QueryLog *querylog.Writer
 }
 
 // Metrics aggregates the three timing components of Figure 9: query
@@ -119,6 +136,15 @@ type Gateway struct {
 	// (sessions with a populated session catalog stamp their overlay version
 	// under this identity).
 	nextSessionID uint64
+	// nextTraceID mints trace ordinals.
+	nextTraceID uint64
+	// stages holds the per-stage latency histograms; ring the finished
+	// traces. Both always exist (tracing only gates span allocation).
+	stages *metrics.Stages
+	ring   *trace.Ring
+	// live sessions, for the /sessions introspection endpoint.
+	sessMu   sync.Mutex
+	sessions map[uint64]*Session
 }
 
 // New creates a gateway.
@@ -144,7 +170,13 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 32 << 20
 	}
-	g := &Gateway{cfg: cfg, cat: cfg.Catalog}
+	g := &Gateway{
+		cfg:      cfg,
+		cat:      cfg.Catalog,
+		stages:   metrics.NewStages(),
+		ring:     trace.NewRing(cfg.TraceRingSize, cfg.SlowQuery),
+		sessions: make(map[uint64]*Session),
+	}
 	if !cfg.DisableTranslationCache {
 		g.cache = newTranslationCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
@@ -185,7 +217,8 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 // stats so setup statements stay out of the measurement.
 func (g *Gateway) SetStats(st *feature.Stats) { g.cfg.Stats = st }
 
-// ResetMetrics zeroes the counters (between benchmark phases).
+// ResetMetrics zeroes the counters, the stage histograms, and the trace ring
+// (between benchmark phases).
 func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.translateNs, 0)
 	atomic.StoreInt64(&g.metrics.executeNs, 0)
@@ -197,6 +230,159 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.cacheBypass, 0)
 	atomic.StoreInt64(&g.metrics.cacheEvict, 0)
 	g.cfg.Resilience.Reset()
+	g.stages.Reset()
+	g.ring.Reset()
+}
+
+// Stages exposes the per-stage latency histograms.
+func (g *Gateway) Stages() *metrics.Stages { return g.stages }
+
+// Traces exposes the finished-trace ring.
+func (g *Gateway) Traces() *trace.Ring { return g.ring }
+
+// OverheadQuantiles reports the requested quantiles of the per-request
+// gateway-overhead fraction — the histogram-backed replacement for the
+// single cumulative Overhead() number.
+func (g *Gateway) OverheadQuantiles(qs ...float64) []float64 {
+	snap := g.stages.Overhead.Snapshot()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = snap.Quantile(q)
+	}
+	return out
+}
+
+// startTrace begins the per-request trace (nil when tracing is disabled).
+func (g *Gateway) startTrace(s *Session, sql string) *trace.Trace {
+	if g.cfg.DisableTracing {
+		return nil
+	}
+	return trace.New(atomic.AddUint64(&g.nextTraceID, 1), s.id, s.user, sql)
+}
+
+// finishTrace stamps the request outcome onto the trace, feeds the request
+// and overhead histograms, publishes the trace to the ring, and appends the
+// query-log line. Runs once per Session.Run, traced or not.
+func (g *Gateway) finishTrace(s *Session, tr *trace.Trace, start time.Time, reqErr error) {
+	atomic.AddInt64(&s.obsRequests, 1)
+	atomic.StoreInt64(&s.lastActive, time.Now().UnixNano())
+	if reqErr != nil {
+		s.lastErr.Store(reqErr.Error())
+	} else {
+		s.lastErr.Store("")
+	}
+	if tr == nil {
+		// Tracing is off; the request histogram still records.
+		g.stages.Request.ObserveDuration(time.Since(start))
+		return
+	}
+	outcome := "ok"
+	code := 0
+	class := ""
+	msg := ""
+	if reqErr != nil {
+		outcome = "error"
+		msg = reqErr.Error()
+		if re, ok := reqErr.(*RequestError); ok {
+			code = re.Code
+		}
+		class = classifyCode(code)
+	}
+	tr.Finish(outcome, code, class, msg)
+	total := tr.Duration()
+	g.stages.Request.ObserveDuration(total)
+	if exec := tr.Stage("execute"); total > 0 && tr.BackendRequests > 0 {
+		overhead := 1 - float64(exec)/float64(total)
+		if overhead < 0 {
+			overhead = 0
+		}
+		g.stages.Overhead.Observe(overhead)
+	}
+	g.ring.Add(tr)
+	// Query-log write failures must not fail the data path.
+	_ = g.cfg.QueryLog.LogTrace(tr)
+}
+
+// classifyCode maps frontend failure codes to the trace error taxonomy.
+func classifyCode(code int) string {
+	switch code {
+	case 3706:
+		return "syntax"
+	case 3707:
+		return "semantic"
+	case 3120:
+		return "backend-unavailable"
+	case 2828:
+		return "connection-lost"
+	case 3807, 3803, 3824, 3811:
+		return "execution"
+	}
+	return "other"
+}
+
+// --- live session registry (the /sessions introspection table) -------------
+
+func (g *Gateway) registerSession(s *Session) {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	g.sessions[s.id] = s
+}
+
+func (g *Gateway) dropSession(id uint64) {
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	delete(g.sessions, id)
+}
+
+// SessionInfo is one live session's row in the /sessions table.
+type SessionInfo struct {
+	ID         uint64    `json:"id"`
+	User       string    `json:"user"`
+	LogonAt    time.Time `json:"logon_at"`
+	State      string    `json:"state"` // "active" while a request is in flight, else "idle"
+	Requests   int64     `json:"requests"`
+	Statements int64     `json:"statements"`
+	CacheHits  int64     `json:"cache_hits"`
+	LastSQL    string    `json:"last_sql,omitempty"`
+	LastError  string    `json:"last_error,omitempty"`
+	LastActive time.Time `json:"last_active,omitempty"`
+}
+
+// Sessions snapshots the live session table, ordered by session id.
+func (g *Gateway) Sessions() []SessionInfo {
+	g.sessMu.Lock()
+	live := make([]*Session, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		live = append(live, s)
+	}
+	g.sessMu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	out := make([]SessionInfo, 0, len(live))
+	for _, s := range live {
+		info := SessionInfo{
+			ID:         s.id,
+			User:       s.user,
+			LogonAt:    s.logonAt,
+			State:      "idle",
+			Requests:   atomic.LoadInt64(&s.obsRequests),
+			Statements: atomic.LoadInt64(&s.obsStatements),
+			CacheHits:  atomic.LoadInt64(&s.obsCacheHits),
+		}
+		if atomic.LoadInt32(&s.inFlight) > 0 {
+			info.State = "active"
+		}
+		if v, ok := s.lastSQL.Load().(string); ok {
+			info.LastSQL = v
+		}
+		if v, ok := s.lastErr.Load().(string); ok {
+			info.LastError = v
+		}
+		if ns := atomic.LoadInt64(&s.lastActive); ns != 0 {
+			info.LastActive = time.Unix(0, ns)
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // LogonError is the clean logon-failure record surfaced to the client: the

@@ -1,0 +1,90 @@
+package hyperq
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"hyperq/internal/metrics"
+)
+
+// DebugHandler serves the gateway introspection endpoints (the Gateway
+// Manager's operator surface, §4):
+//
+//	/metrics      Prometheus text format: per-stage latency histograms,
+//	              whole-request latency, gateway-overhead ratio, and the
+//	              cumulative counters of MetricsSnapshot
+//	/traces       recent finished traces (JSON, newest first)
+//	/traces/slow  the slowest retained traces at/above the slow threshold
+//	/sessions     live session table (user, statements, cache hits, state)
+//
+// Mount it on a loopback or otherwise access-controlled listener: traces and
+// the session table contain SQL text.
+func (g *Gateway) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", g.serveMetrics)
+	mux.HandleFunc("/traces", g.serveTraces)
+	mux.HandleFunc("/traces/slow", g.serveSlowTraces)
+	mux.HandleFunc("/sessions", g.serveSessions)
+	return mux
+}
+
+func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// All stage series share one HELP/TYPE header, per the format.
+	for i, stage := range metrics.StageNames {
+		help := ""
+		if i == 0 {
+			help = "Gateway pipeline stage latency."
+		}
+		metrics.WriteHistogram(w, "hyperq_stage_duration_seconds", help, "stage", stage, g.stages.Stage(stage).Snapshot())
+	}
+	metrics.WriteHistogram(w, "hyperq_request_duration_seconds", "Whole-request latency through the gateway.", "", "", g.stages.Request.Snapshot())
+	metrics.WriteHistogram(w, "hyperq_gateway_overhead_ratio", "Per-request fraction of time spent in the gateway (1 - backend/total).", "", "", g.stages.Overhead.Snapshot())
+
+	m := g.MetricsSnapshot()
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"hyperq_requests_total", "Frontend requests processed.", m.Requests},
+		{"hyperq_statements_total", "Statements executed.", m.Statements},
+		{"hyperq_cache_hits_total", "Translation cache hits.", m.CacheHits},
+		{"hyperq_cache_misses_total", "Translation cache misses.", m.CacheMisses},
+		{"hyperq_cache_bypass_total", "Translation cache bypasses.", m.CacheBypass},
+		{"hyperq_cache_evictions_total", "Translation cache evictions.", m.CacheEvict},
+		{"hyperq_backend_retries_total", "Transparent backend retries.", m.Retries},
+		{"hyperq_backend_reconnects_total", "Replacement backend sessions.", m.Reconnects},
+		{"hyperq_backend_replays_total", "Session-state replays.", m.Replays},
+		{"hyperq_breaker_open_total", "Circuit-breaker open transitions.", m.BreakerOpen},
+		{"hyperq_replicas_quarantined_total", "Replicas quarantined from reads.", m.ReplicaQuarantined},
+	}
+	for _, c := range counters {
+		metrics.WriteCounter(w, c.name, c.help, "counter", c.value)
+	}
+	g.sessMu.Lock()
+	active := int64(len(g.sessions))
+	g.sessMu.Unlock()
+	metrics.WriteCounter(w, "hyperq_sessions_active", "Live frontend sessions.", "gauge", active)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (g *Gateway) serveTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"traces": g.ring.Recent()})
+}
+
+func (g *Gateway) serveSlowTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"slow_threshold_ms": g.ring.SlowThreshold().Milliseconds(),
+		"traces":            g.ring.Slow(),
+	})
+}
+
+func (g *Gateway) serveSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"sessions": g.Sessions()})
+}

@@ -1,0 +1,460 @@
+package hyperq
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+	"hyperq/internal/querylog"
+	"hyperq/internal/trace"
+	"hyperq/internal/wire/tdp"
+)
+
+// newObsGateway builds a gateway over the shared SALES schema with the
+// observability knobs dialed for testing: a 1ns slow-query threshold (every
+// statement lands in /traces/slow) and an optional query log.
+func newObsGateway(t *testing.T, qlog *querylog.Writer) *Gateway {
+	t.Helper()
+	target := dialect.CloudA()
+	eng := engine.New(target)
+	setup := eng.NewSession()
+	for _, stmt := range []string{
+		`CREATE TABLE SALES (AMOUNT DECIMAL(12,2), SALES_DATE DATE, STORE INT)`,
+		`INSERT INTO SALES VALUES
+		   (100.00, DATE '2014-02-01', 1),
+		   (250.00, DATE '2014-03-15', 1),
+		   (80.00,  DATE '2013-12-31', 2)`,
+	} {
+		if _, err := setup.ExecSQL(stmt); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+	}
+	g, err := New(Config{
+		Target:    target,
+		Driver:    &odbc.LocalDriver{Engine: eng},
+		Catalog:   eng.Catalog().Clone(),
+		SlowQuery: 1, // 1ns: everything is "slow"
+		QueryLog:  qlog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// metricValue extracts the value of one series line from Prometheus text.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("bad metric line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %q not found in:\n%s", series, body)
+	return 0
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// TestObservabilityEndToEnd is the acceptance scenario: statements arrive
+// through the tdp wire client, /metrics serves non-zero per-stage latency
+// histograms in Prometheus text format, /traces/slow returns the full span
+// tree for statements slower than the threshold, /sessions shows the live
+// session, and the query log captures one JSON line per request.
+func TestObservabilityEndToEnd(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "query.log")
+	qlog, err := querylog.Open(logPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qlog.Close()
+	g := newObsGateway(t, qlog)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = tdp.Serve(ln, g) }()
+	c, err := tdp.Dial(ln.Addr().String(), "appuser", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const frontSQL = "SEL AMOUNT FROM SALES WHERE STORE = 1"
+	if _, err := c.Request(frontSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request(frontSQL); err != nil { // second run: cache hit
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(g.DebugHandler())
+	defer srv.Close()
+
+	// /metrics: every pipeline stage must have recorded observations.
+	body := httpGet(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "# TYPE hyperq_stage_duration_seconds histogram") {
+		t.Fatalf("missing histogram TYPE header in:\n%s", body)
+	}
+	for _, stage := range []string{"parse", "bind", "transform", "serialize", "cache", "execute", "convert"} {
+		series := `hyperq_stage_duration_seconds_count{stage="` + stage + `"}`
+		if n := metricValue(t, body, series); n == 0 {
+			t.Errorf("stage %q has zero observations", stage)
+		}
+	}
+	if n := metricValue(t, body, "hyperq_request_duration_seconds_count"); n < 2 {
+		t.Errorf("request histogram count = %v, want >= 2", n)
+	}
+	if n := metricValue(t, body, "hyperq_gateway_overhead_ratio_count"); n < 2 {
+		t.Errorf("overhead histogram count = %v, want >= 2", n)
+	}
+	if n := metricValue(t, body, "hyperq_requests_total"); n < 2 {
+		t.Errorf("requests_total = %v, want >= 2", n)
+	}
+	if n := metricValue(t, body, "hyperq_cache_hits_total"); n != 1 {
+		t.Errorf("cache_hits_total = %v, want 1", n)
+	}
+	if n := metricValue(t, body, "hyperq_sessions_active"); n != 1 {
+		t.Errorf("sessions_active = %v, want 1", n)
+	}
+
+	// /traces/slow: the 1ns threshold retains every statement with its full
+	// span tree and the rewritten SQL-B text.
+	var slow struct {
+		ThresholdMS int64          `json:"slow_threshold_ms"`
+		Traces      []*trace.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/traces/slow")), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Traces) < 2 {
+		t.Fatalf("slow traces = %d, want >= 2", len(slow.Traces))
+	}
+	tr := slow.Traces[0] // slowest-first; both ran the same SQL
+	if tr.SQL != frontSQL {
+		t.Errorf("trace SQL = %q, want %q", tr.SQL, frontSQL)
+	}
+	if tr.Outcome != "ok" || tr.DurNs <= 0 {
+		t.Errorf("trace outcome/duration wrong: %q %d", tr.Outcome, tr.DurNs)
+	}
+	if len(tr.Translated) != 1 || tr.Translated[0] == "" {
+		t.Errorf("translated SQL missing: %v", tr.Translated)
+	}
+	if tr.Root == nil || tr.Root.Name != "request" {
+		t.Fatalf("span tree root wrong: %+v", tr.Root)
+	}
+	for _, name := range []string{"parse", "execute", "convert"} {
+		if tr.FindSpan(name) == nil {
+			t.Errorf("span %q missing from trace tree", name)
+		}
+	}
+	if sp := tr.FindSpan("execute"); sp != nil && sp.DurNs <= 0 {
+		t.Error("execute span has no duration")
+	}
+
+	// /traces mirrors the ring, newest first.
+	var recent struct {
+		Traces []*trace.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/traces")), &recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Traces) < 2 || recent.Traces[0].SQL != frontSQL {
+		t.Fatalf("recent traces wrong: %d", len(recent.Traces))
+	}
+	// The repeated request short-circuits on the raw result cache.
+	if recent.Traces[0].Cache != "raw-hit" {
+		t.Errorf("newest trace cache = %q, want raw-hit", recent.Traces[0].Cache)
+	}
+
+	// /sessions: the live wire session with its counters.
+	var sess struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/sessions")), &sess); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sess.Sessions))
+	}
+	si := sess.Sessions[0]
+	if si.User != "appuser" || si.Requests != 2 || si.Statements != 2 || si.CacheHits != 1 {
+		t.Errorf("session info wrong: %+v", si)
+	}
+	if si.LastSQL != frontSQL {
+		t.Errorf("session LastSQL = %q", si.LastSQL)
+	}
+
+	// Query log: one JSON line per request, with stage timings.
+	qf, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	var entries []querylog.Entry
+	lsc := bufio.NewScanner(qf)
+	for lsc.Scan() {
+		var e querylog.Entry
+		if err := json.Unmarshal(lsc.Bytes(), &e); err != nil {
+			t.Fatalf("bad query-log line: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("query log lines = %d, want 2", len(entries))
+	}
+	if entries[0].SQL != frontSQL || entries[0].Outcome != "ok" {
+		t.Errorf("query log entry wrong: %+v", entries[0])
+	}
+	if entries[0].StageNs["execute"] <= 0 {
+		t.Errorf("query log stage timings missing: %v", entries[0].StageNs)
+	}
+	if entries[1].Cache != "raw-hit" {
+		t.Errorf("second entry cache = %q, want raw-hit", entries[1].Cache)
+	}
+}
+
+// TestTraceAcrossReconnect asserts the trace of a request that survives a
+// backend session drop records the retry, reconnect, and replay work nested
+// under its execute span — the fault-tolerance path of DESIGN.md §7 made
+// visible to the operator.
+func TestTraceAcrossReconnect(t *testing.T) {
+	g, _, fd := newFaultGateway(t, nil)
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run(t, s, "CREATE VOLATILE TABLE VT (X INT) ON COMMIT PRESERVE ROWS")
+	run(t, s, "INSERT INTO VT VALUES (1)")
+
+	fd.DropActiveSessions()
+	run(t, s, "SEL COUNT(*) FROM SALES")
+
+	recent := g.Traces().Recent()
+	if len(recent) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	tr := recent[0]
+	if tr.Outcome != "ok" {
+		t.Fatalf("trace outcome = %q, want ok", tr.Outcome)
+	}
+	exec := tr.FindSpan("execute")
+	if exec == nil {
+		t.Fatal("execute span missing")
+	}
+	for _, name := range []string{"retry", "reconnect", "replay"} {
+		if tr.FindSpan(name) == nil {
+			t.Errorf("span %q missing from reconnect trace", name)
+		}
+	}
+	// The replay span must be nested under the reconnect span.
+	rc := tr.FindSpan("reconnect")
+	var replayNested bool
+	for _, ch := range rc.Children {
+		if ch.Name == "replay" {
+			replayNested = true
+		}
+	}
+	if !replayNested {
+		t.Error("replay span not nested under reconnect")
+	}
+	if tr.StageNs["execute"] <= 0 {
+		t.Errorf("execute stage time missing: %v", tr.StageNs)
+	}
+}
+
+// TestEmulationFanOutTraced asserts a statement emulated as multiple backend
+// requests records its fan-out: BackendRequests > 1, all rewritten texts kept,
+// and an "emulate" span grouping the extra requests.
+func TestEmulationFanOutTraced(t *testing.T) {
+	g, _ := newTestGateway(t, dialect.CloudC()) // CloudC lacks recursion
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run(t, s, `WITH RECURSIVE CHAIN (EMPNO, MGRNO, DEPTH) AS (
+	  SELECT EMPNO, MGRNO, 0 FROM EMP WHERE EMPNO = 1
+	  UNION ALL
+	  SELECT E.EMPNO, E.MGRNO, C.DEPTH + 1 FROM EMP E JOIN CHAIN C ON E.EMPNO = C.MGRNO
+	) SELECT COUNT(*) FROM CHAIN`)
+
+	tr := g.Traces().Recent()[0]
+	if tr.BackendRequests <= 1 {
+		t.Fatalf("BackendRequests = %d, want > 1 (emulation fan-out)", tr.BackendRequests)
+	}
+	if len(tr.Translated) != tr.BackendRequests {
+		t.Errorf("translated texts = %d, want %d", len(tr.Translated), tr.BackendRequests)
+	}
+	esp := tr.FindSpan("emulate")
+	if esp == nil {
+		t.Fatal("emulate span missing")
+	}
+	var feature string
+	for _, a := range esp.Attrs {
+		if a.Key == "feature" {
+			feature = a.Value
+		}
+	}
+	if feature != "recursive" {
+		t.Errorf("emulate feature = %q, want recursive", feature)
+	}
+}
+
+// TestErrorClassRecorded asserts failed statements are classified in the trace.
+func TestErrorClassRecorded(t *testing.T) {
+	g := newObsGateway(t, nil)
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run("SELECT FROM WHERE"); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	tr := g.Traces().Recent()[0]
+	if tr.Outcome != "error" || tr.ErrClass != "syntax" || tr.ErrCode != 3706 {
+		t.Errorf("error trace wrong: outcome=%q class=%q code=%d", tr.Outcome, tr.ErrClass, tr.ErrCode)
+	}
+	if _, err := s.Run("SELECT X FROM NO_SUCH_TABLE"); err == nil {
+		t.Fatal("expected semantic error")
+	}
+	if tr := g.Traces().Recent()[0]; tr.ErrClass != "semantic" {
+		t.Errorf("semantic error class = %q", tr.ErrClass)
+	}
+}
+
+// TestResetMetricsClearsObservability asserts ResetMetrics also clears the
+// stage histograms and the trace ring (the -stats satellite contract).
+func TestResetMetricsClearsObservability(t *testing.T) {
+	g := newObsGateway(t, nil)
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run(t, s, "SEL COUNT(*) FROM SALES")
+	if g.Stages().Request.Snapshot().Count == 0 {
+		t.Fatal("no request observations before reset")
+	}
+	if len(g.Traces().Recent()) == 0 {
+		t.Fatal("no traces before reset")
+	}
+	g.ResetMetrics()
+	if n := g.Stages().Request.Snapshot().Count; n != 0 {
+		t.Errorf("request histogram count after reset = %d", n)
+	}
+	if n := g.Stages().Stage("parse").Snapshot().Count; n != 0 {
+		t.Errorf("parse histogram count after reset = %d", n)
+	}
+	if n := len(g.Traces().Recent()); n != 0 {
+		t.Errorf("trace ring size after reset = %d", n)
+	}
+	if m := g.MetricsSnapshot(); m.Requests != 0 {
+		t.Errorf("requests counter after reset = %d", m.Requests)
+	}
+}
+
+// TestTracingDisabled asserts DisableTracing suppresses span traces while the
+// stage histograms keep recording.
+func TestTracingDisabled(t *testing.T) {
+	target := dialect.CloudA()
+	eng := engine.New(target)
+	setup := eng.NewSession()
+	if _, err := setup.ExecSQL(`CREATE TABLE SALES (AMOUNT DECIMAL(12,2), SALES_DATE DATE, STORE INT)`); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Target:         target,
+		Driver:         &odbc.LocalDriver{Engine: eng},
+		Catalog:        eng.Catalog().Clone(),
+		DisableTracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run(t, s, "SEL COUNT(*) FROM SALES")
+	if n := len(g.Traces().Recent()); n != 0 {
+		t.Errorf("traces recorded with tracing disabled: %d", n)
+	}
+	if g.Stages().Stage("parse").Snapshot().Count == 0 {
+		t.Error("histograms must keep recording with tracing disabled")
+	}
+	if g.Stages().Request.Snapshot().Count == 0 {
+		t.Error("request histogram must keep recording with tracing disabled")
+	}
+}
+
+// SlowThreshold sanity: a generous threshold keeps fast statements out of the
+// slow list while the recent ring still records them.
+func TestSlowThresholdFilters(t *testing.T) {
+	target := dialect.CloudA()
+	eng := engine.New(target)
+	setup := eng.NewSession()
+	if _, err := setup.ExecSQL(`CREATE TABLE SALES (AMOUNT DECIMAL(12,2), SALES_DATE DATE, STORE INT)`); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Target:    target,
+		Driver:    &odbc.LocalDriver{Engine: eng},
+		Catalog:   eng.Catalog().Clone(),
+		SlowQuery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run(t, s, "SEL COUNT(*) FROM SALES")
+	if n := len(g.Traces().Slow()); n != 0 {
+		t.Errorf("fast statement retained as slow: %d", n)
+	}
+	if n := len(g.Traces().Recent()); n != 1 {
+		t.Errorf("recent ring size = %d, want 1", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hyperq/internal/parser"
 	"hyperq/internal/serializer"
 	"hyperq/internal/sqlast"
+	"hyperq/internal/trace"
 	"hyperq/internal/transform"
 	"hyperq/internal/types"
 	"hyperq/internal/wire/tdp"
@@ -59,9 +60,22 @@ type Session struct {
 	translateCalls int
 	rawPlan        *cacheEntry
 
-	// reqCtx carries the current request's deadline into backend execution
-	// (sessions process one request at a time); nil outside a request.
+	// reqCtx carries the current request's deadline and trace into backend
+	// execution (sessions process one request at a time); nil outside a
+	// request.
 	reqCtx context.Context
+	// tr is the current request's trace; nil outside a request or when
+	// tracing is disabled.
+	tr *trace.Trace
+	// Observability counters, read by the /sessions endpoint from other
+	// goroutines (hence atomics / atomic.Values).
+	obsRequests   int64
+	obsStatements int64
+	obsCacheHits  int64
+	inFlight      int32
+	lastActive    int64        // unix nanos of the last request completion
+	lastSQL       atomic.Value // string
+	lastErr       atomic.Value // string
 	// replayLog records the backend DDL that established session-scoped
 	// backend state (volatile tables, global-temporary instances, emulation
 	// work tables), in execution order. A reconnecting backend driver
@@ -92,6 +106,7 @@ func newSession(g *Gateway, be odbc.Executor, user string) *Session {
 	if ra, ok := be.(odbc.ReconnectAware); ok {
 		ra.OnReconnect(s.replaySessionState)
 	}
+	g.registerSession(s)
 	return s
 }
 
@@ -175,6 +190,7 @@ var _ binder.Resolver = (*Session)(nil)
 
 // Close implements tdp.SessionHandler.
 func (s *Session) Close() {
+	s.g.dropSession(s.id)
 	_ = s.be.Close()
 }
 
@@ -207,26 +223,40 @@ func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
 }
 
 // Run processes a request string and returns per-statement results.
-func (s *Session) Run(sql string) ([]*FrontResult, error) {
+func (s *Session) Run(sql string) (out []*FrontResult, err error) {
+	reqStart := time.Now()
+	tr := s.g.startTrace(s, sql)
+	s.tr = tr
+	atomic.AddInt32(&s.inFlight, 1)
+	s.lastSQL.Store(sql)
+	ctx := context.Background()
+	cancel := func() {}
 	if t := s.g.cfg.BackendTimeout; t > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), t)
-		s.reqCtx = ctx
-		defer func() {
-			cancel()
-			s.reqCtx = nil
-		}()
+		ctx, cancel = context.WithTimeout(ctx, t)
 	}
+	s.reqCtx = trace.NewContext(ctx, tr)
+	defer func() {
+		cancel()
+		s.reqCtx = nil
+		s.tr = nil
+		atomic.AddInt32(&s.inFlight, -1)
+		s.g.finishTrace(s, tr, reqStart, err)
+	}()
 	rec := &feature.Recorder{}
-	if out, done, err := s.runCachedRaw(sql, rec); done {
-		return out, err
+	if cached, done, cerr := s.runCachedRaw(sql, rec); done {
+		return cached, cerr
 	}
 	s.translateCalls = 0
 	s.rawPlan = nil
+	sp := tr.Start("parse")
 	t0 := time.Now()
-	stmts, err := parser.Parse(sql, parser.Teradata, rec)
-	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
-	if err != nil {
-		return nil, failf(3706, "%v", err) // 3706: syntax error
+	stmts, perr := parser.Parse(sql, parser.Teradata, rec)
+	d := time.Since(t0)
+	atomic.AddInt64(&s.g.metrics.translateNs, int64(d))
+	s.g.stages.Observe("parse", d)
+	sp.End()
+	if perr != nil {
+		return nil, failf(3706, "%v", perr) // 3706: syntax error
 	}
 	if len(stmts) > 1 {
 		rec.Record(feature.MultiStatement)
@@ -235,7 +265,6 @@ func (s *Session) Run(sql string) ([]*FrontResult, error) {
 	// into one backend statement; responses are synthesized per original
 	// statement below.
 	units := batchDML(stmts)
-	var out []*FrontResult
 	for _, unit := range units {
 		results, err := s.execStatement(unit.stmt, rec)
 		if err != nil {
@@ -250,6 +279,7 @@ func (s *Session) Run(sql string) ([]*FrontResult, error) {
 			out = append(out, results...)
 		}
 		atomic.AddInt64(&s.g.metrics.statements, 1)
+		atomic.AddInt64(&s.obsStatements, 1)
 	}
 	s.fillRawEntry(sql, units, rec)
 	s.finishRequest(rec)
@@ -265,17 +295,27 @@ func (s *Session) runCachedRaw(sql string, rec *feature.Recorder) (out []*FrontR
 	if cache == nil {
 		return nil, false, nil
 	}
+	sp := s.tr.Start("cache")
 	t0 := time.Now()
 	e := cache.get(s.cacheKey("R", sql))
-	atomic.AddInt64(&s.g.metrics.translateNs, int64(time.Since(t0)))
+	d := time.Since(t0)
+	atomic.AddInt64(&s.g.metrics.translateNs, int64(d))
+	s.g.stages.Observe("cache", d)
 	if e == nil {
+		sp.Set("outcome", "raw-miss")
+		sp.End()
 		return nil, false, nil
 	}
+	sp.Set("outcome", "raw-hit")
+	sp.End()
+	s.tr.SetCache("raw-hit")
 	atomic.AddInt64(&s.g.metrics.cacheHits, 1)
+	atomic.AddInt64(&s.obsCacheHits, 1)
 	rec.Merge(e.feats)
 	out, err = s.execTranslated(e.sql, e.cols, func(string) string { return e.cmd })
 	if err == nil {
 		atomic.AddInt64(&s.g.metrics.statements, 1)
+		atomic.AddInt64(&s.obsStatements, 1)
 	} else {
 		out = nil
 	}
@@ -440,22 +480,38 @@ func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorde
 	if s.macroParams != nil {
 		// Macro scope: statement text contains :params bound per EXEC.
 		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
+		s.tr.SetCache("bypass")
 		return s.bindTransformSerialize(stmt, rec, false)
 	}
+	csp := s.tr.Start("cache")
+	tc := time.Now()
 	fp := fingerprint.Statement(stmt)
 	if !fp.Cacheable || s.refsSessionObject(fp.Tables) {
 		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
+		s.g.stages.Observe("cache", time.Since(tc))
+		csp.Set("outcome", "bypass")
+		csp.End()
+		s.tr.SetCache("bypass")
 		return s.bindTransformSerialize(stmt, rec, false)
 	}
 	key := s.cacheKey("F", fp.Key)
 	if e := cache.get(key); e != nil && (!e.exact || e.litsig == fingerprint.LitSig(fp.Literals)) {
 		atomic.AddInt64(&s.g.metrics.cacheHits, 1)
+		atomic.AddInt64(&s.obsCacheHits, 1)
 		rec.Merge(e.feats)
 		sql := e.tpl.Instantiate(fp.Literals)
+		s.g.stages.Observe("cache", time.Since(tc))
+		csp.Set("outcome", "hit")
+		csp.End()
+		s.tr.SetCache("hit")
 		s.noteRawCandidate(sql, e.cols, commandName(stmt, ""), e.feats)
 		return sql, e.cols, nil
 	}
 	atomic.AddInt64(&s.g.metrics.cacheMisses, 1)
+	s.g.stages.Observe("cache", time.Since(tc))
+	csp.Set("outcome", "miss")
+	csp.End()
+	s.tr.SetCache("miss")
 	// Translate with an inner recorder so the cache entry can replay the
 	// statement's features on later hits.
 	inner := &feature.Recorder{}
@@ -507,24 +563,36 @@ func (s *Session) noteRawCandidate(sql string, cols []xtra.Col, cmd string, feat
 // With lift set, serialized output carries literal placeholders
 // (fingerprint markers) instead of the lifted literal values.
 func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Recorder, lift bool) (string, []xtra.Col, error) {
+	spb := s.tr.Start("bind")
+	tb := time.Now()
 	b := binder.New(s, parser.Teradata, rec)
 	if s.macroParams != nil {
 		b.SetParams(s.macroParams)
 	}
 	bound, err := b.Bind(stmt)
+	s.g.stages.Observe("bind", time.Since(tb))
+	spb.End()
 	if err != nil {
 		return "", nil, failf(3707, "%v", err) // semantic error
 	}
+	spt := s.tr.Start("transform")
+	tt := time.Now()
 	ctx := transform.NewContext(nil, rec, b.MaxColumnID())
 	mid, err := transform.BindingStage().Statement(bound, ctx)
+	s.g.stages.Observe("transform", time.Since(tt))
+	spt.End()
 	if err != nil {
 		return "", nil, failf(3707, "%v", err)
 	}
+	sps := s.tr.Start("serialize")
+	ts := time.Now()
 	ser := serializer.New(s.g.cfg.Target, rec)
 	if lift {
 		ser.LiftLiterals()
 	}
 	sql, err := ser.Serialize(mid)
+	s.g.stages.Observe("serialize", time.Since(ts))
+	sps.End()
 	if err != nil {
 		return "", nil, failf(3707, "%v", err)
 	}
@@ -539,16 +607,26 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 // results to the frontend representation. cmd maps the backend command tag
 // to the frontend activity name.
 func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
+	s.tr.AddTranslated(sql)
+	sp := s.tr.Start("execute")
+	sp.Set("sql", sql)
 	t1 := time.Now()
 	backendResults, err := s.be.ExecContext(s.requestCtx(), sql)
-	atomic.AddInt64(&s.g.metrics.executeNs, int64(time.Since(t1)))
+	d := time.Since(t1)
+	atomic.AddInt64(&s.g.metrics.executeNs, int64(d))
+	s.g.stages.Observe("execute", d)
+	sp.End()
 	if err != nil {
 		return nil, mapBackendError(err)
 	}
 	// Result conversion back to the frontend representation.
+	csp := s.tr.Start("convert")
 	t2 := time.Now()
 	defer func() {
-		atomic.AddInt64(&s.g.metrics.convertNs, int64(time.Since(t2)))
+		dc := time.Since(t2)
+		atomic.AddInt64(&s.g.metrics.convertNs, int64(dc))
+		s.g.stages.Observe("convert", dc)
+		csp.End()
 	}()
 	var out []*FrontResult
 	for _, br := range backendResults {

@@ -1,0 +1,199 @@
+// Package metrics provides the gateway's lock-cheap latency histograms: a
+// fixed set of log-scaled buckets updated with atomic adds (no locks on the
+// hot path), point-in-time snapshots with quantile estimation, and a
+// Prometheus text-format renderer (no external dependencies). The gateway
+// keeps one histogram per pipeline stage (parse, bind, transform, serialize,
+// cache, execute, convert) plus whole-request latency and the per-request
+// gateway-overhead ratio — the quantity the paper's §6 evaluation reports as
+// "gateway overhead vs. backend time".
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation.
+// Bucket counters, the total count, and the running sum are updated with
+// atomic operations only; snapshots are taken without stopping writers and
+// are therefore only approximately consistent across buckets — exact enough
+// for latency reporting, and never losing an observation.
+type Histogram struct {
+	// bounds are the ascending inclusive upper bounds; observations above
+	// the last bound land in an implicit +Inf bucket.
+	bounds []float64
+	counts []int64 // len(bounds)+1
+	count  int64
+	sum    uint64 // float64 bits, CAS-updated
+}
+
+// New creates a histogram over the given ascending bucket upper bounds.
+func New(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// DurationBuckets returns the standard log-scaled latency bucket bounds in
+// seconds: 16µs doubling 21 times up to ~33.5s. Pipeline stages span
+// sub-millisecond parsing to multi-second backend scans; a factor-2
+// progression keeps quantile estimates within ~2× everywhere.
+func DurationBuckets() []float64 {
+	bounds := make([]float64, 22)
+	v := 16e-6
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// RatioBuckets returns bucket bounds for values in [0,1] (overhead
+// fractions), denser near the ends where translation overhead lives.
+func RatioBuckets() []float64 {
+	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	for {
+		old := atomic.LoadUint64(&h.sum)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&h.sum, old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Reset zeroes all counters.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		atomic.StoreInt64(&h.counts[i], 0)
+	}
+	atomic.StoreInt64(&h.count, 0)
+	atomic.StoreUint64(&h.sum, 0)
+}
+
+// Snapshot is a point-in-time copy of a histogram.
+type Snapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket; last entry is the +Inf bucket
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  atomic.LoadInt64(&h.count),
+		Sum:    math.Float64frombits(atomic.LoadUint64(&h.sum)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket — the same estimator Prometheus'
+// histogram_quantile uses. Returns 0 for an empty histogram; observations in
+// the +Inf bucket clamp to the largest finite bound.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate towards.
+			return lower
+		}
+		upper := s.Bounds[i]
+		if cum+float64(c) >= rank {
+			if c == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*((rank-cum)/float64(c))
+		}
+		cum += float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// StageNames lists the pipeline stages in execution order. "cache" is the
+// translation-cache lookup; the remaining six are the translate/execute
+// pipeline of the paper's Figure 3.
+var StageNames = []string{"parse", "bind", "transform", "serialize", "cache", "execute", "convert"}
+
+// Stages bundles the gateway's per-stage histograms plus the whole-request
+// latency and per-request overhead-ratio histograms.
+type Stages struct {
+	byName map[string]*Histogram
+	// Request observes whole-request wall time (seconds).
+	Request *Histogram
+	// Overhead observes the per-request gateway-overhead fraction
+	// (1 - backend-execute-time/total), for requests that reached the
+	// backend — the Figure 9 quantity, now as a distribution.
+	Overhead *Histogram
+}
+
+// NewStages creates the standard stage set.
+func NewStages() *Stages {
+	s := &Stages{
+		byName:   make(map[string]*Histogram, len(StageNames)),
+		Request:  New(DurationBuckets()),
+		Overhead: New(RatioBuckets()),
+	}
+	for _, name := range StageNames {
+		s.byName[name] = New(DurationBuckets())
+	}
+	return s
+}
+
+// Observe records one stage duration. Unknown stage names are ignored.
+func (s *Stages) Observe(stage string, d time.Duration) {
+	if h, ok := s.byName[stage]; ok {
+		h.ObserveDuration(d)
+	}
+}
+
+// Stage returns the named stage histogram (nil when unknown).
+func (s *Stages) Stage(name string) *Histogram { return s.byName[name] }
+
+// Reset zeroes every histogram.
+func (s *Stages) Reset() {
+	for _, h := range s.byName {
+		h.Reset()
+	}
+	s.Request.Reset()
+	s.Overhead.Reset()
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition format (version 0.0.4), rendered by hand so the
+// gateway stays dependency-free. Only the subset the gateway needs:
+// histograms and counters, each with at most one label.
+
+// formatFloat renders a float the way Prometheus expects ("0.000016", not
+// "1.6e-05" — both parse, but the decimal form is friendlier to grep-based
+// smoke tests and humans).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func labelSuffix(key, val string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + `="` + val + `"}`
+}
+
+func labelExtra(key, val, extraKey, extraVal string) string {
+	if key == "" {
+		return "{" + extraKey + `="` + extraVal + `"}`
+	}
+	return "{" + key + `="` + val + `",` + extraKey + `="` + extraVal + `"}`
+}
+
+// WriteHistogram renders one histogram series with an optional single label.
+// Bucket counts are cumulative, as the format requires.
+func WriteHistogram(w io.Writer, name, help, labelKey, labelVal string, s Snapshot) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	}
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelExtra(labelKey, labelVal, "le", formatFloat(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelExtra(labelKey, labelVal, "le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelSuffix(labelKey, labelVal), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelSuffix(labelKey, labelVal), s.Count)
+}
+
+// WriteCounter renders one counter (or gauge — the text format is the same
+// modulo the TYPE line).
+func WriteCounter(w io.Writer, name, help, typ string, value int64) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	fmt.Fprintf(w, "%s %d\n", name, value)
+}

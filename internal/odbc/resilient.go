@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hyperq/internal/trace"
 	"hyperq/internal/wire/cwp"
 )
 
@@ -325,10 +327,12 @@ func (e *resilientExecutor) OnReconnect(restore func(Executor) error) { e.restor
 // session has the registered session state replayed onto it before use.
 func (e *resilientExecutor) reconnect(ctx context.Context) error {
 	d := e.d
+	tr := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt <= d.maxRetries(); attempt++ {
 		if attempt > 0 {
 			d.Metrics.addRetry()
+			tr.Event("retry", "op", "connect", "attempt", strconv.Itoa(attempt))
 			d.backoff(ctx, attempt)
 			if ctx.Err() != nil {
 				return lastErr
@@ -339,8 +343,16 @@ func (e *resilientExecutor) reconnect(ctx context.Context) error {
 			// request would defeat the point.
 			return err
 		}
+		// Within a request (trace present), a replacement connection is a
+		// reconnect span; the initial logon-time connect is untraced.
+		var sp *trace.Span
+		if e.everConnected {
+			sp = tr.Start("reconnect")
+		}
 		inner, err := ConnectContext(ctx, d.Inner)
 		if err != nil {
+			sp.Set("error", err.Error())
+			sp.End()
 			d.brk.Failure()
 			lastErr = err
 			if !Transient(err) {
@@ -353,7 +365,11 @@ func (e *resilientExecutor) reconnect(ctx context.Context) error {
 			d.Metrics.addReconnect()
 			if e.restore != nil {
 				d.Metrics.addReplay()
-				if rerr := e.restore(inner); rerr != nil {
+				rsp := tr.Start("replay")
+				rerr := e.restore(inner)
+				rsp.End()
+				if rerr != nil {
+					sp.End()
 					_ = inner.Close()
 					d.brk.Failure()
 					lastErr = fmt.Errorf("odbc: session replay: %w", rerr)
@@ -364,6 +380,7 @@ func (e *resilientExecutor) reconnect(ctx context.Context) error {
 				}
 			}
 		}
+		sp.End()
 		e.everConnected = true
 		e.inner = inner
 		return nil
@@ -401,6 +418,7 @@ func (e *resilientExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp
 			// Retryable abort (deadlock class): the backend rolled the
 			// statement back, so re-executing is safe even for writes.
 			d.Metrics.addRetry()
+			trace.FromContext(ctx).Event("retry", "op", "exec", "class", "retryable-abort", "attempt", strconv.Itoa(attempt+1))
 			d.backoff(ctx, attempt+1)
 			if ctx.Err() != nil {
 				return nil, err
@@ -420,6 +438,7 @@ func (e *resilientExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp
 			return nil, err
 		}
 		d.Metrics.addRetry()
+		trace.FromContext(ctx).Event("retry", "op", "exec", "class", "connection-lost", "attempt", strconv.Itoa(attempt+1))
 		d.backoff(ctx, attempt+1)
 	}
 }

@@ -1,0 +1,226 @@
+// Package querylog writes the gateway's statement log: one JSON line per
+// request, carrying the trace id, the frontend SQL, the translated SQL-B
+// text, per-stage timings, and the outcome. The writer appends with O_APPEND
+// (atomic for line-sized writes on POSIX) and is rotation-safe: before each
+// write it re-stats the configured path and transparently reopens when an
+// external rotation moved or truncated the file away. With redaction on,
+// literal values in the SQL text are replaced lexically with '?' so lifted
+// customer data never reaches the log.
+package querylog
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"hyperq/internal/trace"
+)
+
+// Entry is one logged statement.
+type Entry struct {
+	Time            time.Time        `json:"time"`
+	TraceID         string           `json:"trace_id"`
+	Session         uint64           `json:"session"`
+	User            string           `json:"user"`
+	SQL             string           `json:"sql"`
+	Translated      []string         `json:"translated,omitempty"`
+	StageNs         map[string]int64 `json:"stage_ns,omitempty"`
+	DurationNs      int64            `json:"duration_ns"`
+	Outcome         string           `json:"outcome"`
+	ErrCode         int              `json:"error_code,omitempty"`
+	ErrClass        string           `json:"error_class,omitempty"`
+	Cache           string           `json:"cache,omitempty"`
+	BackendRequests int              `json:"backend_requests"`
+}
+
+// Writer is a rotation-safe JSON-lines appender. Safe for concurrent use.
+type Writer struct {
+	mu     sync.Mutex
+	path   string
+	redact bool
+	f      *os.File
+	fi     os.FileInfo
+}
+
+// Open creates (or appends to) the log at path.
+func Open(path string, redact bool) (*Writer, error) {
+	w := &Writer{path: path, redact: redact}
+	if err := w.reopen(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Redacting reports whether literal redaction is on.
+func (w *Writer) Redacting() bool { return w != nil && w.redact }
+
+func (w *Writer) reopen() error {
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	w.f, w.fi = f, fi
+	return nil
+}
+
+// LogTrace appends the finished trace as one JSON line. Errors are returned
+// for callers that care (the gateway drops them: the data path must not fail
+// because the log disk did). Safe on a nil writer.
+func (w *Writer) LogTrace(t *trace.Trace) error {
+	if w == nil || t == nil {
+		return nil
+	}
+	e := Entry{
+		Time:            t.StartedAt,
+		TraceID:         t.ID,
+		Session:         t.Session,
+		User:            t.User,
+		SQL:             t.SQL,
+		Translated:      t.Translated,
+		StageNs:         t.StageNs,
+		DurationNs:      t.DurNs,
+		Outcome:         t.Outcome,
+		ErrCode:         t.ErrCode,
+		ErrClass:        t.ErrClass,
+		Cache:           t.Cache,
+		BackendRequests: t.BackendRequests,
+	}
+	if w.redact {
+		e.SQL = Redact(e.SQL)
+		if len(e.Translated) > 0 {
+			red := make([]string, len(e.Translated))
+			for i, s := range e.Translated {
+				red[i] = Redact(s)
+			}
+			e.Translated = red
+		}
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Rotation check: if the path no longer names the open file (logrotate
+	// moved it, or someone deleted it), reopen before writing so new lines
+	// land in the fresh file instead of the rotated one.
+	if st, err := os.Stat(w.path); err != nil || !os.SameFile(st, w.fi) {
+		if err := w.reopen(); err != nil {
+			return err
+		}
+	}
+	_, err = w.f.Write(line)
+	return err
+}
+
+// Close releases the file.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Redact replaces literal values in SQL text with '?' lexically: quoted
+// strings (with '' escaping) and numeric literals, including decimals and
+// exponents. Identifiers — even ones containing digits, like T1 or
+// L_QUANTITY — and quoted identifiers are left intact, as are keywords and
+// operators, so the statement shape stays readable.
+func Redact(sql string) string {
+	out := make([]byte, 0, len(sql))
+	i := 0
+	n := len(sql)
+	isIdent := func(c byte) bool {
+		return c == '_' || c == '$' || c == '#' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			// String literal; '' is an escaped quote, not a terminator.
+			i++
+			for i < n {
+				if sql[i] == '\'' {
+					if i+1 < n && sql[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			out = append(out, '\'', '?', '\'')
+		case c == '"':
+			// Quoted identifier: copy verbatim.
+			j := i + 1
+			for j < n && sql[j] != '"' {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			out = append(out, sql[i:j]...)
+			i = j
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && sql[i+1] >= '0' && sql[i+1] <= '9'):
+			// Numeric literal — but only at a non-identifier boundary.
+			if len(out) > 0 && isIdent(out[len(out)-1]) {
+				out = append(out, c)
+				i++
+				continue
+			}
+			j := i
+			for j < n && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			if j < n && (sql[j] == 'e' || sql[j] == 'E') {
+				k := j + 1
+				if k < n && (sql[k] == '+' || sql[k] == '-') {
+					k++
+				}
+				if k < n && sql[k] >= '0' && sql[k] <= '9' {
+					for k < n && sql[k] >= '0' && sql[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			out = append(out, '?')
+			i = j
+		default:
+			if isIdent(c) {
+				// Copy the whole identifier so trailing digits are not
+				// mistaken for literals on the next iteration.
+				j := i
+				for j < n && isIdent(sql[j]) {
+					j++
+				}
+				out = append(out, sql[i:j]...)
+				i = j
+				continue
+			}
+			out = append(out, c)
+			i++
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ring is a bounded in-memory store of finished traces: a circular buffer of
+// the most recent traces plus a separate retention list for the slowest
+// traces at or above the slow-query threshold. The slow list always keeps
+// the worst offenders — a burst of fast queries can evict recent history but
+// never the slowest statements, which are exactly the ones an operator comes
+// looking for after the fact.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	slowCap int
+	slow    time.Duration
+	recent  []*Trace // circular; next is the write position
+	next    int
+	slowest []*Trace // sorted by DurNs descending, len <= slowCap
+}
+
+// NewRing creates a ring retaining up to capacity recent traces and the
+// capacity/4 (min 16) slowest traces at or above slowThreshold. capacity 0
+// selects 256. slowThreshold 0 selects 200ms; negative disables slow
+// retention entirely.
+func NewRing(capacity int, slowThreshold time.Duration) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if slowThreshold == 0 {
+		slowThreshold = 200 * time.Millisecond
+	}
+	slowCap := capacity / 4
+	if slowCap < 16 {
+		slowCap = 16
+	}
+	return &Ring{cap: capacity, slowCap: slowCap, slow: slowThreshold}
+}
+
+// SlowThreshold reports the slow-query threshold.
+func (r *Ring) SlowThreshold() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slow
+}
+
+// Add publishes a finished trace.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) < r.cap {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.next] = t
+	}
+	r.next = (r.next + 1) % r.cap
+	if r.slow < 0 || time.Duration(t.DurNs) < r.slow {
+		return
+	}
+	// Insert into the slow list, keeping it sorted slowest-first; when full,
+	// the fastest slow trace is dropped.
+	i := sort.Search(len(r.slowest), func(i int) bool { return r.slowest[i].DurNs < t.DurNs })
+	r.slowest = append(r.slowest, nil)
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = t
+	if len(r.slowest) > r.slowCap {
+		r.slowest = r.slowest[:r.slowCap]
+	}
+}
+
+// Recent returns the retained traces, newest first.
+func (r *Ring) Recent() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.recent))
+	for i := 1; i <= len(r.recent); i++ {
+		out = append(out, r.recent[(r.next-i+len(r.recent)*2)%len(r.recent)])
+	}
+	return out
+}
+
+// Slow returns the retained slow traces, slowest first.
+func (r *Ring) Slow() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.slowest))
+	copy(out, r.slowest)
+	return out
+}
+
+// Reset drops every retained trace.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent = r.recent[:0]
+	r.next = 0
+	r.slowest = nil
+}

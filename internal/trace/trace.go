@@ -1,0 +1,283 @@
+// Package trace implements per-request pipeline tracing for the gateway: a
+// Trace is created when a frontend request arrives at the protocol handler
+// and follows the statement through algebrize (parse + bind), transform,
+// serialize, cache lookup, backend execution (including retries, reconnects
+// and session replay inside the resilient driver), and result conversion.
+// Each stage records a Span in a tree rooted at the request; the finished
+// trace carries the rewritten SQL-B text, the cache outcome, the emulation
+// fan-out (number of backend requests one frontend statement expanded into),
+// and an error classification — the per-statement processing log a
+// replatforming engineer uses to see what the virtualization layer did.
+//
+// All methods are nil-receiver safe so instrumented code never has to guard
+// on tracing being enabled; with tracing off every call is a no-op.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed stage (or instantaneous event, Duration 0) within a
+// trace. Start is the offset from the trace start.
+type Span struct {
+	Name     string  `json:"name"`
+	StartNs  int64   `json:"start_ns"`
+	DurNs    int64   `json:"duration_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	tr    *Trace
+	ended bool
+}
+
+// Trace is the record of one frontend request through the gateway pipeline.
+// A trace is mutated only by the session goroutine processing the request
+// (plus the driver goroutine it calls into, which is the same one); once
+// finished and published to a Ring it is immutable.
+type Trace struct {
+	ID        string    `json:"id"`
+	Session   uint64    `json:"session"`
+	User      string    `json:"user"`
+	SQL       string    `json:"sql"`
+	StartedAt time.Time `json:"started_at"`
+	DurNs     int64     `json:"duration_ns"`
+	// Outcome is "ok" or "error"; ErrCode/ErrClass carry the frontend
+	// failure code and its classification when Outcome is "error".
+	Outcome  string `json:"outcome"`
+	ErrCode  int    `json:"error_code,omitempty"`
+	ErrClass string `json:"error_class,omitempty"`
+	ErrMsg   string `json:"error,omitempty"`
+	// Cache is the translation-cache outcome of the request: "hit", "miss",
+	// "bypass", "raw-hit" (request-tier byte-identical replay), or "" when
+	// the statement never consulted the cache.
+	Cache string `json:"cache,omitempty"`
+	// Translated is the rewritten SQL-B text sent to the backend, one entry
+	// per backend request. Emulated statements (recursive queries, MERGE)
+	// fan out into several entries.
+	Translated []string `json:"translated,omitempty"`
+	// BackendRequests is the emulation fan-out: how many backend requests
+	// this one frontend request expanded into.
+	BackendRequests int `json:"backend_requests"`
+	// StageNs sums span durations by span name (parse, bind, transform,
+	// serialize, cache, execute, convert, reconnect, replay, ...).
+	StageNs map[string]int64 `json:"stage_ns"`
+	// Root is the request span tree.
+	Root *Span `json:"spans"`
+
+	mu    sync.Mutex
+	start time.Time
+	stack []*Span
+}
+
+// New starts a trace. id is a gateway-unique trace ordinal, session the
+// owning session identity.
+func New(id, session uint64, user, sql string) *Trace {
+	now := time.Now()
+	t := &Trace{
+		ID:        fmt.Sprintf("t-%d-%d", session, id),
+		Session:   session,
+		User:      user,
+		SQL:       sql,
+		StartedAt: now,
+		StageNs:   make(map[string]int64),
+		start:     now,
+	}
+	t.Root = &Span{Name: "request", tr: t}
+	t.stack = []*Span{t.Root}
+	return t
+}
+
+// Start opens a child span of the innermost open span and returns it. End it
+// with Span.End. Safe on a nil trace (returns nil).
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{Name: name, StartNs: time.Since(t.start).Nanoseconds(), tr: t}
+	parent := t.stack[len(t.stack)-1]
+	parent.Children = append(parent.Children, sp)
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// Event records an instantaneous child span (Duration 0) under the innermost
+// open span, with key/value attribute pairs. Safe on a nil trace.
+func (t *Trace) Event(name string, kv ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{Name: name, StartNs: time.Since(t.start).Nanoseconds(), ended: true}
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.Attrs = append(sp.Attrs, Attr{Key: kv[i], Value: kv[i+1]})
+	}
+	parent := t.stack[len(t.stack)-1]
+	parent.Children = append(parent.Children, sp)
+}
+
+// End closes the span, accumulating its duration into the trace's per-stage
+// sums. Idempotent; safe on a nil span.
+func (sp *Span) End() {
+	if sp == nil || sp.tr == nil {
+		return
+	}
+	t := sp.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp.ended {
+		return
+	}
+	sp.ended = true
+	sp.DurNs = time.Since(t.start).Nanoseconds() - sp.StartNs
+	t.StageNs[sp.Name] += sp.DurNs
+	// Pop the span (and anything opened after it that was left open — ending
+	// a parent implicitly ends abandoned children).
+	for i := len(t.stack) - 1; i >= 1; i-- {
+		if t.stack[i] == sp {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+}
+
+// Set attaches a key/value attribute. Safe on a nil span.
+func (sp *Span) Set(key, value string) {
+	if sp == nil || sp.tr == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// AddTranslated appends one backend request's SQL-B text and bumps the
+// fan-out counter. Safe on a nil trace.
+func (t *Trace) AddTranslated(sql string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Translated = append(t.Translated, sql)
+	t.BackendRequests++
+}
+
+// SetCache records the translation-cache outcome (last write wins — for a
+// multi-statement request the final statement's outcome stands, with the
+// full story in the per-statement cache spans).
+func (t *Trace) SetCache(outcome string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Cache = outcome
+}
+
+// Finish closes the root span and stamps the outcome. After Finish the trace
+// must not be mutated further.
+func (t *Trace) Finish(outcome string, errCode int, errClass, errMsg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Outcome = outcome
+	t.ErrCode = errCode
+	t.ErrClass = errClass
+	t.ErrMsg = errMsg
+	t.mu.Unlock()
+	// Close any spans left open by an error path, innermost first.
+	for {
+		t.mu.Lock()
+		var open *Span
+		if len(t.stack) > 1 {
+			open = t.stack[len(t.stack)-1]
+		}
+		t.mu.Unlock()
+		if open == nil {
+			break
+		}
+		open.End()
+	}
+	t.mu.Lock()
+	t.DurNs = time.Since(t.start).Nanoseconds()
+	t.Root.DurNs = t.DurNs
+	t.Root.ended = true
+	t.mu.Unlock()
+}
+
+// Duration returns the finished trace's wall time.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.DurNs)
+}
+
+// Stage returns the accumulated duration of the named stage.
+func (t *Trace) Stage(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.StageNs[name])
+}
+
+// FindSpan returns the first span with the given name in depth-first order,
+// or nil. Intended for tests and diagnostics on finished traces.
+func (t *Trace) FindSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return findSpan(t.Root, name)
+}
+
+func findSpan(sp *Span, name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.Name == name {
+		return sp
+	}
+	for _, c := range sp.Children {
+		if found := findSpan(c, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// --- context propagation ----------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace, for propagation into layers
+// below the session (the backend driver's retry/reconnect machinery).
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the trace (nil when absent).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

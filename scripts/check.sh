@@ -7,3 +7,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race -timeout 120s ./...
+
+# End-to-end smoke: boot cloudsrv + hyperq (with the introspection endpoint),
+# run a statement through bteq, and assert /metrics shows pipeline activity.
+bindir="$(mktemp -d)"
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir" ./cmd/...
+go run scripts/smoke.go -bin "$bindir"

@@ -1,0 +1,163 @@
+//go:build ignore
+
+// Command smoke is the CI end-to-end smoke check: it boots the built
+// cloudsrv and hyperq binaries on loopback ports, submits a statement
+// through the bteq client, and asserts the gateway's /metrics introspection
+// endpoint reports non-zero pipeline-stage counters.
+//
+// Usage (from scripts/check.sh):
+//
+//	go build -o "$bindir" ./cmd/... && go run scripts/smoke.go -bin "$bindir"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "directory holding the cloudsrv, hyperq, and bteq binaries")
+	flag.Parse()
+	if *bin == "" {
+		log.Fatal("smoke: -bin is required")
+	}
+	if err := run(*bin); err != nil {
+		log.Fatalf("smoke: %v", err)
+	}
+	fmt.Println("smoke: ok")
+}
+
+// freePort reserves a loopback port and releases it for the child to claim.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer ln.Close()
+	return ln.Addr().String(), nil
+}
+
+// waitTCP polls until the address accepts connections.
+func waitTCP(addr string, deadline time.Duration) error {
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s did not come up within %v", addr, deadline)
+}
+
+func start(name string, args ...string) (*exec.Cmd, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", filepath.Base(name), err)
+	}
+	return cmd, nil
+}
+
+func run(bin string) error {
+	backendAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+	gatewayAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+	debugAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	cloudsrv, err := start(filepath.Join(bin, "cloudsrv"), "-listen", backendAddr)
+	if err != nil {
+		return err
+	}
+	defer cloudsrv.Process.Kill()
+	if err := waitTCP(backendAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("cloudsrv: %w", err)
+	}
+
+	hyperq, err := start(filepath.Join(bin, "hyperq"),
+		"-listen", gatewayAddr, "-backend", backendAddr, "-debug-addr", debugAddr)
+	if err != nil {
+		return err
+	}
+	defer hyperq.Process.Kill()
+	if err := waitTCP(gatewayAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("hyperq: %w", err)
+	}
+	if err := waitTCP(debugAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("hyperq debug endpoint: %w", err)
+	}
+
+	// A DDL + DML + query round trip through the wire client.
+	bteq := exec.Command(filepath.Join(bin, "bteq"), "-connect", gatewayAddr, "-user", "smoke")
+	bteq.Stdin = strings.NewReader(
+		"CREATE TABLE SMOKE (X INT);\n" +
+			"INSERT INTO SMOKE VALUES (1);\n" +
+			"SEL COUNT(*) FROM SMOKE;\n")
+	out, err := bteq.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("bteq: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "Failure") {
+		return fmt.Errorf("bteq request failed:\n%s", out)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	metrics := string(body)
+	for _, stage := range []string{"parse", "bind", "transform", "serialize", "execute", "convert"} {
+		series := fmt.Sprintf(`hyperq_stage_duration_seconds_count{stage="%s"}`, stage)
+		if err := assertNonZero(metrics, series); err != nil {
+			return err
+		}
+	}
+	for _, series := range []string{"hyperq_requests_total", "hyperq_statements_total"} {
+		if err := assertNonZero(metrics, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assertNonZero finds the series line and rejects a zero or missing value.
+func assertNonZero(metrics, series string) error {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		val := strings.TrimSpace(strings.TrimPrefix(line, series+" "))
+		if val == "0" || val == "" {
+			return fmt.Errorf("series %s is zero", series)
+		}
+		return nil
+	}
+	return fmt.Errorf("series %s missing from /metrics", series)
+}
