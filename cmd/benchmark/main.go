@@ -9,30 +9,36 @@
 //	benchmark -run fig8                # Figures 8(a) and 8(b)
 //	benchmark -run fig9a -sf 0.01      # Figure 9(a) single-stream overhead
 //	benchmark -run fig9b -clients 10   # Figure 9(b) concurrent stress test
+//	benchmark -run pool -clients 16 -pool-size 4   # pool concurrency
 //
 // Flags -sf, -target, -clients, -iterations and -scale tune experiment size;
 // the defaults finish in a few minutes on a laptop.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"hyperq/internal/bench"
 	"hyperq/internal/dialect"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare")
+	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool")
 	target := flag.String("target", "CloudA", "target profile for Figure 9")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for Figure 9")
 	reps := flag.Int("reps", 1, "Figure 9(a) repetitions of the 22-query stream")
-	clients := flag.Int("clients", 10, "Figure 9(b) concurrent sessions")
-	iterations := flag.Int("iterations", 54, "Figure 9(b) requests per session")
+	clients := flag.Int("clients", 10, "Figure 9(b) and pool concurrent sessions")
+	iterations := flag.Int("iterations", 54, "Figure 9(b) and pool requests per session")
 	scale := flag.Float64("scale", 1.0, "Figure 8 workload scale (1.0 = paper-size workloads)")
+	poolSize := flag.Int("pool-size", 4, "pool experiment: backend connection pool capacity")
+	backendLatency := flag.Duration("backend-latency", 2*time.Millisecond, "pool experiment: injected per-request backend latency")
+	out := flag.String("out", "", "write the experiment result as JSON to this file (pool only)")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -75,6 +81,23 @@ func main() {
 	runIf("compare", func() error {
 		_, err := bench.Compare(os.Stdout, *sf)
 		return err
+	})
+	runIf("pool", func() error {
+		res, err := bench.PoolBench(os.Stdout, prof, *sf, *clients, *poolSize, *iterations, *backendLatency)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
 	})
 	if !did {
 		log.Fatalf("benchmark: unknown experiment %q", *run)

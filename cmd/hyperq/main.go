@@ -22,6 +22,7 @@ import (
 
 	"hyperq/internal/dialect"
 	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/pool"
 	"hyperq/internal/parser"
 	"hyperq/internal/querylog"
 	"hyperq/internal/sqlast"
@@ -46,7 +47,12 @@ func main() {
 	backendTimeout := flag.Duration("backend-timeout", 30*time.Second, "per-request backend execution deadline (0 = unbounded)")
 	backendRetries := flag.Int("backend-retries", 3, "transparent retries for transient backend failures (negative = disable)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive backend connection failures that open the circuit breaker (negative = disable)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions on this HTTP address (empty = off)")
+	poolSize := flag.Int("pool-size", 0, "backend connection pool capacity; sessions multiplex over this many connections (0 = no pool, one dedicated connection per session)")
+	poolMinIdle := flag.Int("pool-min-idle", 0, "connections the pool keeps pre-dialed and warm")
+	poolMaxWaiters := flag.Int("pool-max-waiters", 0, "max sessions queued for a pool connection before rejecting with 3134 (0 = 4x pool size, negative = unbounded)")
+	poolAcquireTimeout := flag.Duration("pool-acquire-timeout", 0, "max wait for a pool connection before failing with 3134 (0 = default 5s, negative = unbounded)")
+	poolMaxLifetime := flag.Duration("pool-max-lifetime", 0, "recycle pool connections older than this (0 = never)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions, /pool on this HTTP address (empty = off)")
 	slowQueryMs := flag.Int("slow-query-ms", 200, "slow-query threshold for /traces/slow retention (0 = disable)")
 	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity")
 	queryLogPath := flag.String("query-log", "", "append one JSON line per request to this file (empty = off)")
@@ -68,12 +74,30 @@ func main() {
 	// deadlines, transparent retry/reconnect with session replay, and a
 	// per-backend circuit breaker (DESIGN.md §7).
 	resilience := &odbc.ResilienceMetrics{}
-	driver := &odbc.ResilientDriver{
+	var driver odbc.Driver = &odbc.ResilientDriver{
 		Inner:            &odbc.NetworkDriver{Addr: *backend, User: *user, Password: *pass},
 		Timeout:          *backendTimeout,
 		MaxRetries:       *backendRetries,
 		BreakerThreshold: *breakerThreshold,
 		Metrics:          resilience,
+	}
+	// With -pool-size the resilient driver is shared through a connection
+	// pool: frontend sessions multiplex over at most pool-size backend
+	// connections with statement-level leases (DESIGN.md §9).
+	var backendPool *pool.Pool
+	if *poolSize > 0 {
+		backendPool, err = pool.New(pool.Config{
+			Driver:         driver,
+			Size:           *poolSize,
+			MinIdle:        *poolMinIdle,
+			MaxWaiters:     *poolMaxWaiters,
+			AcquireTimeout: *poolAcquireTimeout,
+			MaxLifetime:    *poolMaxLifetime,
+		})
+		if err != nil {
+			log.Fatalf("hyperq: %v", err)
+		}
+		driver = backendPool
 	}
 	var qlog *querylog.Writer
 	if *queryLogPath != "" {
@@ -99,6 +123,7 @@ func main() {
 		SlowQuery:               slowQuery,
 		TraceRingSize:           *traceRing,
 		QueryLog:                qlog,
+		Pool:                    backendPool,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -138,6 +163,13 @@ func logStats(g *hyperq.Gateway, every time.Duration) {
 			time.Duration(req.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond),
 			m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
 			m.Retries, m.Reconnects, m.Replays, m.BreakerOpen, m.ReplicaQuarantined)
+		if ps, ok := g.PoolStats(); ok {
+			log.Printf("hyperq: pool size=%d in_use=%d idle=%d pinned=%d waiters=%d acquires=%d waits=%d wait p95=%s timeouts=%d rejected=%d shed=%d discarded=%d recycled=%d",
+				ps.Size, ps.InUse, ps.Idle, ps.Pinned, ps.Waiters,
+				ps.Acquires, ps.Waits,
+				time.Duration(ps.WaitSeconds.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond),
+				ps.Timeouts, ps.Rejected, ps.Shed, ps.Discarded, ps.Recycled)
+		}
 	}
 }
 

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/faultdriver"
+	"hyperq/internal/odbc/pool"
+	"hyperq/internal/workload/tpch"
+
+	"hyperq/internal/hyperq"
+)
+
+// PoolResult is the pool concurrency benchmark's measurement: N frontend
+// sessions multiplexed over K backend connections, reporting end-to-end
+// throughput and the acquire wait-time distribution — the quantities that
+// size a production pool (the paper's "large number of concurrent client
+// connections" over a session-capped backend, §4.5/§4.7).
+type PoolResult struct {
+	Sessions       int           `json:"sessions"`
+	PoolSize       int           `json:"pool_size"`
+	Iterations     int           `json:"iterations_per_session"`
+	BackendLatency time.Duration `json:"backend_latency_ns"`
+	Requests       int64         `json:"requests"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	// Throughput is completed requests per second across all sessions.
+	Throughput float64 `json:"throughput_rps"`
+	// Waits counts acquires that queued; WaitP50/WaitP95 are quantiles of
+	// the time queued acquires spent waiting for a backend connection.
+	Waits   int64         `json:"waits"`
+	WaitP50 time.Duration `json:"wait_p50_ns"`
+	WaitP95 time.Duration `json:"wait_p95_ns"`
+	// Pins counts sessions that pinned a dedicated connection (the volatile
+	// table phase of the mix).
+	Pins     int64 `json:"pins"`
+	Dials    int64 `json:"dials"`
+	Timeouts int64 `json:"timeouts"`
+}
+
+// PoolBench measures the shared backend connection pool under
+// oversubscription: `sessions` concurrent frontend sessions share a
+// `poolSize`-connection pool against a TPC-H-loaded backend with
+// `backendLatency` of injected per-request latency (zero measures raw
+// multiplexing overhead; a realistic cloud round trip makes queueing
+// visible). Each session interleaves TPC-H reads (statement-level leases)
+// with a volatile-table cycle (pinning) — the production mix the pool must
+// serve.
+func PoolBench(w io.Writer, target *dialect.Profile, sf float64, sessions, poolSize, iterations int, backendLatency time.Duration) (PoolResult, error) {
+	eng := engine.New(target)
+	if err := tpch.SetupEngine(eng.NewSession(), sf); err != nil {
+		return PoolResult{}, err
+	}
+	fd := faultdriver.New(&odbc.LocalDriver{Engine: eng})
+	if backendLatency > 0 {
+		fd.SetLatency(backendLatency)
+	}
+	p, err := pool.New(pool.Config{
+		Driver:         fd,
+		Size:           poolSize,
+		MaxWaiters:     -1,
+		AcquireTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		return PoolResult{}, err
+	}
+	defer p.Close()
+	g, err := hyperq.New(hyperq.Config{
+		Target:         target,
+		Driver:         p,
+		Catalog:        eng.Catalog().Clone(),
+		Pool:           p,
+		DisableTracing: true,
+	})
+	if err != nil {
+		return PoolResult{}, err
+	}
+	queries := []string{tpch.Queries[1], tpch.Queries[3], tpch.Queries[6]}
+
+	run := func(c int) error {
+		s, err := g.NewLocalSession(fmt.Sprintf("pool%d", c))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		for it := 0; it < iterations; it++ {
+			if it%4 == 3 {
+				// Pinning phase: session-scoped state over several requests.
+				for _, stmt := range []string{
+					"CREATE VOLATILE TABLE HQ_BENCH (X INT) ON COMMIT PRESERVE ROWS",
+					fmt.Sprintf("INSERT INTO HQ_BENCH VALUES (%d)", c),
+					"SEL X FROM HQ_BENCH",
+					"DROP TABLE HQ_BENCH",
+				} {
+					if _, err := s.Run(stmt); err != nil {
+						return fmt.Errorf("session %d: %w", c, err)
+					}
+				}
+				continue
+			}
+			if _, err := s.Run(queries[(it+c)%len(queries)]); err != nil {
+				return fmt.Errorf("session %d: %w", c, err)
+			}
+		}
+		return nil
+	}
+
+	// Warm-up: fill the pool and the translation cache outside the clock.
+	// A single session never queues, so the wait histogram stays clean; the
+	// cumulative pool counters are differenced below.
+	if err := run(0); err != nil {
+		return PoolResult{}, err
+	}
+	g.ResetMetrics()
+	warm := p.Stats()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = run(c)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return PoolResult{}, err
+		}
+	}
+	m := g.MetricsSnapshot()
+	st := p.Stats()
+	res := PoolResult{
+		Sessions:       sessions,
+		PoolSize:       poolSize,
+		Iterations:     iterations,
+		BackendLatency: backendLatency,
+		Requests:       m.Requests,
+		Elapsed:        elapsed,
+		Waits:          st.Waits - warm.Waits,
+		WaitP50:        time.Duration(st.WaitSeconds.Quantile(0.5) * float64(time.Second)),
+		WaitP95:        time.Duration(st.WaitSeconds.Quantile(0.95) * float64(time.Second)),
+		Pins:           st.Pins - warm.Pins,
+		Dials:          st.Dials - warm.Dials,
+		Timeouts:       st.Timeouts - warm.Timeouts,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	fmt.Fprintf(w, "Pool concurrency: %d sessions over %d backend connections (TPC-H SF %.3f, backend latency %v)\n",
+		sessions, poolSize, sf, backendLatency)
+	fmt.Fprintf(w, "  %-22s %d\n", "Requests", res.Requests)
+	fmt.Fprintf(w, "  %-22s %v\n", "Elapsed", res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-22s %.0f req/s\n", "Throughput", res.Throughput)
+	fmt.Fprintf(w, "  %-22s %d (of %d acquires)\n", "Queued acquires", res.Waits, st.Acquires)
+	fmt.Fprintf(w, "  %-22s p50=%v p95=%v\n", "Pool wait", res.WaitP50.Round(time.Microsecond), res.WaitP95.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-22s pins=%d dials=%d timeouts=%d\n", "Pinning/dials", res.Pins, res.Dials, res.Timeouts)
+	return res, nil
+}

@@ -126,6 +126,11 @@ func (s *Session) newTempName(kind string) string {
 // createEmulationTable creates a session temporary table on the backend and
 // registers it in the session catalog overlay.
 func (s *Session) createEmulationTable(name string, colNames []string, cols []xtra.Col, rec *feature.Recorder) error {
+	// Work tables are backend-session state: pin a pooled backend connection
+	// so every request of the emulation protocol sees them.
+	if err := s.pinBackend(); err != nil {
+		return err
+	}
 	def := &catalog.Table{Name: name, Kind: catalog.KindVolatile}
 	ast := &sqlast.CreateTableStmt{Name: name, Volatile: true}
 	for i, c := range cols {

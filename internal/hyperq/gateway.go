@@ -21,6 +21,7 @@ import (
 	"hyperq/internal/feature"
 	"hyperq/internal/metrics"
 	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/pool"
 	"hyperq/internal/querylog"
 	"hyperq/internal/trace"
 	"hyperq/internal/types"
@@ -74,6 +75,11 @@ type Config struct {
 	DisableTracing bool
 	// QueryLog, when non-nil, receives one JSON line per request.
 	QueryLog *querylog.Writer
+	// Pool, when the gateway executes through a shared backend connection
+	// pool, references it so pool state surfaces on the introspection
+	// endpoints (/pool, pool gauges in /metrics). Set Driver to the same
+	// pool; the gateway never manages the pool's lifecycle.
+	Pool *pool.Pool
 }
 
 // Metrics aggregates the three timing components of Figure 9: query
@@ -237,6 +243,14 @@ func (g *Gateway) ResetMetrics() {
 // Stages exposes the per-stage latency histograms.
 func (g *Gateway) Stages() *metrics.Stages { return g.stages }
 
+// PoolStats snapshots the backend connection pool, when one is configured.
+func (g *Gateway) PoolStats() (pool.Stats, bool) {
+	if g.cfg.Pool == nil {
+		return pool.Stats{}, false
+	}
+	return g.cfg.Pool.Stats(), true
+}
+
 // Traces exposes the finished-trace ring.
 func (g *Gateway) Traces() *trace.Ring { return g.ring }
 
@@ -312,6 +326,8 @@ func classifyCode(code int) string {
 		return "semantic"
 	case 3120:
 		return "backend-unavailable"
+	case 3134:
+		return "pool-saturated"
 	case 2828:
 		return "connection-lost"
 	case 3807, 3803, 3824, 3811:

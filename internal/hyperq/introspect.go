@@ -16,6 +16,8 @@ import (
 //	/traces       recent finished traces (JSON, newest first)
 //	/traces/slow  the slowest retained traces at/above the slow threshold
 //	/sessions     live session table (user, statements, cache hits, state)
+//	/pool         backend connection pool state (404 when no pool is
+//	              configured): gauges, counters, wait-time distribution
 //
 // Mount it on a loopback or otherwise access-controlled listener: traces and
 // the session table contain SQL text.
@@ -25,6 +27,7 @@ func (g *Gateway) DebugHandler() http.Handler {
 	mux.HandleFunc("/traces", g.serveTraces)
 	mux.HandleFunc("/traces/slow", g.serveSlowTraces)
 	mux.HandleFunc("/sessions", g.serveSessions)
+	mux.HandleFunc("/pool", g.servePool)
 	return mux
 }
 
@@ -65,6 +68,43 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	active := int64(len(g.sessions))
 	g.sessMu.Unlock()
 	metrics.WriteCounter(w, "hyperq_sessions_active", "Live frontend sessions.", "gauge", active)
+
+	if ps, ok := g.PoolStats(); ok {
+		gauges := []struct {
+			name, help string
+			value      int64
+		}{
+			{"hyperq_pool_size", "Backend connection pool capacity.", int64(ps.Size)},
+			{"hyperq_pool_in_use", "Pool connections currently leased.", int64(ps.InUse)},
+			{"hyperq_pool_idle", "Pool connections parked idle.", int64(ps.Idle)},
+			{"hyperq_pool_pinned", "Pool connections pinned to a session.", int64(ps.Pinned)},
+			{"hyperq_pool_waiters", "Sessions queued for a pool connection.", int64(ps.Waiters)},
+		}
+		for _, gv := range gauges {
+			metrics.WriteCounter(w, gv.name, gv.help, "gauge", gv.value)
+		}
+		poolCounters := []struct {
+			name, help string
+			value      int64
+		}{
+			{"hyperq_pool_acquires_total", "Pool connection acquires.", ps.Acquires},
+			{"hyperq_pool_waits_total", "Acquires that queued for a connection.", ps.Waits},
+			{"hyperq_pool_timeouts_total", "Acquires that timed out waiting.", ps.Timeouts},
+			{"hyperq_pool_rejected_total", "Acquires rejected by the max-waiters cap.", ps.Rejected},
+			{"hyperq_pool_shed_total", "Waiters shed on a circuit-breaker-open backend.", ps.Shed},
+			{"hyperq_pool_dials_total", "Backend connections dialed.", ps.Dials},
+			{"hyperq_pool_dial_errors_total", "Backend dial failures.", ps.DialErrors},
+			{"hyperq_pool_discarded_total", "Broken connections discarded.", ps.Discarded},
+			{"hyperq_pool_recycled_total", "Connections recycled past max lifetime.", ps.Recycled},
+			{"hyperq_pool_reaped_total", "Idle connections reaped.", ps.Reaped},
+			{"hyperq_pool_pins_total", "Session pins.", ps.Pins},
+			{"hyperq_pool_unpins_total", "Session unpins.", ps.Unpins},
+		}
+		for _, c := range poolCounters {
+			metrics.WriteCounter(w, c.name, c.help, "counter", c.value)
+		}
+		metrics.WriteHistogram(w, "hyperq_pool_wait_seconds", "Time sessions spent waiting for a pool connection.", "", "", ps.WaitSeconds)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -87,4 +127,13 @@ func (g *Gateway) serveSlowTraces(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Gateway) serveSessions(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"sessions": g.Sessions()})
+}
+
+func (g *Gateway) servePool(w http.ResponseWriter, _ *http.Request) {
+	ps, ok := g.PoolStats()
+	if !ok {
+		http.Error(w, "no backend connection pool configured", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, ps)
 }

@@ -15,6 +15,7 @@ import (
 	"hyperq/internal/feature"
 	"hyperq/internal/fingerprint"
 	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/pool"
 	"hyperq/internal/parser"
 	"hyperq/internal/serializer"
 	"hyperq/internal/sqlast"
@@ -81,8 +82,12 @@ type Session struct {
 	// work tables), in execution order. A reconnecting backend driver
 	// replays it onto the replacement session so the frontend session
 	// survives a backend bounce; the SET overlay itself lives gateway-side
-	// and survives by construction.
+	// and survives by construction. With a pooled backend, a non-empty log
+	// also pins the session to its backend connection (see pool.go).
 	replayLog []replayEntry
+	// txnOpen tracks an open explicit transaction (BT without ET): like the
+	// replay log, it pins a pooled backend connection to the session.
+	txnOpen bool
 }
 
 type replayEntry struct {
@@ -236,6 +241,7 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	}
 	s.reqCtx = trace.NewContext(ctx, tr)
 	defer func() {
+		s.maybeUnpinBackend()
 		cancel()
 		s.reqCtx = nil
 		s.tr = nil
@@ -403,6 +409,8 @@ func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([
 	case *sqlast.CollectStatsStmt:
 		// Translation class: eliminated entirely on self-tuning targets.
 		return []*FrontResult{{Command: "COLLECT STATISTICS"}}, nil
+	case *sqlast.TxnStmt:
+		return s.execTxn(t, rec)
 	case *sqlast.CreateTableStmt:
 		return s.execCreateTable(t, rec)
 	case *sqlast.DropTableStmt:
@@ -657,6 +665,10 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 // gateway already used).
 func mapBackendError(err error) *RequestError {
 	switch {
+	case errors.Is(err, pool.ErrSaturated), errors.Is(err, pool.ErrAcquireTimeout):
+		// 3134: request aborted because the gateway could not obtain a
+		// backend connection in time — resubmit later.
+		return failf(3134, "%v", err)
 	case errors.Is(err, odbc.ErrBreakerOpen):
 		return failf(3120, "backend temporarily unavailable: %v", err)
 	case errors.Is(err, odbc.ErrMaybeApplied):
@@ -795,6 +807,14 @@ func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Record
 		lowered.GlobalTemporary = false
 		lowered.Volatile = true
 		t = &lowered
+	}
+	// Session-scoped tables are backend-session state: pin a pooled backend
+	// connection before the DDL runs so the table and every later statement
+	// share one connection.
+	if t.Volatile || t.GlobalTemporary {
+		if err := s.pinBackend(); err != nil {
+			return nil, err
+		}
 	}
 	// Translate and execute in two steps (rather than translateAndRun) so
 	// the backend DDL text is available for the session replay log below.

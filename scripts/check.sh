@@ -8,8 +8,14 @@ go vet ./...
 go build ./...
 go test -race -timeout 120s ./...
 
+# Connection-pool stress: rerun the 100-goroutine multiplex/pin/unpin storm
+# under the race detector with fresh state (no cached result).
+go test -race -count=1 -timeout 120s -run 'TestPoolStressRace' ./internal/odbc/pool/
+
 # End-to-end smoke: boot cloudsrv + hyperq (with the introspection endpoint),
 # run a statement through bteq, and assert /metrics shows pipeline activity.
+# A second phase restarts the gateway with -pool-size 2 and oversubscribes it
+# with 8 concurrent bteq clients exercising volatile-table pinning.
 bindir="$(mktemp -d)"
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/...

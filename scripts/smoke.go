@@ -3,7 +3,10 @@
 // Command smoke is the CI end-to-end smoke check: it boots the built
 // cloudsrv and hyperq binaries on loopback ports, submits a statement
 // through the bteq client, and asserts the gateway's /metrics introspection
-// endpoint reports non-zero pipeline-stage counters.
+// endpoint reports non-zero pipeline-stage counters. A second phase restarts
+// the gateway with -pool-size 2, drives 8 concurrent bteq clients through
+// volatile-table round trips, and asserts the /pool endpoint and the pool
+// /metrics series report multiplexing and pinning activity.
 //
 // Usage (from scripts/check.sh):
 //
@@ -21,6 +24,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -143,6 +147,111 @@ func run(bin string) error {
 		if err := assertNonZero(metrics, series); err != nil {
 			return err
 		}
+	}
+
+	return runPooled(bin, backendAddr)
+}
+
+// runPooled boots a second gateway with a 2-connection backend pool against
+// the already-running cloudsrv and oversubscribes it 4x with concurrent bteq
+// sessions, each exercising session pinning through a volatile table.
+func runPooled(bin, backendAddr string) error {
+	gatewayAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+	debugAddr, err := freePort()
+	if err != nil {
+		return err
+	}
+	hyperq, err := start(filepath.Join(bin, "hyperq"),
+		"-listen", gatewayAddr, "-backend", backendAddr, "-debug-addr", debugAddr,
+		"-pool-size", "2", "-pool-max-waiters", "-1", "-pool-acquire-timeout", "30s")
+	if err != nil {
+		return err
+	}
+	defer hyperq.Process.Kill()
+	if err := waitTCP(gatewayAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("pooled hyperq: %w", err)
+	}
+	if err := waitTCP(debugAddr, 10*time.Second); err != nil {
+		return fmt.Errorf("pooled hyperq debug endpoint: %w", err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bteq := exec.Command(filepath.Join(bin, "bteq"),
+				"-connect", gatewayAddr, "-user", fmt.Sprintf("smoke%d", c))
+			// Volatile tables are session-scoped, so every client can use
+			// the same name; each CREATE pins that session's connection.
+			bteq.Stdin = strings.NewReader(
+				"CREATE VOLATILE TABLE VT_SMOKE (X INT) ON COMMIT PRESERVE ROWS;\n" +
+					fmt.Sprintf("INSERT INTO VT_SMOKE VALUES (%d);\n", c) +
+					"SEL X FROM VT_SMOKE;\n" +
+					"DROP TABLE VT_SMOKE;\n")
+			out, err := bteq.CombinedOutput()
+			if err != nil {
+				errs[c] = fmt.Errorf("pooled bteq %d: %v\n%s", c, err, out)
+				return
+			}
+			if strings.Contains(string(out), "Failure") {
+				errs[c] = fmt.Errorf("pooled bteq %d request failed:\n%s", c, out)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("pooled /metrics: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pooled /metrics: status %d", resp.StatusCode)
+	}
+	metrics := string(body)
+	for _, series := range []string{
+		"hyperq_pool_acquires_total",
+		"hyperq_pool_pins_total",
+		"hyperq_pool_unpins_total",
+		"hyperq_pool_dials_total",
+	} {
+		if err := assertNonZero(metrics, series); err != nil {
+			return err
+		}
+	}
+	if !strings.Contains(metrics, "hyperq_pool_size 2") {
+		return fmt.Errorf("pooled /metrics: hyperq_pool_size is not 2")
+	}
+
+	resp, err = http.Get("http://" + debugAddr + "/pool")
+	if err != nil {
+		return fmt.Errorf("/pool: %w", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/pool: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"acquires"`) {
+		return fmt.Errorf("/pool response missing pool stats:\n%s", body)
 	}
 	return nil
 }
