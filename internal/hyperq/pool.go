@@ -66,13 +66,21 @@ func (s *Session) execTxn(t *sqlast.TxnStmt, rec *feature.Recorder) ([]*FrontRes
 			return nil, err
 		}
 		s.txnOpen = true
-	} else {
-		s.txnOpen = false
+		results, err := s.translateAndRun(t, rec)
+		if err != nil {
+			// The transaction never opened on the backend.
+			s.txnOpen = false
+		}
+		return results, err
 	}
 	results, err := s.translateAndRun(t, rec)
-	if err != nil && t.Kind == "BEGIN" {
-		// The transaction never opened on the backend.
+	if err == nil {
 		s.txnOpen = false
 	}
+	// On failure (deadline, ErrMaybeApplied, transport error) the transaction
+	// may still be open on the backend session, so txnOpen stays set: the
+	// session stays pinned and the connection cannot return to the shared
+	// pool carrying uncommitted state. A later ET/COMMIT/ROLLBACK — or the
+	// dirty-pin destroy at session close — resolves it.
 	return results, err
 }

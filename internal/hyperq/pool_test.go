@@ -17,6 +17,7 @@ import (
 	"hyperq/internal/odbc/faultdriver"
 	"hyperq/internal/odbc/pool"
 	"hyperq/internal/wire"
+	"hyperq/internal/wire/cwp"
 	"hyperq/internal/wire/tdp"
 )
 
@@ -227,6 +228,41 @@ func TestPooledTransactionPins(t *testing.T) {
 	}
 	if st := p.Stats(); st.Pinned != 0 {
 		t.Errorf("pinned after ET = %d, want 0", st.Pinned)
+	}
+}
+
+// A failed transaction-end statement must not unpin: the transaction may
+// still be open on the backend session, and unpinning would return a
+// connection with live uncommitted state to the shared pool, where the next
+// frontend session would silently inherit it.
+func TestPooledFailedCommitStaysPinned(t *testing.T) {
+	g, p, fd := newPooledGateway(t, pool.Config{Size: 2})
+	s, err := g.NewLocalSession("appuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run("BT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("INSERT INTO SALES VALUES (5.00, DATE '2020-01-01', 3)"); err != nil {
+		t.Fatal(err)
+	}
+	// The ET itself fails (non-transient backend error injected before the
+	// request reaches the engine, so the transaction stays open).
+	fd.QueueExecErrors(&cwp.BackendError{Code: 3706, Message: "injected commit failure"})
+	if _, err := s.Run("ET"); err == nil {
+		t.Fatal("ET with injected backend error: err = nil, want failure")
+	}
+	if st := p.Stats(); st.Pinned != 1 {
+		t.Fatalf("pinned after failed ET = %d, want 1 (open transaction must keep the connection dedicated)", st.Pinned)
+	}
+	// A retried ET commits the still-open transaction and unpins.
+	if _, err := s.Run("ET"); err != nil {
+		t.Fatalf("retried ET: %v", err)
+	}
+	if st := p.Stats(); st.Pinned != 0 {
+		t.Errorf("pinned after successful ET = %d, want 0", st.Pinned)
 	}
 }
 

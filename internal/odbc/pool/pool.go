@@ -449,6 +449,10 @@ func (p *Pool) noteUnpin() {
 	atomic.AddInt64(&p.unpins, 1)
 }
 
+// maintainDialTimeout bounds each warm-up pre-dial issued by the
+// maintenance loop.
+const maintainDialTimeout = 5 * time.Second
+
 // maintainLoop runs warm-up, idle reaping, and lifetime recycling until the
 // pool closes.
 func (p *Pool) maintainLoop(every time.Duration) {
@@ -510,9 +514,25 @@ func (p *Pool) maintain() {
 	p.mu.Unlock()
 	closeAll(toClose)
 	for i := 0; i < need; i++ {
-		c, err := p.dial(context.Background())
+		// Bound each pre-dial so a hung backend cannot stall the single
+		// maintenance goroutine (and with it reaping and recycling) when the
+		// wrapped driver itself has no dial timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), maintainDialTimeout)
+		c, err := p.dial(ctx)
+		cancel()
 		if err != nil {
-			return // dial already un-reserved the slot and woke a waiter
+			// dial un-reserved its own slot; give back the reservations for
+			// the dials we are abandoning too, or a backend outage would leak
+			// a slot per pass until the pool wedged at numOpen == size.
+			if rest := need - i - 1; rest > 0 {
+				p.mu.Lock()
+				p.numOpen -= rest
+				for j := 0; j < rest; j++ {
+					p.wakeOneLocked()
+				}
+				p.mu.Unlock()
+			}
+			return
 		}
 		p.handback(c)
 	}

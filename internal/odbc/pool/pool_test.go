@@ -395,6 +395,40 @@ func TestMaintainKeepsCapacityWithoutMinIdle(t *testing.T) {
 	}
 }
 
+// A failed warm-up pre-dial must give back every reserved slot. With
+// MinIdle >= 2 and the backend down, each maintenance pass reserves MinIdle
+// slots but aborts on the first dial error; the un-dialed reservations once
+// leaked, wedging the pool at numOpen == Size with zero real connections.
+func TestMaintainDialFailureReleasesReservedSlots(t *testing.T) {
+	p, d := newTestPool(t, Config{Size: 4, MinIdle: 2, AcquireTimeout: 200 * time.Millisecond})
+	d.setDialErr(errors.New("backend down"))
+	for i := 0; i < 10; i++ {
+		p.maintain()
+	}
+	p.mu.Lock()
+	open := p.numOpen
+	p.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("numOpen after failed warm-up passes = %d, want 0 (reserved slots leaked)", open)
+	}
+	// The backend recovers: the pool must still open all Size connections.
+	d.setDialErr(nil)
+	var conns []*conn
+	for i := 0; i < 4; i++ {
+		c, err := p.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d after backend recovery: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		p.release(c, false)
+	}
+	if dials, _ := d.counts(); dials != 4 {
+		t.Errorf("dials = %d, want 4", dials)
+	}
+}
+
 // When a replacement dial hits an open circuit breaker the whole wait queue
 // is shed with the breaker error: every queued session would fail the same
 // way, and holding them only delays the failure.
