@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBinaryCleanOnRepo builds the hyperqlint binary and runs it over the
+// repository, asserting the standalone entry point exits 0 on a clean
+// tree — the same invocation scripts/check.sh uses.
+func TestBinaryCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary over the whole repo; skipped in -short mode")
+	}
+	modRoot := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "hyperqlint")
+	build := exec.Command("go", "build", "-o", bin, "hyperq/cmd/hyperqlint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hyperqlint: %v\n%s", err, out)
+	}
+
+	run := exec.Command(bin, "./...")
+	run.Dir = modRoot
+	var buf bytes.Buffer
+	run.Stdout = &buf
+	run.Stderr = &buf
+	if err := run.Run(); err != nil {
+		t.Fatalf("hyperqlint ./... failed: %v\n%s", err, buf.String())
+	}
+
+	// The vettool handshake must answer the go vet probes.
+	for _, probe := range []string{"-V=full", "-flags"} {
+		cmd := exec.Command(bin, probe)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("hyperqlint %s: %v", probe, err)
+		}
+		if probe == "-V=full" && !strings.HasPrefix(string(out), "hyperqlint version ") {
+			t.Fatalf("hyperqlint -V=full = %q", out)
+		}
+		if probe == "-flags" && strings.TrimSpace(string(out)) != "[]" {
+			t.Fatalf("hyperqlint -flags = %q", out)
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	dir := strings.TrimSpace(string(out))
+	if dir == "" {
+		t.Fatal("no module root")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatalf("module root %s: %v", dir, err)
+	}
+	return dir
+}

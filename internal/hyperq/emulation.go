@@ -9,6 +9,7 @@ import (
 	"hyperq/internal/parser"
 	"hyperq/internal/sqlast"
 	"hyperq/internal/types"
+	"hyperq/internal/wire/tdp"
 	"hyperq/internal/xtra"
 
 	"hyperq/internal/binder"
@@ -30,7 +31,7 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 	defer esp.End()
 	plan, err := emulate.PlanRecursive(sel.Query)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	if plan == nil {
 		// WITH RECURSIVE keyword without an actual self-reference.
@@ -51,7 +52,7 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 	}
 	seedBound, err := seedBinder.Bind(&sqlast.SelectStmt{Query: plan.Seed})
 	if err != nil {
-		return nil, failf(3707, "recursive seed: %v", err)
+		return nil, failf(tdp.CodeSemanticError, "recursive seed: %v", err)
 	}
 	seedCols := seedBound.(*xtra.Query).Root.Columns()
 	names := plan.Columns
@@ -61,7 +62,7 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 		}
 	}
 	if len(names) != len(seedCols) {
-		return nil, failf(3707, "recursive CTE column list mismatch")
+		return nil, failf(tdp.CodeSemanticError, "recursive CTE column list mismatch")
 	}
 
 	work := s.newTempName("work")
@@ -91,7 +92,7 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 	recursiveQuery := emulate.RenameTables(plan.Recursive, plan.CTEName, temp)
 	for step := 0; ; step++ {
 		if step > maxRecursionSteps {
-			return nil, failf(3807, "recursion exceeded %d steps", maxRecursionSteps)
+			return nil, failf(tdp.CodeObjectNotFound, "recursion exceeded %d steps", maxRecursionSteps)
 		}
 		if _, err := s.translateAndRun(&sqlast.DeleteStmt{Table: next, All: true}, rec); err != nil {
 			return nil, err
@@ -138,7 +139,7 @@ func (s *Session) createEmulationTable(name string, colNames []string, cols []xt
 		ast.Columns = append(ast.Columns, sqlast.ColumnDef{Name: colNames[i], Type: typeNameOf(c.Type)})
 	}
 	if err := s.sessionCat.CreateTable(def); err != nil {
-		return failf(3803, "%v", err)
+		return failf(tdp.CodeObjectExists, "%v", err)
 	}
 	// Translate and execute in two steps so the backend DDL is recorded for
 	// post-reconnect session replay (the work table is backend session
@@ -218,7 +219,7 @@ func (s *Session) execMerge(m *sqlast.MergeStmt, rec *feature.Recorder) ([]*Fron
 	rec.Record(feature.Merge)
 	stmts, err := emulate.DecomposeMerge(m)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	var total int64
 	for _, stmt := range stmts {
@@ -242,7 +243,7 @@ func (s *Session) execSetTableInsert(ins *sqlast.InsertStmt, tbl *catalog.Table,
 	}
 	rewritten, err := emulate.DeduplicateInsert(ins, allCols)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	return s.translateAndRun(rewritten, rec)
 }

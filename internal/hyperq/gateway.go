@@ -320,17 +320,17 @@ func (g *Gateway) finishTrace(s *Session, tr *trace.Trace, start time.Time, reqE
 // classifyCode maps frontend failure codes to the trace error taxonomy.
 func classifyCode(code int) string {
 	switch code {
-	case 3706:
+	case tdp.CodeSyntaxError:
 		return "syntax"
-	case 3707:
+	case tdp.CodeSemanticError:
 		return "semantic"
-	case 3120:
+	case tdp.CodeBackendUnavailable:
 		return "backend-unavailable"
-	case 3134:
+	case tdp.CodeGatewaySaturated:
 		return "pool-saturated"
-	case 2828:
+	case tdp.CodeWriteStateUnknown:
 		return "connection-lost"
-	case 3807, 3803, 3824, 3811:
+	case tdp.CodeObjectNotFound, tdp.CodeObjectExists, tdp.CodeMacroNotFound, tdp.CodeBadMacroArgument:
 		return "execution"
 	}
 	return "other"
@@ -413,15 +413,15 @@ type LogonError struct {
 func (e *LogonError) Error() string { return fmt.Sprintf("[%d] %s", e.Code, e.Message) }
 
 // Logon implements tdp.Handler: it opens the paired backend session. A
-// backend that cannot be reached yields a LogonError (code 3002, "logons
-// disabled" class) rather than a raw connection error.
+// backend that cannot be reached yields a LogonError (CodeLogonDenied, the
+// "logons disabled" class) rather than a raw connection error.
 func (g *Gateway) Logon(user, password string) (tdp.SessionHandler, error) {
 	if user == "" {
-		return nil, &LogonError{Code: 3004, Message: "logon failed: user required"}
+		return nil, &LogonError{Code: tdp.CodeLogonInvalid, Message: "logon failed: user required"}
 	}
 	be, err := g.cfg.Driver.Connect()
 	if err != nil {
-		return nil, &LogonError{Code: 3002, Message: "backend system unavailable, logon denied; retry later"}
+		return nil, &LogonError{Code: tdp.CodeLogonDenied, Message: "backend system unavailable, logon denied; retry later"}
 	}
 	return newSession(g, be, user), nil
 }

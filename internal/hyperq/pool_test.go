@@ -291,7 +291,8 @@ func TestPooledPinnedSessionSurvivesBounce(t *testing.T) {
 	}
 }
 
-// Pool exhaustion surfaces as a clean frontend failure code (3134), not a
+// Pool exhaustion surfaces as a clean frontend failure code
+// (tdp.CodeGatewaySaturated), not a
 // hang or a raw Go error.
 func TestPooledAcquireTimeoutFrontendCode(t *testing.T) {
 	g, _, _ := newPooledGateway(t, pool.Config{Size: 1, AcquireTimeout: 30 * time.Millisecond})
@@ -311,8 +312,8 @@ func TestPooledAcquireTimeoutFrontendCode(t *testing.T) {
 	defer starved.Close()
 	_, err = starved.Run("SEL COUNT(*) FROM SALES")
 	var re *RequestError
-	if !errors.As(err, &re) || re.Code != 3134 {
-		t.Fatalf("starved session: err = %v, want RequestError 3134", err)
+	if !errors.As(err, &re) || re.Code != tdp.CodeGatewaySaturated {
+		t.Fatalf("starved session: err = %v, want RequestError %d", err, tdp.CodeGatewaySaturated)
 	}
 	// Dropping the holder's state frees the connection; the starved session
 	// recovers without reconnecting its frontend.

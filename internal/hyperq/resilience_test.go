@@ -146,8 +146,8 @@ func TestGatewayWriteNotRetriedAfterDrop(t *testing.T) {
 	before := fd.Execs()
 	_, err = s.Run("INSERT INTO SALES VALUES (1.00, DATE '2020-01-01', 9)")
 	var re *RequestError
-	if !errors.As(err, &re) || re.Code != 2828 {
-		t.Fatalf("write after drop: err = %v, want RequestError 2828", err)
+	if !errors.As(err, &re) || re.Code != tdp.CodeWriteStateUnknown {
+		t.Fatalf("write after drop: err = %v, want RequestError %d", err, tdp.CodeWriteStateUnknown)
 	}
 	if got := fd.Execs() - before; got != 1 {
 		t.Errorf("exec attempts = %d, want exactly 1 (write never retried)", got)
@@ -200,8 +200,8 @@ func TestGatewayBreakerFailsFast(t *testing.T) {
 	_, err = s.Run("SEL COUNT(*) FROM SALES")
 	elapsed := time.Since(start)
 	var re *RequestError
-	if !errors.As(err, &re) || re.Code != 3120 {
-		t.Fatalf("open breaker: err = %v, want RequestError 3120", err)
+	if !errors.As(err, &re) || re.Code != tdp.CodeBackendUnavailable {
+		t.Fatalf("open breaker: err = %v, want RequestError %d", err, tdp.CodeBackendUnavailable)
 	}
 	if fd.Connects() != attempts {
 		t.Error("open breaker still dialed the backend")
@@ -244,8 +244,8 @@ func TestGatewayBackendTimeout(t *testing.T) {
 	_, err = s.Run("SEL COUNT(*) FROM SALES")
 	elapsed := time.Since(start)
 	var re *RequestError
-	if !errors.As(err, &re) || re.Code != 2828 {
-		t.Fatalf("stalled backend: err = %v, want RequestError 2828", err)
+	if !errors.As(err, &re) || re.Code != tdp.CodeWriteStateUnknown {
+		t.Fatalf("stalled backend: err = %v, want RequestError %d", err, tdp.CodeWriteStateUnknown)
 	}
 	if elapsed > 2*time.Second {
 		t.Errorf("request took %v, want bounded by the 30ms deadline", elapsed)
@@ -268,8 +268,8 @@ func TestGatewayLogonBackendUnavailable(t *testing.T) {
 	// Direct handler check: typed LogonError with the logons-denied code.
 	_, err := g.Logon("appuser", "pw")
 	var le *LogonError
-	if !errors.As(err, &le) || le.Code != 3002 {
-		t.Fatalf("Logon err = %v, want LogonError 3002", err)
+	if !errors.As(err, &le) || le.Code != tdp.CodeLogonDenied {
+		t.Fatalf("Logon err = %v, want LogonError %d", err, tdp.CodeLogonDenied)
 	}
 
 	// Over the wire: the client sees the same clean record.

@@ -125,7 +125,9 @@ func newSession(g *Gateway, be odbc.Executor, user string) *Session {
 // untouched.
 func (s *Session) replaySessionState(ex odbc.Executor) error {
 	for _, e := range s.replayLog {
-		if _, err := ex.Exec(e.sql); err != nil {
+		// Replay runs inside the request that triggered the reconnect, so it
+		// shares that request's deadline and trace.
+		if _, err := ex.ExecContext(s.requestCtx(), e.sql); err != nil {
 			return fmt.Errorf("replay %s: %w", e.name, err)
 		}
 	}
@@ -158,6 +160,7 @@ func (s *Session) requestCtx() context.Context {
 	if s.reqCtx != nil {
 		return s.reqCtx
 	}
+	//hyperqlint:ignore ctxexec fallback for backend work outside any request (logoff cleanup); Run installs the real request context
 	return context.Background()
 }
 
@@ -205,7 +208,7 @@ func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
 	if err != nil {
 		re, ok := err.(*RequestError)
 		if !ok {
-			re = failf(3706, "%v", err)
+			re = failf(tdp.CodeSyntaxError, "%v", err)
 		}
 		return w.Failure(re.Code, re.Message)
 	}
@@ -234,6 +237,7 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	s.tr = tr
 	atomic.AddInt32(&s.inFlight, 1)
 	s.lastSQL.Store(sql)
+	//hyperqlint:ignore ctxexec Run is the request root: the per-request context is minted here
 	ctx := context.Background()
 	cancel := func() {}
 	if t := s.g.cfg.BackendTimeout; t > 0 {
@@ -262,7 +266,7 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	s.g.stages.Observe("parse", d)
 	sp.End()
 	if perr != nil {
-		return nil, failf(3706, "%v", perr) // 3706: syntax error
+		return nil, failf(tdp.CodeSyntaxError, "%v", perr) // 3706: syntax error
 	}
 	if len(stmts) > 1 {
 		rec.Record(feature.MultiStatement)
@@ -392,7 +396,7 @@ func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([
 		return s.execCreateMacro(t)
 	case *sqlast.DropMacroStmt:
 		if err := s.g.cat.DropMacro(t.Name); err != nil {
-			return nil, failf(3824, "%v", err) // macro does not exist
+			return nil, failf(tdp.CodeMacroNotFound, "%v", err) // macro does not exist
 		}
 		return []*FrontResult{{Command: "DROP MACRO"}}, nil
 	case *sqlast.ExecStmt:
@@ -403,7 +407,7 @@ func (s *Session) execStatement(stmt sqlast.Statement, rec *feature.Recorder) ([
 		return s.execCreateView(t, rec)
 	case *sqlast.DropViewStmt:
 		if err := s.g.cat.DropView(t.Name); err != nil {
-			return nil, failf(3807, "%v", err)
+			return nil, failf(tdp.CodeObjectNotFound, "%v", err)
 		}
 		return []*FrontResult{{Command: "DROP VIEW"}}, nil
 	case *sqlast.CollectStatsStmt:
@@ -581,7 +585,7 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 	s.g.stages.Observe("bind", time.Since(tb))
 	spb.End()
 	if err != nil {
-		return "", nil, failf(3707, "%v", err) // semantic error
+		return "", nil, failf(tdp.CodeSemanticError, "%v", err) // semantic error
 	}
 	spt := s.tr.Start("transform")
 	tt := time.Now()
@@ -590,7 +594,7 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 	s.g.stages.Observe("transform", time.Since(tt))
 	spt.End()
 	if err != nil {
-		return "", nil, failf(3707, "%v", err)
+		return "", nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	sps := s.tr.Start("serialize")
 	ts := time.Now()
@@ -602,7 +606,7 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 	s.g.stages.Observe("serialize", time.Since(ts))
 	sps.End()
 	if err != nil {
-		return "", nil, failf(3707, "%v", err)
+		return "", nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	var frontCols []xtra.Col
 	if q, ok := mid.(*xtra.Query); ok {
@@ -641,11 +645,11 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 		fr := &FrontResult{Activity: br.Affected, Command: cmd(br.Command)}
 		if br.Cols != nil {
 			if frontCols == nil {
-				return nil, failf(3807, "unexpected result set from backend")
+				return nil, failf(tdp.CodeObjectNotFound, "unexpected result set from backend")
 			}
 			cols, rows, err := s.convertResult(frontCols, br)
 			if err != nil {
-				return nil, failf(3807, "result conversion: %v", err)
+				return nil, failf(tdp.CodeObjectNotFound, "result conversion: %v", err)
 			}
 			fr.Cols = cols
 			fr.Rows = rows
@@ -657,28 +661,28 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 }
 
 // mapBackendError converts backend/driver failures into the frontend codes
-// an unmodified client application expects: 3120 for fail-fast circuit
-// rejections ("backend temporarily unavailable, resubmit later"), 2828 for
-// requests lost to a connection failure ("request rolled back, resubmit" —
-// including non-idempotent writes the gateway refused to retry and replica
-// divergence), 3807 for everything else (the generic request failure the
-// gateway already used).
+// an unmodified client application expects: CodeBackendUnavailable for
+// fail-fast circuit rejections ("backend temporarily unavailable, resubmit
+// later"), CodeWriteStateUnknown for requests lost to a connection failure
+// ("request rolled back, resubmit" — including non-idempotent writes the
+// gateway refused to retry and replica divergence), CodeObjectNotFound for
+// everything else (the generic request failure the gateway already used).
 func mapBackendError(err error) *RequestError {
 	switch {
 	case errors.Is(err, pool.ErrSaturated), errors.Is(err, pool.ErrAcquireTimeout):
-		// 3134: request aborted because the gateway could not obtain a
-		// backend connection in time — resubmit later.
-		return failf(3134, "%v", err)
+		// CodeGatewaySaturated: the gateway could not obtain a backend
+		// connection in time — resubmit later.
+		return failf(tdp.CodeGatewaySaturated, "%v", err)
 	case errors.Is(err, odbc.ErrBreakerOpen):
-		return failf(3120, "backend temporarily unavailable: %v", err)
+		return failf(tdp.CodeBackendUnavailable, "backend temporarily unavailable: %v", err)
 	case errors.Is(err, odbc.ErrMaybeApplied):
-		return failf(2828, "%v", err)
+		return failf(tdp.CodeWriteStateUnknown, "%v", err)
 	case errors.Is(err, odbc.ErrReplicaDivergent):
-		return failf(2828, "%v", err)
+		return failf(tdp.CodeWriteStateUnknown, "%v", err)
 	case odbc.Transient(err):
-		return failf(2828, "backend connection failure: %v", err)
+		return failf(tdp.CodeWriteStateUnknown, "backend connection failure: %v", err)
 	}
-	return failf(3807, "%v", err)
+	return failf(tdp.CodeObjectNotFound, "%v", err)
 }
 
 // commandName maps the backend command tag to the frontend activity name.
@@ -707,16 +711,16 @@ func (s *Session) execCreateMacro(t *sqlast.CreateMacroStmt) ([]*FrontResult, er
 	for _, p := range t.Params {
 		pt, err := p.Type.Resolve()
 		if err != nil {
-			return nil, failf(3707, "macro parameter %s: %v", p.Name, err)
+			return nil, failf(tdp.CodeSemanticError, "macro parameter %s: %v", p.Name, err)
 		}
 		m.Params = append(m.Params, catalog.MacroParam{Name: p.Name, Type: pt})
 	}
 	// Validate the body parses in the source dialect.
 	if _, err := parser.Parse(t.Body, parser.Teradata, nil); err != nil {
-		return nil, failf(3706, "macro body: %v", err)
+		return nil, failf(tdp.CodeSyntaxError, "macro body: %v", err)
 	}
 	if err := s.g.cat.CreateMacro(m, t.Replace); err != nil {
-		return nil, failf(3803, "%v", err)
+		return nil, failf(tdp.CodeObjectExists, "%v", err)
 	}
 	return []*FrontResult{{Command: "CREATE MACRO"}}, nil
 }
@@ -727,26 +731,26 @@ func (s *Session) execCreateMacro(t *sqlast.CreateMacroStmt) ([]*FrontResult, er
 func (s *Session) execMacro(t *sqlast.ExecStmt, rec *feature.Recorder) ([]*FrontResult, error) {
 	m, ok := s.g.cat.Macro(t.Macro)
 	if !ok {
-		return nil, failf(3824, "macro %s does not exist", t.Macro)
+		return nil, failf(tdp.CodeMacroNotFound, "macro %s does not exist", t.Macro)
 	}
 	if len(t.Args) != len(m.Params) {
-		return nil, failf(3811, "macro %s takes %d parameters, got %d", m.Name, len(m.Params), len(t.Args))
+		return nil, failf(tdp.CodeBadMacroArgument, "macro %s takes %d parameters, got %d", m.Name, len(m.Params), len(t.Args))
 	}
 	params := make(map[string]types.Datum, len(m.Params))
 	for i, arg := range t.Args {
 		d, err := constValue(arg)
 		if err != nil {
-			return nil, failf(3811, "macro argument %d: %v", i+1, err)
+			return nil, failf(tdp.CodeBadMacroArgument, "macro argument %d: %v", i+1, err)
 		}
 		cast, err := types.Cast(d, m.Params[i].Type)
 		if err != nil {
-			return nil, failf(3811, "macro argument %d: %v", i+1, err)
+			return nil, failf(tdp.CodeBadMacroArgument, "macro argument %d: %v", i+1, err)
 		}
 		params[strings.ToUpper(m.Params[i].Name)] = cast
 	}
 	stmts, err := parser.Parse(m.Body, parser.Teradata, rec)
 	if err != nil {
-		return nil, failf(3706, "macro body: %v", err)
+		return nil, failf(tdp.CodeSyntaxError, "macro body: %v", err)
 	}
 	// Bind parameters for the nested statements (restored afterwards so
 	// nested EXECs do not leak scopes).
@@ -785,14 +789,14 @@ func (s *Session) execCreateView(t *sqlast.CreateViewStmt, rec *feature.Recorder
 	b := binder.New(s, parser.Teradata, rec)
 	bound, err := b.Bind(t)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	cv := bound.(*xtra.CreateView)
 	if cv.Replace {
 		_ = s.g.cat.DropView(cv.Def.Name)
 	}
 	if err := s.g.cat.CreateView(cv.Def); err != nil {
-		return nil, failf(3803, "%v", err)
+		return nil, failf(tdp.CodeObjectExists, "%v", err)
 	}
 	return []*FrontResult{{Command: "CREATE VIEW"}}, nil
 }
@@ -836,7 +840,7 @@ func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Record
 	b := binder.New(s, parser.Teradata, nil)
 	bound, err := b.Bind(t)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	def := bound.(*xtra.CreateTable).Def
 	target := s.g.cat
@@ -847,7 +851,7 @@ func (s *Session) execCreateTable(t *sqlast.CreateTableStmt, rec *feature.Record
 		s.recordSessionDDL(def.Name, sql)
 	}
 	if err := target.CreateTable(def); err != nil && !t.IfNotExists {
-		return nil, failf(3803, "%v", err)
+		return nil, failf(tdp.CodeObjectExists, "%v", err)
 	}
 	return results, nil
 }
@@ -861,7 +865,7 @@ func (s *Session) execDropTable(t *sqlast.DropTableStmt, rec *feature.Recorder) 
 		_ = s.sessionCat.DropTable(t.Name)
 		s.forgetSessionDDL(t.Name)
 	} else if err := s.g.cat.DropTable(t.Name); err != nil && !t.IfExists {
-		return nil, failf(3807, "%v", err)
+		return nil, failf(tdp.CodeObjectNotFound, "%v", err)
 	}
 	return results, nil
 }
@@ -892,7 +896,7 @@ func (s *Session) execHelp(t *sqlast.HelpStmt) ([]*FrontResult, error) {
 	case "TABLE":
 		tbl, ok := s.Table(t.Name)
 		if !ok {
-			return nil, failf(3807, "table %s does not exist", t.Name)
+			return nil, failf(tdp.CodeObjectNotFound, "table %s does not exist", t.Name)
 		}
 		res := &FrontResult{
 			Cols:    []tdp.ColumnDef{strCol("Column Name"), strCol("Type"), strCol("Nullable")},
@@ -910,7 +914,7 @@ func (s *Session) execHelp(t *sqlast.HelpStmt) ([]*FrontResult, error) {
 		res.Activity = int64(len(res.Rows))
 		return []*FrontResult{res}, nil
 	}
-	return nil, failf(3706, "unsupported HELP %s", t.What)
+	return nil, failf(tdp.CodeSyntaxError, "unsupported HELP %s", t.What)
 }
 
 // execExplain answers EXPLAIN <request> from the gateway: it runs the full
@@ -925,16 +929,16 @@ func (s *Session) execExplain(t *sqlast.ExplainStmt, rec *feature.Recorder) ([]*
 	}
 	bound, err := b.Bind(t.Stmt)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	ctx := transform.NewContext(nil, inner, b.MaxColumnID())
 	mid, err := transform.BindingStage().Statement(bound, ctx)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	sql, err := serializer.New(s.g.cfg.Target, inner).Serialize(mid)
 	if err != nil {
-		return nil, failf(3707, "%v", err)
+		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
 	res := &FrontResult{
 		Cols:    []tdp.ColumnDef{{Name: "Explanation", Type: types.VarChar(4096)}},

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// litAnalyzer reports every integer literal — a minimal analyzer to drive
+// the directive-suppression machinery.
+var litAnalyzer = &Analyzer{
+	Name: "lit",
+	Doc:  "reports every int literal",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.INT {
+					pass.Reportf(bl.Pos(), "literal %s", bl.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// srcUnit type-checks one source string as a dependency-free package.
+func srcUnit(t *testing.T, src string) Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "u.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &plainUnit{files: []*ast.File{f}, pkg: pkg, info: info, fset: fset}
+}
+
+type plainUnit struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	fset  *token.FileSet
+}
+
+func (u *plainUnit) Syntax() []*ast.File      { return u.files }
+func (u *plainUnit) TypesPkg() *types.Package { return u.pkg }
+func (u *plainUnit) TypesInfo() *types.Info   { return u.info }
+func (u *plainUnit) Path() string             { return "p" }
+func (u *plainUnit) FileSet() *token.FileSet  { return u.fset }
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer.Name+": "+d.Message)
+	}
+	return out
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	u := srcUnit(t, `package p
+func f() int {
+	return 1 //hyperqlint:ignore lit tolerated for the test
+}
+func g() int {
+	//hyperqlint:ignore lit tolerated on the line above
+	return 2
+}
+func h() int {
+	return 3
+}
+`)
+	diags, err := Run(u, []*Analyzer{litAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(diags)
+	if len(got) != 1 || !strings.Contains(got[0], "literal 3") {
+		t.Fatalf("diagnostics = %v, want only literal 3", got)
+	}
+}
+
+func TestIgnoreDirectiveNeedsReason(t *testing.T) {
+	u := srcUnit(t, `package p
+func f() int {
+	return 1 //hyperqlint:ignore lit
+}
+`)
+	diags, err := Run(u, []*Analyzer{litAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(diags)
+	// The malformed directive is itself reported AND fails to suppress.
+	if len(got) != 2 {
+		t.Fatalf("diagnostics = %v, want directive complaint + surviving literal", got)
+	}
+	var sawDirective, sawLiteral bool
+	for _, m := range got {
+		if strings.HasPrefix(m, "directive:") {
+			sawDirective = true
+		}
+		if strings.Contains(m, "literal 1") {
+			sawLiteral = true
+		}
+	}
+	if !sawDirective || !sawLiteral {
+		t.Fatalf("diagnostics = %v", got)
+	}
+}
+
+func TestIgnoreDirectiveAnalyzerList(t *testing.T) {
+	u := srcUnit(t, `package p
+func f() int {
+	return 1 //hyperqlint:ignore other,lit multi-analyzer suppression
+}
+func g() int {
+	return 2 //hyperqlint:ignore other wrong analyzer, does not suppress lit
+}
+`)
+	diags, err := Run(u, []*Analyzer{litAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(diags)
+	if len(got) != 1 || !strings.Contains(got[0], "literal 2") {
+		t.Fatalf("diagnostics = %v, want only literal 2", got)
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	names, reason, ok := parseIgnore("//hyperqlint:ignore spanend,lockio trust me")
+	if !ok || len(names) != 2 || names[0] != "spanend" || names[1] != "lockio" || reason != "trust me" {
+		t.Fatalf("parseIgnore = %v %q %v", names, reason, ok)
+	}
+	if _, _, ok := parseIgnore("// a normal comment"); ok {
+		t.Fatal("parseIgnore matched a normal comment")
+	}
+	names, reason, ok = parseIgnore("//hyperqlint:ignore")
+	if !ok || len(names) != 1 || names[0] != "all" || reason != "" {
+		t.Fatalf("parseIgnore bare = %v %q %v", names, reason, ok)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	u := srcUnit(t, `package p
+func f() (int, int) {
+	return 2, 1
+}
+`)
+	diags, err := Run(u, []*Analyzer{litAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Position.Column > diags[1].Position.Column {
+		t.Fatalf("diagnostics not sorted by position: %v", messages(diags))
+	}
+}

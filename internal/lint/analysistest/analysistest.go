@@ -1,0 +1,103 @@
+// Package analysistest checks analyzers against annotated fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// in-tree loader. A fixture line documents its expected diagnostics in a
+// trailing comment:
+//
+//	ex.Exec("SELECT 1") // want `Exec\(\) used where ExecContext exists`
+//
+// Each backquoted token is a regexp that must match exactly one diagnostic
+// reported on that line; diagnostics without a matching annotation and
+// annotations without a matching diagnostic both fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hyperq/internal/lint/analysis"
+	"hyperq/internal/lint/loader"
+)
+
+// Run loads the fixture packages (paths relative to fixtureRoot, which
+// shadows all imports, standard library included) and verifies the
+// analyzer's diagnostics against the packages' // want annotations.
+func Run(t *testing.T, fixtureRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader.Loader{FixtureRoot: fixtureRoot}
+	pkgs, err := l.LoadFixture(paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// expectation is one `// want` regexp anchored to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("`([^`]*)`")
+
+func checkWants(t *testing.T, pkg *loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Syntax() {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantToken.FindAllStringSubmatch(rest, -1)
+				if len(toks) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no backquoted pattern): %s", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, tok := range toks {
+					re, err := regexp.Compile(tok[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, tok[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if w := takeWant(wants, d); w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// takeWant claims the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func takeWant(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hyperq/internal/lint/analysistest"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, fixtureRoot(t), SpanEnd, "spanend")
+}
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, fixtureRoot(t), LockIO, "lockio")
+}
+
+func TestFrontCode(t *testing.T) {
+	// The tdp fixture is the registry itself: loading it as a target proves
+	// codes.go is the sanctioned location for the enforced literals.
+	analysistest.Run(t, fixtureRoot(t), FrontCode, "frontcode", "tdp")
+}
+
+func TestCtxExec(t *testing.T) {
+	analysistest.Run(t, fixtureRoot(t), CtxExec, "ctxexec/internal/odbc")
+}
+
+func TestWireErr(t *testing.T) {
+	analysistest.Run(t, fixtureRoot(t), WireErr, "wireerr/internal/wire/x")
+}
+
+// TestCtxExecOutOfScope proves the analyzer ignores packages off the
+// request path: a package whose import path names neither internal/hyperq
+// nor internal/odbc produces nothing.
+func TestCtxExecOutOfScope(t *testing.T) {
+	analysistest.Run(t, fixtureRoot(t), CtxExec, "cwp")
+}
+
+func TestByName(t *testing.T) {
+	got := ByName([]string{"spanend", "wireerr"})
+	if len(got) != 2 || got[0] != SpanEnd || got[1] != WireErr {
+		t.Fatalf("ByName = %v", got)
+	}
+	if len(ByName([]string{"nosuch"})) != 0 {
+		t.Fatal("ByName resolved an unknown analyzer")
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+
+	"hyperq/internal/lint/analysis"
+	"hyperq/internal/wire/tdp"
+)
+
+// FrontCode reports bare integer literals for the frontend failure and
+// logon codes that clients pattern-match on.
+//
+// Teradata tools key retry/fallback behavior off specific failure codes:
+// write-state-unknown (never auto-retry), backend-unavailable,
+// gateway-saturated, and the two logon rejections. Hyper-Q must emit them
+// bit-identically forever, so they live in exactly one place — the
+// registry in internal/wire/tdp/codes.go — and everything else refers to
+// the named constants. A bare literal elsewhere is a drift hazard: it
+// compiles fine today and silently diverges the first time the registry
+// value is corrected or documented.
+var FrontCode = &analysis.Analyzer{
+	Name: "frontcode",
+	Doc:  "checks that frontend failure/logon codes come from the tdp codes registry, not bare int literals",
+	Run:  runFrontCode,
+}
+
+// registryCodes maps each enforced literal to its registry constant. The
+// keys are derived from the constants themselves, so the analyzer can
+// never drift from the registry it enforces.
+var registryCodes = map[string]string{
+	strconv.Itoa(tdp.CodeWriteStateUnknown):  "CodeWriteStateUnknown",
+	strconv.Itoa(tdp.CodeBackendUnavailable): "CodeBackendUnavailable",
+	strconv.Itoa(tdp.CodeGatewaySaturated):   "CodeGatewaySaturated",
+	strconv.Itoa(tdp.CodeLogonDenied):        "CodeLogonDenied",
+	strconv.Itoa(tdp.CodeLogonInvalid):       "CodeLogonInvalid",
+}
+
+func runFrontCode(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				return true
+			}
+			constName, enforced := registryCodes[lit.Value]
+			if !enforced || inCodesRegistry(pass, lit.Pos()) {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"frontend code %s must be the registry constant tdp.%s, not a bare literal", lit.Value, constName)
+			return true
+		})
+	}
+	return nil
+}
+
+// inCodesRegistry reports whether pos is inside the one file allowed to
+// define the enforced codes: codes.go of the tdp wire package.
+func inCodesRegistry(pass *analysis.Pass, pos token.Pos) bool {
+	if pass.Pkg == nil || pass.Pkg.Name() != "tdp" {
+		return false
+	}
+	return filepath.Base(pass.Fset.Position(pos).Filename) == "codes.go"
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"testing"
+
+	"hyperq/internal/lint/analysis"
+	"hyperq/internal/lint/loader"
+)
+
+// TestSuiteCleanOnRepo runs every analyzer over the repository itself
+// (tests included) and demands a clean bill: the invariants the suite
+// encodes are supposed to hold on the shipped tree, with every deviation
+// carrying an audited //hyperqlint:ignore reason. Type-checks the whole
+// dependency graph from source, so it is skipped in -short runs.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check; skipped in -short mode")
+	}
+	l := &loader.Loader{}
+	pkgs, err := l.Load("hyperq/...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for hyperq/...")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyperq/internal/lint/analysis"
+)
+
+// SpanEnd reports trace spans that are not ended on every return path.
+//
+// The trace package builds a span tree per request; Trace.Start pushes onto
+// the active-span stack and Span.End pops. A span that is started but not
+// ended on some return path leaves the stack misaligned for the rest of the
+// request: later stages attach under the wrong parent, the /traces view
+// shows phantom nesting, and stage histograms attribute latency to the
+// leaked span. The analyzer accepts three shapes: a deferred End (directly
+// or inside a deferred/asynchronous closure), an End call lexically between
+// the span's creation and each return that follows it, or the span escaping
+// the function (returned, stored, or passed on — ownership moved, the
+// callee is responsible).
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "checks that every trace span started in a function is ended on all return paths",
+	Run:  runSpanEnd,
+}
+
+// spanUse aggregates everything one function does with one span object.
+type spanUse struct {
+	obj       types.Object
+	name      string    // variable name, for diagnostics
+	createPos token.Pos // position of the Start(...) call
+	endPos    []token.Pos
+	deferred  bool // an End runs via defer/go, covering every path
+	escaped   bool // the span leaves the function; caller no longer owns End
+}
+
+func runSpanEnd(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, fn := range functionsIn(file) {
+			checkSpansIn(pass, fn.body)
+		}
+	}
+	return nil
+}
+
+func checkSpansIn(pass *analysis.Pass, body *ast.BlockStmt) {
+	creations := spanCreations(pass, body)
+	if len(creations) == 0 {
+		return
+	}
+	returns := returnPositions(body)
+	for _, c := range creations {
+		collectSpanUses(pass, body, c)
+		switch {
+		case c.escaped, c.deferred:
+			// Ownership moved, or a deferred End covers every path.
+		case len(c.endPos) == 0:
+			pass.Reportf(c.createPos,
+				"span %q is never ended; call %s.End() on every return path or defer it", c.name, c.name)
+		default:
+			for _, ret := range returns {
+				if ret <= c.createPos {
+					continue
+				}
+				if !anyBetween(c.endPos, c.createPos, ret) {
+					pass.Reportf(ret,
+						"return leaves span %q unended; end it before returning or use defer %s.End()", c.name, c.name)
+				}
+			}
+		}
+	}
+}
+
+// spanCreations finds assignments of freshly started spans in body, skipping
+// nested function literals (they are analyzed as functions of their own).
+// Spans discarded outright — a bare Start call or an assignment to _ — are
+// reported immediately: nothing can ever end them.
+func spanCreations(pass *analysis.Pass, body *ast.BlockStmt) []*spanUse {
+	var out []*spanUse
+	record := func(lhs ast.Expr, rhs ast.Expr) bool {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isSpanStart(pass.Info, call) {
+			return false
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false // span stored into a field/index: treated as escape
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span assigned to _ can never be ended")
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		out = append(out, &spanUse{obj: obj, name: id.Name, createPos: call.Pos()})
+		return true
+	}
+	inspectSkipFuncLits(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					record(st.Names[i], st.Values[i])
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pass.Info, call) {
+				pass.Reportf(call.Pos(), "span discarded immediately; it can never be ended")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSpanStart reports whether the call starts a span: a callee named Start
+// yielding a single *trace.Span. Lookups that merely return an existing
+// span (FindSpan and friends) do not transfer End responsibility.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil || callee.Name() != "Start" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isTuple := tv.Type.(*types.Tuple); isTuple {
+		return false
+	}
+	return analysis.IsNamed(tv.Type, "trace", "Span")
+}
+
+// collectSpanUses classifies every use of the span object in body, nested
+// closures included (a deferred closure is the idiomatic place to End a
+// conditionally created span).
+func collectSpanUses(pass *analysis.Pass, body *ast.BlockStmt, c *spanUse) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || (pass.Info.Uses[id] != c.obj && pass.Info.Defs[id] != c.obj) {
+			return true
+		}
+		switch classifySpanUse(stack, id) {
+		case useEnd:
+			c.endPos = append(c.endPos, id.Pos())
+			if underDefer(stack) {
+				c.deferred = true
+			}
+		case useBenign:
+		default:
+			c.escaped = true
+		}
+		return true
+	})
+}
+
+type spanUseKind int
+
+const (
+	useEscape spanUseKind = iota
+	useBenign
+	useEnd
+)
+
+// classifySpanUse decides what the identifier at the top of the node stack
+// does with the span: ends it, uses it benignly (other span methods, nil
+// comparisons, being the assignment target), or lets it escape.
+func classifySpanUse(stack []ast.Node, id *ast.Ident) spanUseKind {
+	if len(stack) < 2 {
+		return useEscape
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return useBenign // sp is the field name, not the receiver
+		}
+		// Method call on the span: End() terminates it, Event/Set/Status are
+		// benign. A selector not immediately called (method value) escapes.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+				if p.Sel.Name == "End" {
+					return useEnd
+				}
+				return useBenign
+			}
+		}
+		return useEscape
+	case *ast.BinaryExpr:
+		return useBenign // nil checks and comparisons
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				return useBenign // (re)assignment target
+			}
+		}
+		return useEscape // span on the RHS: aliased away
+	case *ast.ValueSpec:
+		for _, nm := range p.Names {
+			if nm == id {
+				return useBenign
+			}
+		}
+		return useEscape
+	default:
+		return useEscape
+	}
+}
+
+// underDefer reports whether the current node sits below a defer or go
+// statement (possibly through a closure body).
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// returnPositions lists the function's return statements in source order,
+// plus a virtual return at the closing brace when execution can fall off the
+// end of the body. Returns inside nested closures belong to the closure.
+func returnPositions(body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	inspectSkipFuncLits(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, r.Pos())
+		}
+		return true
+	})
+	if n := len(body.List); n == 0 {
+		out = append(out, body.Rbrace)
+	} else if _, ok := body.List[n-1].(*ast.ReturnStmt); !ok {
+		out = append(out, body.Rbrace)
+	}
+	return out
+}
+
+// anyBetween reports whether any position in ps lies strictly between lo and
+// hi.
+func anyBetween(ps []token.Pos, lo, hi token.Pos) bool {
+	for _, p := range ps {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+// Package context is a hermetic stub shadowing the standard library for
+// analyzer fixtures.
+package context
+
+type Context interface {
+	Err() error
+}
+
+func Background() Context { return nil }
+func TODO() Context       { return nil }

@@ -1,0 +1,9 @@
+// Package cwp is a hermetic stub of the repo's backend wire client for
+// analyzer fixtures.
+package cwp
+
+import "context"
+
+func Dial(addr string) error { return nil }
+
+func DialContext(ctx context.Context, addr string) error { return nil }

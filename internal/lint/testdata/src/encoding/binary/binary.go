@@ -1,0 +1,10 @@
+// Package binary is a hermetic stub shadowing encoding/binary for analyzer
+// fixtures.
+package binary
+
+type ByteOrder struct{}
+
+var BigEndian ByteOrder
+
+func Write(w any, order ByteOrder, data any) error { return nil }
+func Read(r any, order ByteOrder, data any) error  { return nil }

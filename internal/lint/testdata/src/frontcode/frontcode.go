@@ -1,0 +1,42 @@
+// Fixtures for the frontcode analyzer.
+package frontcode
+
+import "tdp"
+
+type failure struct {
+	code int
+	msg  string
+}
+
+// Bare enforced literals outside the registry file are drift hazards.
+func bare() []failure {
+	return []failure{
+		{code: 2828, msg: "write state unknown"}, // want `frontend code 2828 must be the registry constant tdp\.CodeWriteStateUnknown`
+		{code: 3120, msg: "backend unavailable"}, // want `frontend code 3120 must be the registry constant tdp\.CodeBackendUnavailable`
+		{code: 3134, msg: "gateway saturated"},   // want `frontend code 3134 must be the registry constant tdp\.CodeGatewaySaturated`
+		{code: 3002, msg: "logon denied"},        // want `frontend code 3002 must be the registry constant tdp\.CodeLogonDenied`
+		{code: 3004, msg: "logon invalid"},       // want `frontend code 3004 must be the registry constant tdp\.CodeLogonInvalid`
+	}
+}
+
+// Even comparisons must go through the registry: a test matching on a bare
+// code drifts just as silently as an emit site.
+func classify(code int) string {
+	if code == 3120 { // want `frontend code 3120 must be the registry constant tdp\.CodeBackendUnavailable`
+		return "backend-unavailable"
+	}
+	return "other"
+}
+
+// registryOK: the named constants are the sanctioned spelling, and codes
+// outside the enforced set (statement-level failures) remain plain ints.
+func registryOK() []int {
+	return []int{
+		tdp.CodeWriteStateUnknown,
+		tdp.CodeBackendUnavailable,
+		tdp.CodeGatewaySaturated,
+		tdp.CodeLogonDenied,
+		tdp.CodeLogonInvalid,
+		3807,
+	}
+}

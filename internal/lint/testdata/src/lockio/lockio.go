@@ -1,0 +1,69 @@
+// Fixtures for the lockio analyzer.
+package lockio
+
+import (
+	"cwp"
+	"odbc"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	ex *odbc.Executor
+}
+
+type shard struct {
+	mu sync.RWMutex
+	ex *odbc.Executor
+}
+
+// Sleeping inside the critical section stalls every other request.
+func sleepUnderLock(s *server) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while mutex "s\.mu" is held`
+	s.mu.Unlock()
+}
+
+// Backend execution under the lock serializes the whole pool behind one
+// slow statement.
+func execUnderLock(s *server) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ex.Exec("SELECT 1") // want `blocking call \(odbc\) \.Exec while mutex "s\.mu" is held`
+}
+
+// Dialing under a read lock blocks every writer behind the network.
+func dialUnderRLock(s *shard) {
+	s.mu.RLock()
+	_ = cwp.Dial("backend:1025") // want `blocking call cwp\.Dial while mutex "s\.mu" is held`
+	s.mu.RUnlock()
+}
+
+// unlockFirstOK: copying state out and releasing before the I/O is the
+// pattern the pool uses everywhere.
+func unlockFirstOK(s *server) error {
+	s.mu.Lock()
+	ex := s.ex
+	s.mu.Unlock()
+	return ex.Exec("SELECT 1")
+}
+
+// rUnlockFirstOK: same shape through a read lock.
+func rUnlockFirstOK(s *shard) {
+	s.mu.RLock()
+	ex := s.ex
+	s.mu.RUnlock()
+	_ = ex.Exec("SELECT 1")
+	time.Sleep(time.Millisecond)
+}
+
+// otherMutexOK: the blocking call happens under no lock acquired in this
+// function; a different mutex being locked and released is irrelevant.
+func otherMutexOK(a, b *server) error {
+	a.mu.Lock()
+	n := 1
+	_ = n
+	a.mu.Unlock()
+	return b.ex.Exec("SELECT 1")
+}

@@ -1,0 +1,8 @@
+// Package odbc is a hermetic stub of the repo's ODBC layer for analyzer
+// fixtures: lockio matches blocking methods by declaring-package name.
+package odbc
+
+type Executor struct{}
+
+func (e *Executor) Exec(query string) error { return nil }
+func (e *Executor) Close() error            { return nil }

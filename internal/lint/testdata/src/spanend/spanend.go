@@ -1,0 +1,87 @@
+// Fixtures for the spanend analyzer.
+package spanend
+
+import "trace"
+
+// A span with no End at all is reported at its creation.
+func neverEnded(tr *trace.Trace) {
+	sp := tr.Start("parse") // want `span "sp" is never ended`
+	sp.Event("working")
+}
+
+// A bare Start discards the span outright.
+func discarded(tr *trace.Trace) {
+	tr.Start("parse") // want `span discarded immediately`
+}
+
+// Assigning to _ is the same leak, spelled differently.
+func blankAssigned(tr *trace.Trace) {
+	_ = tr.Start("parse") // want `span assigned to _ can never be ended`
+}
+
+// An early return that skips the End leaks the span on that path only.
+func earlyReturn(tr *trace.Trace, fail bool) int {
+	sp := tr.Start("exec")
+	if fail {
+		return 1 // want `return leaves span "sp" unended`
+	}
+	sp.End()
+	return 0
+}
+
+// deferOK: a deferred End covers every return path.
+func deferOK(tr *trace.Trace, fail bool) int {
+	sp := tr.Start("exec")
+	defer sp.End()
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// closureOK: ending a conditionally created span from a deferred closure is
+// the idiomatic pool/resilient pattern and must be accepted.
+func closureOK(tr *trace.Trace, cond bool) {
+	var sp *trace.Span
+	defer func() {
+		if sp != nil {
+			sp.End()
+		}
+	}()
+	if cond {
+		sp = tr.Start("cond")
+	}
+}
+
+// explicitOK: an End on every path, without defer.
+func explicitOK(tr *trace.Trace, fail bool) int {
+	sp := tr.Start("exec")
+	if fail {
+		sp.End()
+		return 1
+	}
+	sp.End()
+	return 0
+}
+
+// escapeOK: returning the span moves End responsibility to the caller.
+func escapeOK(tr *trace.Trace) *trace.Span {
+	sp := tr.Start("handoff")
+	return sp
+}
+
+// lookupOK: FindSpan returns an existing span; inspecting it carries no End
+// obligation.
+func lookupOK(tr *trace.Trace) bool {
+	sp := tr.FindSpan("execute")
+	return sp != nil
+}
+
+// loopOK: a span started and ended inside each loop iteration.
+func loopOK(tr *trace.Trace, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Start("attempt")
+		sp.Event("try")
+		sp.End()
+	}
+}

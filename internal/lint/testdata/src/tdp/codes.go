@@ -1,0 +1,11 @@
+// Package tdp mirrors the real registry file: codes.go of a package named
+// tdp is the one place frontcode allows the enforced literals.
+package tdp
+
+const (
+	CodeWriteStateUnknown  = 2828
+	CodeBackendUnavailable = 3120
+	CodeGatewaySaturated   = 3134
+	CodeLogonDenied        = 3002
+	CodeLogonInvalid       = 3004
+)

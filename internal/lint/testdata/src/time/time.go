@@ -1,0 +1,9 @@
+// Package time is a hermetic stub shadowing the standard library for
+// analyzer fixtures.
+package time
+
+type Duration int64
+
+const Millisecond Duration = 1000000
+
+func Sleep(d Duration) {}

@@ -1,0 +1,41 @@
+// Fixtures for the wireerr analyzer. The package path deliberately
+// contains "internal/wire": wireerr only patrols the wire layer.
+package x
+
+import "encoding/binary"
+
+// frameWriter stands in for the buffered protocol writers.
+type frameWriter struct{}
+
+func (w *frameWriter) Flush() error                 { return nil }
+func (w *frameWriter) WriteMessage(b []byte) error  { return nil }
+func (w *frameWriter) ReadMessage() ([]byte, error) { return nil, nil }
+
+// Dropped errors on framing-critical calls desynchronize the stream.
+func dropped(w *frameWriter, v uint32) {
+	binary.Write(w, binary.BigEndian, v)  // want `binary\.Write error dropped`
+	binary.Read(w, binary.BigEndian, &v)  // want `binary\.Read error dropped`
+	w.Flush()                             // want `\.Flush error dropped`
+	w.WriteMessage([]byte{0x01})          // want `\.WriteMessage error dropped`
+}
+
+// checkedOK: propagated or explicitly discarded errors are fine — both are
+// visible in review.
+func checkedOK(w *frameWriter, v uint32) error {
+	if err := binary.Write(w, binary.BigEndian, v); err != nil {
+		return err
+	}
+	if err := w.WriteMessage([]byte{0x01}); err != nil {
+		return err
+	}
+	_ = w.Flush()
+	return nil
+}
+
+// otherCallsOK: calls outside the framing denylist keep their usual
+// error-handling latitude.
+func otherCallsOK(w *frameWriter) {
+	helper(w)
+}
+
+func helper(w *frameWriter) error { return w.Flush() }

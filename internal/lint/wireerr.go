@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hyperq/internal/lint/analysis"
+)
+
+// WireErr reports unchecked error results from framing-critical writes in
+// the wire layer.
+//
+// The tdp and cwp protocols are length-prefixed: every header field and
+// every flush must land on the socket exactly, or the peer reads the next
+// message starting mid-frame and the session is garbage from then on. A
+// dropped error from binary.Write/binary.Read, a bufio Flush, or the
+// frame-level WriteMessage/ReadMessage helpers is therefore not a style
+// nit — it is a silent framing desynchronization. The analyzer flags those
+// calls when used as bare statements inside internal/wire/...; an explicit
+// `_ =` discard is accepted (it is visible in review and greppable), a
+// silent drop is not.
+var WireErr = &analysis.Analyzer{
+	Name: "wireerr",
+	Doc:  "checks that binary.Write/binary.Read/Flush/WriteMessage errors are not silently dropped in the wire layer",
+	Run:  runWireErr,
+}
+
+func runWireErr(pass *analysis.Pass) error {
+	if !strings.Contains(pass.PkgPath, "internal/wire") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !analysis.ReturnsError(pass.Info, call) {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if desc, critical := framingCall(callee); critical {
+				pass.Reportf(call.Pos(),
+					"%s error dropped; a short write here desynchronizes the message framing (check it or discard with _ =)", desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// framingCall reports whether the callee is a framing-critical read/write
+// whose error must not be dropped.
+func framingCall(callee *types.Func) (string, bool) {
+	name := callee.Name()
+	if analysis.FuncPkgName(callee) == "binary" && (name == "Write" || name == "Read") {
+		return "binary." + name, true
+	}
+	if !analysis.IsMethod(callee) {
+		return "", false
+	}
+	switch name {
+	case "Flush", "WriteMessage", "ReadMessage":
+		return "." + name, true
+	}
+	return "", false
+}

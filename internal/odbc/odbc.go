@@ -115,6 +115,19 @@ type localExecutor struct {
 }
 
 func (e *localExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
+	return e.exec(sql)
+}
+
+func (e *localExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
+	// In-process execution cannot be interrupted mid-statement; honour the
+	// deadline at the request boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.exec(sql)
+}
+
+func (e *localExecutor) exec(sql string) ([]*cwp.StatementResult, error) {
 	results, err := e.s.ExecSQL(sql)
 	if err != nil {
 		return nil, err
@@ -139,15 +152,6 @@ func (e *localExecutor) Exec(sql string) ([]*cwp.StatementResult, error) {
 		out[i] = sr
 	}
 	return out, nil
-}
-
-func (e *localExecutor) ExecContext(ctx context.Context, sql string) ([]*cwp.StatementResult, error) {
-	// In-process execution cannot be interrupted mid-statement; honour the
-	// deadline at the request boundary.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return e.Exec(sql)
 }
 
 func (e *localExecutor) Close() error { return nil }

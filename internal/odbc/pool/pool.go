@@ -172,13 +172,7 @@ func New(cfg Config) (*Pool, error) {
 // the pool without dialing the backend — backend capacity is acquired per
 // statement, not per logon.
 func (p *Pool) Connect() (odbc.Executor, error) {
-	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
-		return nil, ErrClosed
-	}
-	return p.Session(), nil
+	return p.connect()
 }
 
 // ConnectContext implements odbc.ContextDriver.
@@ -186,7 +180,20 @@ func (p *Pool) ConnectContext(ctx context.Context) (odbc.Executor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return p.Connect()
+	return p.connect()
+}
+
+// connect returns a session-multiplexing view of the pool; it never blocks
+// (backend capacity is acquired per statement), so both driver entry points
+// share it.
+func (p *Pool) connect() (odbc.Executor, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	return p.Session(), nil
 }
 
 var (
@@ -517,6 +524,7 @@ func (p *Pool) maintain() {
 		// Bound each pre-dial so a hung backend cannot stall the single
 		// maintenance goroutine (and with it reaping and recycling) when the
 		// wrapped driver itself has no dial timeout.
+		//hyperqlint:ignore ctxexec maintenance warm-up dials run outside any request; there is no caller context to thread
 		ctx, cancel := context.WithTimeout(context.Background(), maintainDialTimeout)
 		c, err := p.dial(ctx)
 		cancel()

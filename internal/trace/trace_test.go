@@ -59,8 +59,8 @@ func TestSpanTreeNesting(t *testing.T) {
 
 func TestFinishClosesAbandonedSpans(t *testing.T) {
 	tr := New(1, 1, "u", "SELECT 1")
-	tr.Start("execute") // error path bails without End
-	tr.Start("inner")
+	tr.Start("execute") //hyperqlint:ignore spanend deliberately abandons the span to exercise Finish's stack unwinding
+	tr.Start("inner")   //hyperqlint:ignore spanend deliberately abandons the span to exercise Finish's stack unwinding
 	tr.Finish("error", 3807, "execution", "boom")
 	if sp := tr.FindSpan("execute"); sp.DurNs < 0 {
 		t.Fatal("abandoned span not closed")

@@ -1,0 +1,58 @@
+package tdp
+
+// Frontend failure and logon codes.
+//
+// This file is the single registry for every Teradata-compatible code the
+// gateway emits toward clients. Unmodified client tools pattern-match on
+// these numbers — BTEQ decides between "resubmit" and "give up", drivers
+// decide whether a transaction's outcome is knowable — so each value is a
+// wire-compatibility contract, not an implementation detail. The frontcode
+// analyzer (internal/lint) forbids these values as bare literals anywhere
+// else in the tree: new emit sites and new tests must name the constant,
+// and a code can never silently drift at one call site.
+const (
+	// CodeWriteStateUnknown (2828) aborts a request whose write may or may
+	// not have been applied: the connection died after the statement was
+	// sent and before the response arrived. Never auto-retried — the
+	// client must determine the outcome itself.
+	CodeWriteStateUnknown = 2828
+
+	// CodeLogonDenied (3002) rejects a logon because the backend is
+	// unreachable: "logons are disabled, retry later".
+	CodeLogonDenied = 3002
+
+	// CodeLogonInvalid (3004) rejects a malformed logon (missing user).
+	CodeLogonInvalid = 3004
+
+	// CodeBackendUnavailable (3120) fails fast while the circuit breaker
+	// holds the backend open: "backend temporarily unavailable, resubmit".
+	CodeBackendUnavailable = 3120
+
+	// CodeGatewaySaturated (3134) aborts a request that could not obtain a
+	// pooled backend connection in time (admission control or acquire
+	// timeout).
+	CodeGatewaySaturated = 3134
+
+	// Statement-level failure codes (Teradata DBC numbering).
+
+	// CodeSyntaxError (3706) is a statement the parser rejects.
+	CodeSyntaxError = 3706
+
+	// CodeSemanticError (3707) is a well-formed statement that fails
+	// binding or transformation.
+	CodeSemanticError = 3707
+
+	// CodeObjectExists (3803) reports CREATE of an already-existing table.
+	CodeObjectExists = 3803
+
+	// CodeObjectNotFound (3807) reports a missing object or a failed
+	// request against one (also the generic request-failure fallback).
+	CodeObjectNotFound = 3807
+
+	// CodeBadMacroArgument (3811) reports a macro invoked with the wrong
+	// number or type of arguments.
+	CodeBadMacroArgument = 3811
+
+	// CodeMacroNotFound (3824) reports EXEC of a macro that does not exist.
+	CodeMacroNotFound = 3824
+)

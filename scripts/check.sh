@@ -1,11 +1,32 @@
 #!/usr/bin/env bash
-# Repo-wide verification: static analysis, a full build, and the test suite
-# under the race detector. CI and pre-commit entry point.
+# Repo-wide verification: static analysis (go vet + the hyperqlint suite),
+# a full build, and the test suite under the race detector. CI and
+# pre-commit entry point.
+#
+# CHECK_SHORT=1 runs only the fast static stage (vet + hyperqlint + build),
+# skipping the race suite, the pool stress rerun, and the end-to-end smoke —
+# quick enough for a pre-commit hook.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 go vet ./...
+
+# hyperqlint: the project-specific analyzers (span lifecycle, lock-vs-I/O,
+# frontend code registry, context propagation, wire error handling — see
+# DESIGN.md §10). Any diagnostic fails the build.
+go build -o "$tmpdir/hyperqlint" ./cmd/hyperqlint
+"$tmpdir/hyperqlint" ./...
+
 go build ./...
+
+if [[ "${CHECK_SHORT:-0}" == "1" ]]; then
+    echo "check.sh: CHECK_SHORT=1 — static stage clean, skipping tests and smoke"
+    exit 0
+fi
+
 go test -race -timeout 120s ./...
 
 # Connection-pool stress: rerun the 100-goroutine multiplex/pin/unpin storm
@@ -16,7 +37,5 @@ go test -race -count=1 -timeout 120s -run 'TestPoolStressRace' ./internal/odbc/p
 # run a statement through bteq, and assert /metrics shows pipeline activity.
 # A second phase restarts the gateway with -pool-size 2 and oversubscribes it
 # with 8 concurrent bteq clients exercising volatile-table pinning.
-bindir="$(mktemp -d)"
-trap 'rm -rf "$bindir"' EXIT
-go build -o "$bindir" ./cmd/...
-go run scripts/smoke.go -bin "$bindir"
+go build -o "$tmpdir" ./cmd/...
+go run scripts/smoke.go -bin "$tmpdir"
