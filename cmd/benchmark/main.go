@@ -10,6 +10,7 @@
 //	benchmark -run fig9a -sf 0.01      # Figure 9(a) single-stream overhead
 //	benchmark -run fig9b -clients 10   # Figure 9(b) concurrent stress test
 //	benchmark -run pool -clients 16 -pool-size 4   # pool concurrency
+//	benchmark -run translate -sf 0.002 # translate-path allocation proof
 //
 // Flags -sf, -target, -clients, -iterations and -scale tune experiment size;
 // the defaults finish in a few minutes on a laptop.
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool")
+	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool|translate")
 	target := flag.String("target", "CloudA", "target profile for Figure 9")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for Figure 9")
 	reps := flag.Int("reps", 1, "Figure 9(a) repetitions of the 22-query stream")
@@ -38,7 +39,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "Figure 8 workload scale (1.0 = paper-size workloads)")
 	poolSize := flag.Int("pool-size", 4, "pool experiment: backend connection pool capacity")
 	backendLatency := flag.Duration("backend-latency", 2*time.Millisecond, "pool experiment: injected per-request backend latency")
-	out := flag.String("out", "", "write the experiment result as JSON to this file (pool only)")
+	out := flag.String("out", "", "write the experiment result as JSON to this file (pool, translate)")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -99,6 +100,18 @@ func main() {
 		}
 		return nil
 	})
+	if selected == "translate" {
+		// Not part of "all": the three testing.Benchmark passes take a few
+		// minutes and regenerate a checked-in artifact rather than a figure.
+		did = true
+		path := *out
+		if path == "" {
+			path = "BENCH_translate.json"
+		}
+		if _, err := bench.TranslateBench(os.Stdout, prof, *sf, path); err != nil {
+			log.Fatalf("benchmark: translate: %v", err)
+		}
+	}
 	if !did {
 		log.Fatalf("benchmark: unknown experiment %q", *run)
 	}

@@ -1,0 +1,104 @@
+package hyperqbench
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperq/internal/binder"
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/feature"
+	"hyperq/internal/parser"
+	"hyperq/internal/serializer"
+	"hyperq/internal/transform"
+	"hyperq/internal/workload/customer"
+)
+
+// translatePath runs parse→bind→transform→serialize for every statement in
+// sql. With a scratch it uses the optimized build (arena parse, pooled
+// serializer); with nil it uses the fresh-allocation reference build the
+// optimized output must match byte for byte.
+func translatePath(be *engine.Session, target *dialect.Profile, sql string, sc *parser.Scratch) ([]string, error) {
+	rec := &feature.Recorder{}
+	sc.Reset()
+	stmts, err := parser.ParseWith(sql, parser.Teradata, rec, sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, st := range stmts {
+		bd := binder.New(be, parser.Teradata, rec)
+		bound, err := bd.Bind(st)
+		if err != nil {
+			return nil, err
+		}
+		c := transform.NewContext(nil, rec, bd.MaxColumnID())
+		mid, err := transform.BindingStage().Statement(bound, c)
+		if err != nil {
+			return nil, err
+		}
+		ser := serializer.New(target, rec)
+		if sc == nil {
+			ser.NoPool()
+		}
+		s, err := ser.Serialize(mid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TestDifferentialTranslateWorkloads replays a slice of both customer
+// workloads through the translate pipeline twice — reference build vs
+// arena/pooled build — for every modeled cloud target, and requires the two
+// to agree exactly: byte-identical SQL-B on success, identical error text on
+// failure. This is the correctness harness for the allocation work: any slab
+// aliasing, stale arena state, or pooled-buffer cross-talk shows up as a
+// divergence here.
+func TestDifferentialTranslateWorkloads(t *testing.T) {
+	var queries []string
+	for _, spec := range []customer.Spec{customer.Workload1(), customer.Workload2()} {
+		spec.Distinct = 400
+		spec.Total = spec.Distinct * 2
+		for _, q := range customer.Generate(spec) {
+			queries = append(queries, q.SQL)
+		}
+	}
+	for _, target := range dialect.CloudTargets() {
+		t.Run(target.Name, func(t *testing.T) {
+			eng := engine.New(target)
+			be := eng.NewSession()
+			for _, ddl := range customer.SchemaDDL {
+				if _, err := be.ExecSQL(ddl); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One scratch for the whole run, like one session: state carried
+			// across queries is exactly what the test must prove harmless.
+			sc := &parser.Scratch{}
+			var translated, errored int
+			for _, sql := range queries {
+				ref, refErr := translatePath(be, target, sql, nil)
+				got, gotErr := translatePath(be, target, sql, sc)
+				if (refErr == nil) != (gotErr == nil) ||
+					(refErr != nil && refErr.Error() != gotErr.Error()) {
+					t.Fatalf("error divergence on %q:\nref: %v\ngot: %v", sql, refErr, gotErr)
+				}
+				if refErr != nil {
+					errored++
+					continue
+				}
+				if fmt.Sprint(ref) != fmt.Sprint(got) {
+					t.Fatalf("output divergence on %q:\nref: %q\ngot: %q", sql, ref, got)
+				}
+				translated++
+			}
+			if translated == 0 {
+				t.Fatal("no queries translated — workload generation drifted")
+			}
+			t.Logf("%s: %d byte-identical translations, %d identical errors", target.Name, translated, errored)
+		})
+	}
+}

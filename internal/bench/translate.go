@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/hyperq"
+	"hyperq/internal/odbc"
+	"hyperq/internal/workload/tpch"
+)
+
+// Allocation budgets for the translate hot path, enforced by scripts/check.sh
+// against BenchmarkTracedTranslate/traced (cache disabled, so every request
+// runs the full parse→bind→transform→serialize→execute→convert pipeline).
+// The pre-optimization pipeline sat at ~28,000 allocs/op and ~1.25 MB/op;
+// the budgets hold the regression line at roughly 2× the optimized numbers
+// so environment noise does not trip the gate while a real regression does.
+const (
+	TranslateAllocBudget = 1000
+	TranslateBytesBudget = 131072
+)
+
+// TranslatePath is one measured request path through the gateway.
+type TranslatePath struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iterations  int   `json:"iterations"`
+}
+
+// TranslateResult is the BENCH_translate.json artifact.
+type TranslateResult struct {
+	Target       string                   `json:"target"`
+	ScaleFactor  float64                  `json:"scale_factor"`
+	Paths        map[string]TranslatePath `json:"paths"`
+	AllocsBudget int64                    `json:"allocs_budget"`
+	BytesBudget  int64                    `json:"bytes_budget"`
+}
+
+// translateShape is the query shape shared by all three paths (and by
+// BenchmarkTracedTranslate): a one-literal aggregation over LINEITEM.
+const translateShape = "SEL L_RETURNFLAG, COUNT(*) FROM LINEITEM WHERE L_QUANTITY < %d GROUP BY L_RETURNFLAG"
+
+// translateCase measures one request path with testing.Benchmark: a gateway
+// over the in-process engine, warmed outside the timer, then s.Run in the
+// benchmark loop with allocation reporting.
+func translateCase(target *dialect.Profile, sf float64, disableCache bool, query func(i int) string) (testing.BenchmarkResult, error) {
+	eng := engine.New(target)
+	if err := tpch.SetupEngine(eng.NewSession(), sf); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	g, err := hyperq.New(hyperq.Config{
+		Target:                  target,
+		Driver:                  &odbc.LocalDriver{Engine: eng},
+		Catalog:                 eng.Catalog().Clone(),
+		DisableTranslationCache: disableCache,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	s, err := g.NewLocalSession("bench")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ { // warm up: fills the cache when enabled
+		if _, err := s.Run(query(i)); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(query(i)); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, runErr
+}
+
+// TranslateBench measures allocations per request on the three translate
+// paths and writes the result (with the regression budgets) to outPath:
+//
+//   - cold: translation cache disabled; every request runs the full
+//     parse→bind→transform→serialize pipeline.
+//   - fingerprint-hit: cache enabled with a never-repeating literal, so the
+//     request text always misses the request tier and the shape always hits
+//     the fingerprint tier (template splicing instead of re-serialization).
+//   - exact-hit: cache enabled with byte-identical request text, hitting the
+//     request tier.
+//
+// All three include backend execution and result conversion (the engine is
+// in-process), so ns/op is a full-request figure; the alloc columns are the
+// translate-path signal the check.sh gate tracks.
+func TranslateBench(w io.Writer, target *dialect.Profile, sf float64, outPath string) (TranslateResult, error) {
+	res := TranslateResult{
+		Target:       target.Name,
+		ScaleFactor:  sf,
+		Paths:        map[string]TranslatePath{},
+		AllocsBudget: TranslateAllocBudget,
+		BytesBudget:  TranslateBytesBudget,
+	}
+	cases := []struct {
+		name         string
+		disableCache bool
+		query        func(i int) string
+	}{
+		{"cold", true, func(i int) string { return fmt.Sprintf(translateShape, 10+i%40) }},
+		{"fingerprint-hit", false, func(i int) string { return fmt.Sprintf(translateShape, 10+i) }},
+		{"exact-hit", false, func(int) string { return fmt.Sprintf(translateShape, 30) }},
+	}
+	fmt.Fprintln(w, "Translate hot path: allocations per request")
+	fmt.Fprintf(w, "%-16s %14s %12s %12s\n", "Path", "ns/op", "B/op", "allocs/op")
+	for _, c := range cases {
+		r, err := translateCase(target, sf, c.disableCache, c.query)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", c.name, err)
+		}
+		p := TranslatePath{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		res.Paths[c.name] = p
+		fmt.Fprintf(w, "%-16s %14s %12d %12d\n", c.name, time.Duration(p.NsPerOp).String(), p.BytesPerOp, p.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "budget (cold path): %d allocs/op, %d B/op\n", res.AllocsBudget, res.BytesBudget)
+	if cold, ok := res.Paths["cold"]; ok {
+		if cold.AllocsPerOp > TranslateAllocBudget {
+			return res, fmt.Errorf("cold path allocates %d/op, budget %d", cold.AllocsPerOp, TranslateAllocBudget)
+		}
+		if cold.BytesPerOp > TranslateBytesBudget {
+			return res, fmt.Errorf("cold path allocates %d B/op, budget %d", cold.BytesPerOp, TranslateBytesBudget)
+		}
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return res, nil
+}

@@ -292,31 +292,49 @@ func (ex *executor) execJoin(o *xtra.Join, outer *env) (*rowset, error) {
 	}
 
 	if len(keys) > 0 {
-		// Hash join: build on the right side.
-		build := make(map[string][]int, len(r.rows))
+		// Hash join: build on the right side. Keys are hashed into a reused
+		// buffer; the build side maps key bytes to a dense bucket index so
+		// probes (map lookups via string([]byte)) never allocate.
+		keyIdx := make(map[string]int, len(r.rows))
+		var buckets [][]int
+		var kb []byte
 		re := &env{rs: r, parent: outer}
 		for i, rr := range r.rows {
 			re.row = rr
-			hk, null, err := ex.hashKeys(keys, re, false)
+			var null bool
+			var err error
+			kb, null, err = ex.hashKeys(keys, re, false, kb[:0])
 			if err != nil {
 				return nil, err
 			}
 			if null {
 				continue // NULL keys never match
 			}
-			build[hk] = append(build[hk], i)
+			bi, ok := keyIdx[string(kb)]
+			if !ok {
+				bi = len(buckets)
+				keyIdx[string(kb)] = bi
+				buckets = append(buckets, nil)
+			}
+			buckets[bi] = append(buckets[bi], i)
 		}
 		le := &env{rs: l, parent: outer}
 		both := &env{rs: r, parent: &env{rs: l, parent: outer}}
 		for _, lr := range l.rows {
 			le.row = lr
 			matched := false
-			hk, null, err := ex.hashKeys(keys, le, true)
+			var null bool
+			var err error
+			kb, null, err = ex.hashKeys(keys, le, true, kb[:0])
 			if err != nil {
 				return nil, err
 			}
+			var probe []int
 			if !null {
-				for _, ri := range build[hk] {
+				if bi, ok := keyIdx[string(kb)]; ok {
+					probe = buckets[bi]
+				}
+				for _, ri := range probe {
 					rr := r.rows[ri]
 					both.row = rr
 					both.parent.row = lr
@@ -375,10 +393,10 @@ func (ex *executor) execJoin(o *xtra.Join, outer *env) (*rowset, error) {
 	return out, nil
 }
 
-// hashKeys evaluates the join key expressions on one side; null reports a
-// NULL key (which never matches).
-func (ex *executor) hashKeys(keys []equiKey, e *env, left bool) (string, bool, error) {
-	var b []byte
+// hashKeys evaluates the join key expressions on one side, appending the
+// encoded key to b (reused across rows); null reports a NULL key (which
+// never matches).
+func (ex *executor) hashKeys(keys []equiKey, e *env, left bool, b []byte) ([]byte, bool, error) {
 	for _, k := range keys {
 		s := k.r
 		if left {
@@ -386,15 +404,15 @@ func (ex *executor) hashKeys(keys []equiKey, e *env, left bool) (string, bool, e
 		}
 		d, err := ex.eval(s, e)
 		if err != nil {
-			return "", false, err
+			return b, false, err
 		}
 		if d.Null {
-			return "", true, nil
+			return b, true, nil
 		}
-		b = append(b, d.HashKey()...)
+		b = d.AppendHashKey(b)
 		b = append(b, 0)
 	}
-	return string(b), false, nil
+	return b, false, nil
 }
 
 func nullRow(cols []xtra.Col) []types.Datum {
@@ -519,13 +537,13 @@ func (ex *executor) execLimit(o *xtra.Limit, outer *env) (*rowset, error) {
 	return out, nil
 }
 
-func rowKey(row []types.Datum) string {
-	var b []byte
+// appendRowKey encodes a full row as a dedup key into b (reused by callers).
+func appendRowKey(b []byte, row []types.Datum) []byte {
 	for _, d := range row {
-		b = append(b, d.HashKey()...)
+		b = d.AppendHashKey(b)
 		b = append(b, 0)
 	}
-	return string(b)
+	return b
 }
 
 func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
@@ -538,6 +556,7 @@ func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
 		return nil, err
 	}
 	out := newRowset(o.Cols)
+	var kb []byte
 	switch o.Kind {
 	case xtra.SetUnion:
 		if o.All {
@@ -547,9 +566,9 @@ func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
 		seen := map[string]bool{}
 		for _, rows := range [][][]types.Datum{l.rows, r.rows} {
 			for _, row := range rows {
-				k := rowKey(row)
-				if !seen[k] {
-					seen[k] = true
+				kb = appendRowKey(kb[:0], row)
+				if !seen[string(kb)] {
+					seen[string(kb)] = true
 					out.rows = append(out.rows, row)
 				}
 			}
@@ -558,17 +577,18 @@ func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
 	case xtra.SetIntersect:
 		counts := map[string]int{}
 		for _, row := range r.rows {
-			counts[rowKey(row)]++
+			kb = appendRowKey(kb[:0], row)
+			counts[string(kb)]++
 		}
 		emitted := map[string]bool{}
 		for _, row := range l.rows {
-			k := rowKey(row)
-			if counts[k] > 0 {
+			kb = appendRowKey(kb[:0], row)
+			if counts[string(kb)] > 0 {
 				if o.All {
-					counts[k]--
+					counts[string(kb)]--
 					out.rows = append(out.rows, row)
-				} else if !emitted[k] {
-					emitted[k] = true
+				} else if !emitted[string(kb)] {
+					emitted[string(kb)] = true
 					out.rows = append(out.rows, row)
 				}
 			}
@@ -577,20 +597,21 @@ func (ex *executor) execSetOp(o *xtra.SetOp, outer *env) (*rowset, error) {
 	case xtra.SetExcept:
 		counts := map[string]int{}
 		for _, row := range r.rows {
-			counts[rowKey(row)]++
+			kb = appendRowKey(kb[:0], row)
+			counts[string(kb)]++
 		}
 		emitted := map[string]bool{}
 		for _, row := range l.rows {
-			k := rowKey(row)
+			kb = appendRowKey(kb[:0], row)
 			if o.All {
-				if counts[k] > 0 {
-					counts[k]--
+				if counts[string(kb)] > 0 {
+					counts[string(kb)]--
 					continue
 				}
 				out.rows = append(out.rows, row)
 			} else {
-				if counts[k] == 0 && !emitted[k] {
-					emitted[k] = true
+				if counts[string(kb)] == 0 && !emitted[string(kb)] {
+					emitted[string(kb)] = true
 					out.rows = append(out.rows, row)
 				}
 			}

@@ -16,14 +16,22 @@ type aggState struct {
 	sumF     float64
 	min, max types.Datum
 	distinct map[string]bool
+	keyBuf   []byte // reused DISTINCT key scratch
 	seen     bool
 }
 
-func newAggState(def *xtra.AggDef) *aggState {
-	s := &aggState{def: def}
+// init prepares the accumulator for def (states are slab-allocated per
+// group; see aggregateSet).
+func (s *aggState) init(def *xtra.AggDef) {
+	s.def = def
 	if def.Distinct {
 		s.distinct = map[string]bool{}
 	}
+}
+
+func newAggState(def *xtra.AggDef) *aggState {
+	s := &aggState{}
+	s.init(def)
 	return s
 }
 
@@ -33,11 +41,11 @@ func (s *aggState) add(d types.Datum) error {
 		return nil
 	}
 	if s.distinct != nil {
-		k := d.HashKey()
-		if s.distinct[k] {
+		s.keyBuf = d.AppendHashKey(s.keyBuf[:0])
+		if s.distinct[string(s.keyBuf)] {
 			return nil
 		}
-		s.distinct[k] = true
+		s.distinct[string(s.keyBuf)] = true
 	}
 	s.count++
 	switch s.def.Func {
@@ -137,27 +145,36 @@ func (ex *executor) aggInput(def *xtra.AggDef, e *env) (types.Datum, error) {
 }
 
 func (ex *executor) execAgg(o *xtra.Agg, outer *env) (*rowset, error) {
-	in, err := ex.exec(o.Input, outer)
+	// Fuse a directly-below filter into the aggregation row loop: Agg(Select)
+	// is the dominant analytic shape, and skipping the intermediate filtered
+	// rowset avoids materializing thousands of row references per query.
+	input := o.Input
+	var pred xtra.Scalar
+	if sel, ok := input.(*xtra.Select); ok {
+		pred = sel.Pred
+		input = sel.Input
+	}
+	in, err := ex.exec(input, outer)
 	if err != nil {
 		return nil, err
 	}
 	if o.GroupingSets != nil {
-		return ex.execGroupingSets(o, in, outer)
+		return ex.execGroupingSets(o, in, outer, pred)
 	}
 	full := make([]int, len(o.Groups))
 	for i := range full {
 		full[i] = i
 	}
-	return ex.aggregateSet(o, in, outer, full, nil)
+	return ex.aggregateSet(o, in, outer, full, pred)
 }
 
 // execGroupingSets evaluates each grouping set and unions the results,
 // padding non-grouped columns with NULL (native ROLLUP/CUBE execution for
 // targets with the capability).
-func (ex *executor) execGroupingSets(o *xtra.Agg, in *rowset, outer *env) (*rowset, error) {
+func (ex *executor) execGroupingSets(o *xtra.Agg, in *rowset, outer *env, pred xtra.Scalar) (*rowset, error) {
 	out := newRowset(o.Columns())
 	for _, set := range o.GroupingSets {
-		rs, err := ex.aggregateSet(o, in, outer, set, out.cols)
+		rs, err := ex.aggregateSet(o, in, outer, set, pred)
 		if err != nil {
 			return nil, err
 		}
@@ -168,47 +185,70 @@ func (ex *executor) execGroupingSets(o *xtra.Agg, in *rowset, outer *env) (*rows
 
 // aggregateSet performs hash aggregation grouping on the given subset of
 // o.Groups (indexes). Columns outside the subset yield NULL.
-func (ex *executor) aggregateSet(o *xtra.Agg, in *rowset, outer *env, set []int, _ []xtra.Col) (*rowset, error) {
+//
+// The per-row loop is allocation-free in the steady state: group keys are
+// hashed into a reused byte buffer (map lookups with a string([]byte)
+// conversion do not allocate), group key datums live in a scratch slice that
+// is only copied out when a new group first appears, and the per-group
+// aggregate states are a single slab allocation.
+func (ex *executor) aggregateSet(o *xtra.Agg, in *rowset, outer *env, set []int, pred xtra.Scalar) (*rowset, error) {
 	inSet := make([]bool, len(o.Groups))
 	for _, i := range set {
 		inSet[i] = true
 	}
 	type group struct {
 		keys []types.Datum
-		aggs []*aggState
+		aggs []aggState
+	}
+	newGroup := func(keyBuf []types.Datum) *group {
+		grp := &group{
+			keys: append([]types.Datum(nil), keyBuf...),
+			aggs: make([]aggState, len(o.Aggs)),
+		}
+		for i := range o.Aggs {
+			grp.aggs[i].init(&o.Aggs[i])
+		}
+		return grp
 	}
 	groups := map[string]*group{}
-	var order []string
+	var order []*group
+	keyBuf := make([]types.Datum, len(o.Groups))
+	var kb []byte
 
 	e := &env{rs: in, parent: outer}
 	for _, row := range in.rows {
 		e.row = row
-		keys := make([]types.Datum, len(o.Groups))
-		var kb []byte
+		if pred != nil {
+			d, err := ex.eval(pred, e)
+			if err != nil {
+				return nil, err
+			}
+			if !d.Bool() {
+				continue
+			}
+		}
+		kb = kb[:0]
 		for i, g := range o.Groups {
 			if !inSet[i] {
-				keys[i] = types.NewNull(g.Out.Type.Kind)
+				keyBuf[i] = types.NewNull(g.Out.Type.Kind)
 				continue
 			}
 			d, err := ex.eval(g.Expr, e)
 			if err != nil {
 				return nil, err
 			}
-			keys[i] = d
-			kb = append(kb, d.HashKey()...)
+			keyBuf[i] = d
+			kb = d.AppendHashKey(kb)
 			kb = append(kb, 0)
 		}
-		k := string(kb)
-		grp, ok := groups[k]
+		grp, ok := groups[string(kb)]
 		if !ok {
-			grp = &group{keys: keys}
-			for i := range o.Aggs {
-				grp.aggs = append(grp.aggs, newAggState(&o.Aggs[i]))
-			}
-			groups[k] = grp
-			order = append(order, k)
+			grp = newGroup(keyBuf)
+			groups[string(kb)] = grp
+			order = append(order, grp)
 		}
-		for _, as := range grp.aggs {
+		for i := range grp.aggs {
+			as := &grp.aggs[i]
 			d, err := ex.aggInput(as.def, e)
 			if err != nil {
 				return nil, err
@@ -220,20 +260,16 @@ func (ex *executor) aggregateSet(o *xtra.Agg, in *rowset, outer *env, set []int,
 	}
 	// Scalar aggregation over empty input yields one row of defaults.
 	if len(o.Groups) == 0 && len(groups) == 0 {
-		grp := &group{}
-		for i := range o.Aggs {
-			grp.aggs = append(grp.aggs, newAggState(&o.Aggs[i]))
-		}
-		groups[""] = grp
-		order = append(order, "")
+		grp := newGroup(nil)
+		order = append(order, grp)
 	}
 	out := newRowset(o.Columns())
-	for _, k := range order {
-		grp := groups[k]
+	out.rows = make([][]types.Datum, 0, len(order))
+	for _, grp := range order {
 		row := make([]types.Datum, 0, len(o.Groups)+len(o.Aggs))
 		row = append(row, grp.keys...)
-		for _, as := range grp.aggs {
-			row = append(row, as.result())
+		for i := range grp.aggs {
+			row = append(row, grp.aggs[i].result())
 		}
 		out.rows = append(out.rows, row)
 	}
@@ -251,22 +287,32 @@ func (ex *executor) execWindow(o *xtra.Window, outer *env) (*rowset, error) {
 	out := newRowset(o.Columns())
 	out.rows = make([][]types.Datum, len(in.rows))
 
-	// Evaluate partition keys and order keys per row.
+	// Evaluate partition keys and order keys per row. Partition keys are
+	// hashed into a reused buffer and mapped to dense partition indexes so
+	// the row loop does not allocate a key string per row.
 	e := &env{rs: in, parent: outer}
-	partKey := make([]string, len(in.rows))
+	partIdx := map[string]int{}
+	var parts [][]int
 	orderVals := make([][]types.Datum, len(in.rows))
+	var kb []byte
 	for i, row := range in.rows {
 		e.row = row
-		var kb []byte
+		kb = kb[:0]
 		for _, p := range o.PartitionBy {
 			d, err := ex.eval(p, e)
 			if err != nil {
 				return nil, err
 			}
-			kb = append(kb, d.HashKey()...)
+			kb = d.AppendHashKey(kb)
 			kb = append(kb, 0)
 		}
-		partKey[i] = string(kb)
+		pi, ok := partIdx[string(kb)]
+		if !ok {
+			pi = len(parts)
+			partIdx[string(kb)] = pi
+			parts = append(parts, nil)
+		}
+		parts[pi] = append(parts[pi], i)
 		kv := make([]types.Datum, len(o.OrderBy))
 		for j, k := range o.OrderBy {
 			d, err := ex.eval(k.Expr, e)
@@ -277,22 +323,13 @@ func (ex *executor) execWindow(o *xtra.Window, outer *env) (*rowset, error) {
 		}
 		orderVals[i] = kv
 	}
-	parts := map[string][]int{}
-	var partOrder []string
-	for i := range in.rows {
-		if _, ok := parts[partKey[i]]; !ok {
-			partOrder = append(partOrder, partKey[i])
-		}
-		parts[partKey[i]] = append(parts[partKey[i]], i)
-	}
 
 	nf := len(o.Funcs)
 	winVals := make([][]types.Datum, len(in.rows))
 	for i := range winVals {
 		winVals[i] = make([]types.Datum, nf)
 	}
-	for _, pk := range partOrder {
-		idxs := parts[pk]
+	for _, idxs := range parts {
 		if len(o.OrderBy) > 0 {
 			var sortErr error
 			sort.SliceStable(idxs, func(a, b int) bool {

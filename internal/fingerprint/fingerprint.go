@@ -78,6 +78,16 @@ type enc struct {
 	reason string
 }
 
+// hasLowerASCII reports whether s contains a lowercase ASCII letter.
+func hasLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'a' && c <= 'z' {
+			return true
+		}
+	}
+	return false
+}
+
 func (e *enc) fail(reason string) {
 	if e.ok {
 		e.ok = false
@@ -91,7 +101,20 @@ func (e *enc) s(parts ...string) {
 	}
 }
 
-func (e *enc) up(s string) { e.b.WriteString(strings.ToUpper(s)) }
+// up writes the ASCII-uppercase fold of s into the key without allocating an
+// intermediate string. Bare identifiers are ASCII by construction; quoted
+// identifiers with non-ASCII runes fold byte-wise, which keeps the key
+// deterministic (at worst two case-variant Unicode spellings miss sharing an
+// entry).
+func (e *enc) up(s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		e.b.WriteByte(c)
+	}
+}
 
 func (e *enc) num(n int) { e.b.WriteString(strconv.Itoa(n)) }
 
@@ -544,7 +567,12 @@ func (e *enc) expr(x sqlast.Expr, lift bool) {
 }
 
 func (e *enc) funcCall(t *sqlast.FuncCall, lift bool) {
-	name := strings.ToUpper(t.Name)
+	// Function names arrive pre-uppercased from the parser; ToUpper here is
+	// a no-op returning its input, kept for robustness on hand-built ASTs.
+	name := t.Name
+	if hasLowerASCII(name) {
+		name = strings.ToUpper(name)
+	}
 	e.s("f(", name, ";")
 	e.flag(t.Distinct)
 	e.flag(t.Star)

@@ -63,19 +63,20 @@ func ParseTemplate(marked string, n int) (t Template, complete bool) {
 // must not be called on an invalid template).
 func (t *Template) Valid() bool { return len(t.segs) > 0 }
 
-// Instantiate splices serialized literals into the template slots.
+// Instantiate splices serialized literals into the template slots in a
+// single pass: datums append their SQL form directly into the output buffer
+// (no per-literal string, no intermediate marked text).
 func (t *Template) Instantiate(lits []types.Datum) string {
 	if len(t.slots) == 0 {
 		return t.segs[0]
 	}
-	var b strings.Builder
-	b.Grow(t.fixed + 16*len(t.slots))
+	b := make([]byte, 0, t.fixed+16*len(t.slots))
 	for i, slot := range t.slots {
-		b.WriteString(t.segs[i])
-		b.WriteString(lits[slot].SQLLiteral())
+		b = append(b, t.segs[i]...)
+		b = lits[slot].AppendSQLLiteral(b)
 	}
-	b.WriteString(t.segs[len(t.segs)-1])
-	return b.String()
+	b = append(b, t.segs[len(t.segs)-1]...)
+	return string(b)
 }
 
 // Size approximates the retained byte size of the template for cache
@@ -90,10 +91,30 @@ func LitSig(lits []types.Datum) string {
 	if len(lits) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	var b []byte
 	for _, d := range lits {
-		b.WriteString(d.SQLLiteral())
-		b.WriteByte(0)
+		b = d.AppendSQLLiteral(b)
+		b = append(b, 0)
 	}
-	return b.String()
+	return string(b)
+}
+
+// LitSigEqual reports whether LitSig(lits) would equal sig, without building
+// the signature: each literal renders into a stack buffer and compares
+// against its segment of sig in place.
+func LitSigEqual(sig string, lits []types.Datum) bool {
+	if len(lits) == 0 {
+		return sig == ""
+	}
+	var buf [48]byte
+	rest := sig
+	for _, d := range lits {
+		b := d.AppendSQLLiteral(buf[:0])
+		// string([]byte) in a comparison does not allocate.
+		if len(rest) <= len(b) || rest[:len(b)] != string(b) || rest[len(b)] != 0 {
+			return false
+		}
+		rest = rest[len(b)+1:]
+	}
+	return len(rest) == 0
 }

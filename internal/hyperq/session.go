@@ -88,6 +88,12 @@ type Session struct {
 	// txnOpen tracks an open explicit transaction (BT without ET): like the
 	// replay log, it pins a pooled backend connection to the session.
 	txnOpen bool
+	// psc is the per-session parser arena (token slices, identifier
+	// interner, AST node slabs), reset at each request boundary. Safe
+	// because sessions process one request at a time and nothing retains a
+	// request's AST past its Run. Nested parses during a request (macro
+	// bodies, view definitions) deliberately bypass it.
+	psc parser.Scratch
 }
 
 type replayEntry struct {
@@ -260,7 +266,10 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	s.rawPlan = nil
 	sp := tr.Start("parse")
 	t0 := time.Now()
-	stmts, perr := parser.Parse(sql, parser.Teradata, rec)
+	// The previous request's AST is dead by now; rewind the arena and parse
+	// into it.
+	s.psc.Reset()
+	stmts, perr := parser.ParseWith(sql, parser.Teradata, rec, &s.psc)
 	d := time.Since(t0)
 	atomic.AddInt64(&s.g.metrics.translateNs, int64(d))
 	s.g.stages.Observe("parse", d)
@@ -507,7 +516,7 @@ func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorde
 		return s.bindTransformSerialize(stmt, rec, false)
 	}
 	key := s.cacheKey("F", fp.Key)
-	if e := cache.get(key); e != nil && (!e.exact || e.litsig == fingerprint.LitSig(fp.Literals)) {
+	if e := cache.get(key); e != nil && (!e.exact || fingerprint.LitSigEqual(e.litsig, fp.Literals)) {
 		atomic.AddInt64(&s.g.metrics.cacheHits, 1)
 		atomic.AddInt64(&s.obsCacheHits, 1)
 		rec.Merge(e.feats)

@@ -1,0 +1,125 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hyperq/internal/feature"
+)
+
+// TestUpperIdentMatchesToUpper checks the ASCII fold against strings.ToUpper
+// for identifier-shaped inputs, with and without a scratch interner.
+func TestUpperIdentMatchesToUpper(t *testing.T) {
+	cases := []string{
+		"", "a", "A", "sel", "SEL", "Sel", "l_returnflag", "L_RETURNFLAG",
+		"_x$9", "#tmp", "already_upper_ABC123", "sElEcT",
+		strings.Repeat("ab", 40), // > 64 bytes: ToUpper fallback path
+	}
+	sc := &Scratch{}
+	for _, in := range cases {
+		want := strings.ToUpper(in)
+		if got := upperIdent(in, nil); got != want {
+			t.Errorf("upperIdent(%q, nil) = %q, want %q", in, got, want)
+		}
+		if got := upperIdent(in, sc); got != want {
+			t.Errorf("upperIdent(%q, sc) = %q, want %q", in, got, want)
+		}
+	}
+	// Interned results must be stable: same string value on repeat lookups.
+	a := upperIdent("l_quantity", sc)
+	b := upperIdent("L_Quantity", sc)
+	if a != b || a != "L_QUANTITY" {
+		t.Errorf("interner disagreement: %q vs %q", a, b)
+	}
+}
+
+// TestScratchParseMatchesReference parses a statement mix with a reused
+// scratch and with none, and requires structurally identical ASTs and
+// identical error text. Queries repeat so slab reuse across Reset cycles is
+// exercised.
+func TestScratchParseMatchesReference(t *testing.T) {
+	queries := []string{
+		"SEL a, b FROM t WHERE x > 1 AND y < 2 QUALIFY RANK(a DESC) <= 10",
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t GROUP BY 1",
+		"INS t (1, 2, 'three')",
+		"UPDATE t SET a = a + 1 WHERE b IN (SEL c FROM u)",
+		"sel zeroifnull(amount), add_months(d, 3) from sales where region = 'WEST'",
+		"CREATE VOLATILE TABLE vt AS (SEL * FROM t) WITH DATA",
+		"SEL * FROM a, b WHERE a.k = b.k; DEL FROM t WHERE x = 1;",
+		"THIS IS NOT SQL ((",
+		"SEL FROM WHERE",
+	}
+	sc := &Scratch{}
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			ref, refErr := Parse(q, Teradata, &feature.Recorder{})
+			sc.Reset()
+			got, gotErr := ParseWith(q, Teradata, &feature.Recorder{}, sc)
+			if (refErr == nil) != (gotErr == nil) ||
+				(refErr != nil && refErr.Error() != gotErr.Error()) {
+				t.Fatalf("error divergence on %q: %v vs %v", q, refErr, gotErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("AST divergence on %q:\nref: %#v\ngot: %#v", q, ref, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentScratchParse runs many parser goroutines, each with its own
+// scratch, over a shared query mix. The shared state under test is the
+// read-only keyword intern table; the race detector (scripts/check.sh runs
+// the suite with -race) verifies no unsynchronized writes are reachable.
+func TestConcurrentScratchParse(t *testing.T) {
+	queries := []string{
+		"sel l_returnflag, count(*) from lineitem where l_quantity < 30 group by l_returnflag",
+		"SELECT Coalesce(NULLIFZERO(a), 0) FROM t WHERE d > DATE '2020-01-01'",
+		"upd accounts set balance = balance - 10 where id = 7",
+		"create macro m (x integer) as (select :x;)",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sc := &Scratch{}
+			for i := 0; i < 200; i++ {
+				q := queries[(seed+i)%len(queries)]
+				sc.Reset()
+				if _, err := ParseWith(q, Teradata, &feature.Recorder{}, sc); err != nil {
+					t.Errorf("parse %q: %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// FuzzScratchParseDifferential fuzzes the scratch-arena parser against the
+// fresh-allocation reference: any input must produce the same AST or the
+// same error from both builds.
+func FuzzScratchParseDifferential(f *testing.F) {
+	f.Add("SEL a FROM t WHERE x = 1")
+	f.Add("select case when a then 'x' end from t")
+	f.Add("ins t (1, 2); del from t;")
+	f.Add("SEL 'unterminated")
+	f.Add("qualify rank() over ()")
+	f.Fuzz(func(t *testing.T, src string) {
+		ref, refErr := Parse(src, Teradata, &feature.Recorder{})
+		sc := &Scratch{}
+		got, gotErr := ParseWith(src, Teradata, &feature.Recorder{}, sc)
+		if (refErr == nil) != (gotErr == nil) ||
+			(refErr != nil && refErr.Error() != gotErr.Error()) {
+			t.Fatalf("error divergence: %v vs %v", refErr, gotErr)
+		}
+		if refErr == nil && !reflect.DeepEqual(ref, got) {
+			t.Fatalf("AST divergence on %q", src)
+		}
+	})
+}

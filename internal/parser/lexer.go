@@ -30,6 +30,7 @@ const (
 type token struct {
 	kind tokenKind
 	text string // for idents: original spelling; for ops: the operator
+	up   string // for idents: uppercase form, computed once at lex time
 	pos  int    // byte offset for error reporting
 }
 
@@ -37,12 +38,18 @@ type lexer struct {
 	src    string
 	pos    int
 	tokens []token
+	sc     *Scratch
 }
 
 // lex tokenizes src fully; it returns an error with position context on any
-// invalid input.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+// invalid input. With a scratch the token slice is reused across requests
+// and identifier uppercase forms intern through the session tables.
+func lex(src string, sc *Scratch) ([]token, error) {
+	l := &lexer{src: src, sc: sc}
+	if sc != nil {
+		l.tokens = sc.toks[:0]
+		defer func() { sc.toks = l.tokens }()
+	}
 	for {
 		l.skipSpaceAndComments()
 		if l.pos >= len(l.src) {
@@ -126,7 +133,8 @@ func (l *lexer) lexIdent() {
 	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
 		l.pos++
 	}
-	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+	text := l.src[start:l.pos]
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: text, up: upperIdent(text, l.sc), pos: start})
 }
 
 func (l *lexer) lexNumber() {

@@ -38,20 +38,36 @@ type Parser struct {
 	i       int
 	dialect Dialect
 	rec     *feature.Recorder
+	sc      *Scratch
 }
 
 // New prepares a parser over src. rec may be nil.
 func New(src string, d Dialect, rec *feature.Recorder) (*Parser, error) {
-	toks, err := lex(src)
+	return NewWith(src, d, rec, nil)
+}
+
+// NewWith prepares a parser over src using a per-session scratch arena. sc
+// may be nil, in which case every path allocates fresh (the reference build
+// the differential tests compare against).
+func NewWith(src string, d Dialect, rec *feature.Recorder, sc *Scratch) (*Parser, error) {
+	toks, err := lex(src, sc)
 	if err != nil {
 		return nil, err
 	}
-	return &Parser{src: src, toks: toks, dialect: d, rec: rec}, nil
+	return &Parser{src: src, toks: toks, dialect: d, rec: rec, sc: sc}, nil
 }
 
 // Parse parses a script: one or more semicolon-separated statements.
 func Parse(src string, d Dialect, rec *feature.Recorder) ([]sqlast.Statement, error) {
-	p, err := New(src, d, rec)
+	return ParseWith(src, d, rec, nil)
+}
+
+// ParseWith parses a script using a per-session scratch arena. The returned
+// AST aliases the arena: it is valid only until the next sc.Reset. Nested
+// parses (macro bodies, view definitions) must not share the scratch of a
+// parse still in progress — pass nil for those.
+func ParseWith(src string, d Dialect, rec *feature.Recorder, sc *Scratch) ([]sqlast.Statement, error) {
+	p, err := NewWith(src, d, rec, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +137,7 @@ func (p *Parser) peekKW() string {
 	if t.kind != tokIdent {
 		return ""
 	}
-	return strings.ToUpper(t.text)
+	return t.up
 }
 
 func (p *Parser) peekKWAt(n int) string {
@@ -129,7 +145,7 @@ func (p *Parser) peekKWAt(n int) string {
 	if j >= len(p.toks) || p.toks[j].kind != tokIdent {
 		return ""
 	}
-	return strings.ToUpper(p.toks[j].text)
+	return p.toks[j].up
 }
 
 func (p *Parser) peekOpAt(n int) string {
@@ -173,14 +189,39 @@ func (p *Parser) expectOp(op string) error {
 	return nil
 }
 
-func (p *Parser) errorf(format string, args ...any) error {
-	t := p.cur()
-	near := t.text
-	if t.kind == tokEOF {
+// parseError defers all formatting — fmt.Sprintf, line counting, the near
+// snippet — to Error(), so constructing one on an error return costs a single
+// allocation and successful parses never pay for message rendering.
+type parseError struct {
+	src     string
+	dialect Dialect
+	near    string
+	eof     bool
+	pos     int
+	format  string
+	args    []any
+}
+
+func (e *parseError) Error() string {
+	near := e.near
+	if e.eof {
 		near = "<end of input>"
 	}
-	line := 1 + strings.Count(p.src[:minInt(t.pos, len(p.src))], "\n")
-	return fmt.Errorf("parser(%s): %s near %q (line %d)", p.dialect, fmt.Sprintf(format, args...), near, line)
+	line := 1 + strings.Count(e.src[:minInt(e.pos, len(e.src))], "\n")
+	return fmt.Sprintf("parser(%s): %s near %q (line %d)", e.dialect, fmt.Sprintf(e.format, e.args...), near, line)
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &parseError{
+		src:     p.src,
+		dialect: p.dialect,
+		near:    t.text,
+		eof:     t.kind == tokEOF,
+		pos:     t.pos,
+		format:  format,
+		args:    args,
+	}
 }
 
 func minInt(a, b int) int {
@@ -195,8 +236,8 @@ func (p *Parser) parseIdentName() (string, error) {
 	t := p.cur()
 	switch t.kind {
 	case tokIdent:
-		if reservedWords[strings.ToUpper(t.text)] {
-			return "", p.errorf("reserved word %s used as identifier", strings.ToUpper(t.text))
+		if reservedWords[t.up] {
+			return "", p.errorf("reserved word %s used as identifier", t.up)
 		}
 		p.i++
 		return t.text, nil
@@ -795,7 +836,7 @@ func (p *Parser) parseSelectItem() (sqlast.SelectItem, error) {
 	if p.acceptOp("*") {
 		return sqlast.SelectItem{Expr: &sqlast.Star{}}, nil
 	}
-	if (p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] || p.cur().kind == tokQuotedIdent) &&
+	if (p.cur().kind == tokIdent && !reservedWords[p.cur().up] || p.cur().kind == tokQuotedIdent) &&
 		p.peekOpAt(1) == "." && p.peekOpAt(2) == "*" {
 		tbl := p.cur().text
 		p.i += 3
@@ -812,7 +853,7 @@ func (p *Parser) parseSelectItem() (sqlast.SelectItem, error) {
 			return sqlast.SelectItem{}, err
 		}
 		item.Alias = name
-	} else if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+	} else if p.cur().kind == tokIdent && !reservedWords[p.cur().up] {
 		item.Alias = p.cur().text
 		p.i++
 	} else if p.cur().kind == tokQuotedIdent {
@@ -991,7 +1032,7 @@ func (p *Parser) parseTableAlias() (string, []string, error) {
 			return "", nil, err
 		}
 		alias = n
-	} else if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+	} else if p.cur().kind == tokIdent && !reservedWords[p.cur().up] {
 		alias = p.cur().text
 		p.i++
 	} else if p.cur().kind == tokQuotedIdent {

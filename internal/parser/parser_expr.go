@@ -25,7 +25,7 @@ func (p *Parser) parseOr() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &sqlast.BinExpr{Op: sqlast.BinOr, L: l, R: r}
+		l = p.newBinExpr(sqlast.BinOr, l, r)
 	}
 	return l, nil
 }
@@ -40,7 +40,7 @@ func (p *Parser) parseAnd() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &sqlast.BinExpr{Op: sqlast.BinAnd, L: l, R: r}
+		l = p.newBinExpr(sqlast.BinAnd, l, r)
 	}
 	return l, nil
 }
@@ -99,7 +99,7 @@ func (p *Parser) parseComparison() (sqlast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				l = &sqlast.BinExpr{Op: op, L: l, R: r}
+				l = p.newBinExpr(op, l, r)
 				continue
 			}
 		}
@@ -163,7 +163,7 @@ func (p *Parser) parseComparison() (sqlast.Expr, error) {
 			if not {
 				op = sqlast.BinNotLike
 			}
-			l = &sqlast.BinExpr{Op: op, L: l, R: r}
+			l = p.newBinExpr(op, l, r)
 		case "BETWEEN":
 			p.i++
 			lo, err := p.parseAdditive()
@@ -180,8 +180,8 @@ func (p *Parser) parseComparison() (sqlast.Expr, error) {
 			// Desugar to (l >= lo AND l <= hi), negated if NOT BETWEEN.
 			rng := &sqlast.BinExpr{
 				Op: sqlast.BinAnd,
-				L:  &sqlast.BinExpr{Op: sqlast.BinGE, L: l, R: lo},
-				R:  &sqlast.BinExpr{Op: sqlast.BinLE, L: l, R: hi},
+				L:  p.newBinExpr(sqlast.BinGE, l, lo),
+				R:  p.newBinExpr(sqlast.BinLE, l, hi),
 			}
 			if not {
 				l = &sqlast.UnaryExpr{Op: sqlast.UnaryNot, X: rng}
@@ -223,7 +223,7 @@ func (p *Parser) parseAdditive() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &sqlast.BinExpr{Op: op, L: l, R: r}
+		l = p.newBinExpr(op, l, r)
 	}
 }
 
@@ -254,7 +254,7 @@ func (p *Parser) parseMultiplicative() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &sqlast.BinExpr{Op: op, L: l, R: r}
+		l = p.newBinExpr(op, l, r)
 	}
 }
 
@@ -281,10 +281,10 @@ func (p *Parser) parsePrimary() (sqlast.Expr, error) {
 		if err != nil {
 			return nil, p.errorf("%v", err)
 		}
-		return &sqlast.Const{Val: d}, nil
+		return p.newConst(sqlast.Const{Val: d}), nil
 	case tokString:
 		p.i++
-		return &sqlast.Const{Val: types.NewString(t.text)}, nil
+		return p.newConst(sqlast.Const{Val: types.NewString(t.text)}), nil
 	case tokParam:
 		p.i++
 		if t.text == "" {
@@ -347,13 +347,13 @@ func (p *Parser) parseKeywordPrimary() (sqlast.Expr, error) {
 	switch p.peekKW() {
 	case "NULL":
 		p.i++
-		return &sqlast.Const{Val: types.NewNull(types.KindNull)}, nil
+		return p.newConst(sqlast.Const{Val: types.NewNull(types.KindNull)}), nil
 	case "TRUE":
 		p.i++
-		return &sqlast.Const{Val: types.NewBool(true)}, nil
+		return p.newConst(sqlast.Const{Val: types.NewBool(true)}), nil
 	case "FALSE":
 		p.i++
-		return &sqlast.Const{Val: types.NewBool(false)}, nil
+		return p.newConst(sqlast.Const{Val: types.NewBool(false)}), nil
 	case "DATE":
 		p.i++
 		if p.cur().kind == tokString {
@@ -362,7 +362,7 @@ func (p *Parser) parseKeywordPrimary() (sqlast.Expr, error) {
 				return nil, p.errorf("%v", err)
 			}
 			p.i++
-			return &sqlast.Const{Val: d}, nil
+			return p.newConst(sqlast.Const{Val: d}), nil
 		}
 		// Teradata bare DATE means the current date.
 		if p.dialect != Teradata {
@@ -377,7 +377,7 @@ func (p *Parser) parseKeywordPrimary() (sqlast.Expr, error) {
 				return nil, p.errorf("%v", err)
 			}
 			p.i++
-			return &sqlast.Const{Val: d}, nil
+			return p.newConst(sqlast.Const{Val: d}), nil
 		}
 	case "TIMESTAMP":
 		if p.toks[p.i+1].kind == tokString {
@@ -387,7 +387,7 @@ func (p *Parser) parseKeywordPrimary() (sqlast.Expr, error) {
 				return nil, p.errorf("%v", err)
 			}
 			p.i++
-			return &sqlast.Const{Val: d}, nil
+			return p.newConst(sqlast.Const{Val: d}), nil
 		}
 	case "INTERVAL":
 		p.i++
@@ -507,7 +507,7 @@ func (p *Parser) parseTypeName() (sqlast.TypeName, error) {
 	if t.kind != tokIdent {
 		return sqlast.TypeName{}, p.errorf("expected type name")
 	}
-	name := strings.ToUpper(t.text)
+	name := t.up
 	p.i++
 	if name == "DOUBLE" && p.acceptKW("PRECISION") {
 		return sqlast.TypeName{Name: "DOUBLE"}, nil
@@ -646,7 +646,7 @@ func (p *Parser) parseDateAdd() (sqlast.Expr, error) {
 		return nil, err
 	}
 	return &sqlast.FuncCall{Name: "DATEADD", Args: []sqlast.Expr{
-		&sqlast.Const{Val: types.NewString(unit)}, n, d,
+		p.newConst(sqlast.Const{Val: types.NewString(unit)}), n, d,
 	}}, nil
 }
 
@@ -726,12 +726,16 @@ var rankLike = map[string]bool{"RANK": true, "ROW_NUMBER": true, "DENSE_RANK": t
 // function.
 func (p *Parser) parseIdentChain() (sqlast.Expr, error) {
 	var parts []string
+	firstUp := "" // interned uppercase of the first part when it is a bare ident
 	for {
 		t := p.cur()
 		switch t.kind {
 		case tokIdent:
-			if len(parts) == 0 && reservedWords[strings.ToUpper(t.text)] {
-				return nil, p.errorf("unexpected keyword")
+			if len(parts) == 0 {
+				if reservedWords[t.up] {
+					return nil, p.errorf("unexpected keyword")
+				}
+				firstUp = t.up
 			}
 			parts = append(parts, t.text)
 		case tokQuotedIdent:
@@ -747,9 +751,13 @@ func (p *Parser) parseIdentChain() (sqlast.Expr, error) {
 		p.i++
 	}
 	if len(parts) == 1 && p.cur().kind == tokOp && p.cur().text == "(" {
-		return p.parseFuncCall(strings.ToUpper(parts[0]))
+		name := firstUp
+		if name == "" {
+			name = strings.ToUpper(parts[0])
+		}
+		return p.parseFuncCall(name)
 	}
-	return &sqlast.Ident{Parts: parts}, nil
+	return p.newIdent(parts), nil
 }
 
 func (p *Parser) parseFuncCall(name string) (sqlast.Expr, error) {
@@ -840,7 +848,7 @@ func (p *Parser) normalizeFunc(fc *sqlast.FuncCall) (sqlast.Expr, error) {
 		}
 		p.rec.Record(feature.ZeroIfNull)
 		fc = &sqlast.FuncCall{Name: "COALESCE", Args: []sqlast.Expr{
-			fc.Args[0], &sqlast.Const{Val: types.NewInt(0)},
+			fc.Args[0], p.newConst(sqlast.Const{Val: types.NewInt(0)}),
 		}}
 	case "NULLIFZERO":
 		if len(fc.Args) != 1 {
@@ -848,7 +856,7 @@ func (p *Parser) normalizeFunc(fc *sqlast.FuncCall) (sqlast.Expr, error) {
 		}
 		p.rec.Record(feature.NullIfZero)
 		fc = &sqlast.FuncCall{Name: "NULLIF", Args: []sqlast.Expr{
-			fc.Args[0], &sqlast.Const{Val: types.NewInt(0)},
+			fc.Args[0], p.newConst(sqlast.Const{Val: types.NewInt(0)}),
 		}}
 	case "CHARS", "CHARACTERS":
 		if p.dialect != Teradata {

@@ -105,7 +105,7 @@ func (p *Parser) looksLikeNameList() bool {
 			return false
 		}
 		t := p.toks[j]
-		if !(t.kind == tokQuotedIdent || (t.kind == tokIdent && !reservedWords[strings.ToUpper(t.text)])) {
+		if !(t.kind == tokQuotedIdent || (t.kind == tokIdent && !reservedWords[t.up])) {
 			return false
 		}
 		j++
@@ -152,7 +152,7 @@ func (p *Parser) parseUpdate() (sqlast.Statement, error) {
 			return nil, err
 		}
 		stmt.Alias = a
-	} else if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+	} else if p.cur().kind == tokIdent && !reservedWords[p.cur().up] {
 		stmt.Alias = p.cur().text
 		p.i++
 	}
@@ -212,7 +212,7 @@ func (p *Parser) parseDelete() (sqlast.Statement, error) {
 		return nil, err
 	}
 	stmt := &sqlast.DeleteStmt{Table: table}
-	if p.cur().kind == tokIdent && !reservedWords[strings.ToUpper(p.cur().text)] {
+	if p.cur().kind == tokIdent && !reservedWords[p.cur().up] {
 		stmt.Alias = p.cur().text
 		p.i++
 	}

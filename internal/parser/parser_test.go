@@ -35,7 +35,7 @@ func selectCore(t *testing.T, s sqlast.Statement) *sqlast.SelectCore {
 // --- lexer ---------------------------------------------------------------
 
 func TestLexerBasics(t *testing.T) {
-	toks, err := lex("SELECT a1, 'it''s', 1.5, \"Quoted Id\" -- comment\n FROM t /* block */ ;")
+	toks, err := lex("SELECT a1, 'it''s', 1.5, \"Quoted Id\" -- comment\n FROM t /* block */ ;", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestLexerBasics(t *testing.T) {
 
 func TestLexerErrors(t *testing.T) {
 	for _, src := range []string{"'unterminated", `"unterminated`, "a @ b", "a : b"} {
-		if _, err := lex(src); err == nil {
+		if _, err := lex(src, nil); err == nil {
 			t.Errorf("lex(%q) should fail", src)
 		}
 	}

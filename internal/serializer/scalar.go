@@ -116,28 +116,37 @@ func (w *writer) scalar(s xtra.Scalar) (string, error) {
 		}
 		return "CAST(" + inner + " AS " + x.To.String() + ")", nil
 	case *xtra.CaseExpr:
-		var sb strings.Builder
-		sb.WriteString("CASE")
+		// Nested scalar calls also use w.buf; stack discipline keeps this
+		// emission's prefix intact while they append and cut behind it.
+		mark := len(w.buf)
+		w.buf = append(w.buf, "CASE"...)
 		for _, wh := range x.Whens {
 			c, err := w.scalar(wh.Cond)
 			if err != nil {
+				w.buf = w.buf[:mark]
 				return "", err
 			}
 			t, err := w.scalar(wh.Then)
 			if err != nil {
+				w.buf = w.buf[:mark]
 				return "", err
 			}
-			sb.WriteString(" WHEN " + c + " THEN " + t)
+			w.buf = append(w.buf, " WHEN "...)
+			w.buf = append(w.buf, c...)
+			w.buf = append(w.buf, " THEN "...)
+			w.buf = append(w.buf, t...)
 		}
 		if x.Else != nil {
 			e, err := w.scalar(x.Else)
 			if err != nil {
+				w.buf = w.buf[:mark]
 				return "", err
 			}
-			sb.WriteString(" ELSE " + e)
+			w.buf = append(w.buf, " ELSE "...)
+			w.buf = append(w.buf, e...)
 		}
-		sb.WriteString(" END")
-		return sb.String(), nil
+		w.buf = append(w.buf, " END"...)
+		return w.cut(mark), nil
 	case *xtra.ExistsExpr:
 		sub, err := w.existsBody(x.Input)
 		if err != nil {

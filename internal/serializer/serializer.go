@@ -13,7 +13,9 @@ package serializer
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"hyperq/internal/dialect"
 	"hyperq/internal/feature"
@@ -26,6 +28,7 @@ type Serializer struct {
 	profile *dialect.Profile
 	rec     *feature.Recorder
 	lift    bool
+	noPool  bool
 }
 
 // New returns a serializer for the target.
@@ -42,6 +45,15 @@ func (s *Serializer) LiftLiterals() *Serializer {
 	return s
 }
 
+// NoPool switches the serializer to fresh-allocation mode: every call builds
+// its writer and scratch buffer from scratch instead of drawing from the
+// shared pool. Differential tests use it as the correctness reference the
+// pooled path must match byte for byte. Returns the receiver for chaining.
+func (s *Serializer) NoPool() *Serializer {
+	s.noPool = true
+	return s
+}
+
 // Serialize applies the target's serialization-stage transformations and
 // renders the statement as SQL text.
 func (s *Serializer) Serialize(stmt xtra.Statement) (string, error) {
@@ -55,8 +67,41 @@ func (s *Serializer) Serialize(stmt xtra.Statement) (string, error) {
 		}
 		stmt = out
 	}
-	w := &writer{profile: s.profile, names: map[xtra.ColumnID]string{}, workCTE: map[int]workInfo{}, lift: s.lift}
-	return w.statement(stmt)
+	if s.noPool {
+		w := &writer{profile: s.profile, names: map[xtra.ColumnID]string{}, workCTE: map[int]workInfo{}, lift: s.lift}
+		return w.statement(stmt)
+	}
+	w := writerPool.Get().(*writer)
+	w.profile, w.lift = s.profile, s.lift
+	sql, err := w.statement(stmt)
+	w.release()
+	return sql, err
+}
+
+// writerPool recycles emission state across Serialize calls. Statements are
+// serialized one at a time per session, but sessions run concurrently, so the
+// pool is the sharing boundary rather than a per-session field.
+var writerPool = sync.Pool{New: func() any {
+	return &writer{names: map[xtra.ColumnID]string{}, workCTE: map[int]workInfo{}}
+}}
+
+// maxRetainedBuf caps the scratch buffer a pooled writer keeps between
+// statements. Larger one-off statements still serialize fine; their oversized
+// buffers are just not pinned in the pool afterwards.
+const maxRetainedBuf = 64 << 10
+
+// release clears per-statement state and returns the writer to the pool.
+func (w *writer) release() {
+	clear(w.names)
+	clear(w.workCTE)
+	w.nextA, w.nextCTE = 0, 0
+	w.profile, w.lift = nil, false
+	if cap(w.buf) > maxRetainedBuf {
+		w.buf = nil
+	} else {
+		w.buf = w.buf[:0]
+	}
+	writerPool.Put(w)
 }
 
 // maxColID finds the highest allocated ColumnID so transformations can mint
@@ -130,7 +175,11 @@ type workInfo struct {
 	cols []string
 }
 
-// writer holds per-statement emission state.
+// writer holds per-statement emission state. buf is a scratch buffer shared
+// by every emission site in the writer under stack discipline: an emitter
+// records len(buf) on entry, appends freely (including through recursive
+// scalar/render calls, which restore the length before returning), and cuts
+// its own suffix out as the result string.
 type writer struct {
 	profile *dialect.Profile
 	names   map[xtra.ColumnID]string
@@ -138,15 +187,41 @@ type writer struct {
 	nextCTE int
 	workCTE map[int]workInfo
 	lift    bool
+	buf     []byte
+}
+
+// cut copies buf[mark:] out as a string and rewinds the scratch buffer to
+// mark, completing one stack-discipline emission.
+func (w *writer) cut(mark int) string {
+	s := string(w.buf[mark:])
+	w.buf = w.buf[:mark]
+	return s
+}
+
+// appendJoin appends parts separated by sep, the append-style strings.Join.
+func appendJoin(b []byte, parts []string, sep string) []byte {
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, sep...)
+		}
+		b = append(b, p...)
+	}
+	return b
 }
 
 func (w *writer) alias() string {
 	w.nextA++
-	return fmt.Sprintf("t%d", w.nextA)
+	return "t" + strconv.Itoa(w.nextA)
 }
 
 // colAlias is the exported SQL name of a column.
-func colAlias(id xtra.ColumnID) string { return fmt.Sprintf("c%d", id) }
+func colAlias(id xtra.ColumnID) string { return "c" + strconv.Itoa(int(id)) }
+
+// appendColAlias is the append-style colAlias.
+func appendColAlias(b []byte, id xtra.ColumnID) []byte {
+	b = append(b, 'c')
+	return strconv.AppendInt(b, int64(id), 10)
+}
 
 // quoteIdent renders an identifier, quoting only when necessary.
 func quoteIdent(name string) string {
@@ -193,45 +268,48 @@ type block struct {
 
 // render emits the block as a SELECT statement.
 func (w *writer) render(b *block) string {
-	var sb strings.Builder
-	sb.WriteString("SELECT ")
+	mark := len(w.buf)
+	w.buf = append(w.buf, "SELECT "...)
 	if b.distinct {
-		sb.WriteString("DISTINCT ")
+		w.buf = append(w.buf, "DISTINCT "...)
 	}
 	if b.sel != nil {
-		sb.WriteString(strings.Join(b.sel, ", "))
+		w.buf = appendJoin(w.buf, b.sel, ", ")
 	} else {
-		parts := make([]string, len(b.cols))
 		for i, c := range b.cols {
-			parts[i] = w.names[c.ID] + " AS " + colAlias(c.ID)
+			if i > 0 {
+				w.buf = append(w.buf, ", "...)
+			}
+			w.buf = append(w.buf, w.names[c.ID]...)
+			w.buf = append(w.buf, " AS "...)
+			w.buf = appendColAlias(w.buf, c.ID)
 		}
-		sb.WriteString(strings.Join(parts, ", "))
 	}
 	if b.fromSQL != "" {
-		sb.WriteString(" FROM ")
-		sb.WriteString(b.fromSQL)
+		w.buf = append(w.buf, " FROM "...)
+		w.buf = append(w.buf, b.fromSQL...)
 	}
 	if len(b.where) > 0 {
-		sb.WriteString(" WHERE ")
-		sb.WriteString(strings.Join(b.where, " AND "))
+		w.buf = append(w.buf, " WHERE "...)
+		w.buf = appendJoin(w.buf, b.where, " AND ")
 	}
 	if len(b.groupBy) > 0 {
-		sb.WriteString(" GROUP BY ")
-		sb.WriteString(strings.Join(b.groupBy, ", "))
+		w.buf = append(w.buf, " GROUP BY "...)
+		w.buf = appendJoin(w.buf, b.groupBy, ", ")
 	}
 	if len(b.having) > 0 {
-		sb.WriteString(" HAVING ")
-		sb.WriteString(strings.Join(b.having, " AND "))
+		w.buf = append(w.buf, " HAVING "...)
+		w.buf = appendJoin(w.buf, b.having, " AND ")
 	}
 	if len(b.orderBy) > 0 {
-		sb.WriteString(" ORDER BY ")
-		sb.WriteString(strings.Join(b.orderBy, ", "))
+		w.buf = append(w.buf, " ORDER BY "...)
+		w.buf = appendJoin(w.buf, b.orderBy, ", ")
 	}
 	if b.limitSQL != "" {
-		sb.WriteString(" ")
-		sb.WriteString(b.limitSQL)
+		w.buf = append(w.buf, ' ')
+		w.buf = append(w.buf, b.limitSQL...)
 	}
-	return sb.String()
+	return w.cut(mark)
 }
 
 // wrap turns the block into a derived table and returns a fresh pass-through

@@ -2,7 +2,6 @@ package serializer
 
 import (
 	"fmt"
-	"strings"
 
 	"hyperq/internal/catalog"
 	"hyperq/internal/xtra"
@@ -48,42 +47,52 @@ func (w *writer) statement(stmt xtra.Statement) (string, error) {
 }
 
 func (w *writer) insert(t *xtra.Insert) (string, error) {
-	var sb strings.Builder
-	sb.WriteString("INSERT INTO ")
-	sb.WriteString(quoteIdent(t.Table))
+	mark := len(w.buf)
+	w.buf = append(w.buf, "INSERT INTO "...)
+	w.buf = append(w.buf, quoteIdent(t.Table)...)
 	// Column list from target ordinals: the engine-side binder resolves
 	// names, so we emit the names of the input columns' targets. Since the
 	// Insert plan carries ordinals only, emission uses the input column
 	// names, which the binder set to the target column names.
-	cols := t.Input.Columns()
-	var names []string
-	for _, c := range cols {
-		names = append(names, quoteIdent(c.Name))
+	w.buf = append(w.buf, " ("...)
+	for i, c := range t.Input.Columns() {
+		if i > 0 {
+			w.buf = append(w.buf, ", "...)
+		}
+		w.buf = append(w.buf, quoteIdent(c.Name)...)
 	}
-	sb.WriteString(" (" + strings.Join(names, ", ") + ")")
+	w.buf = append(w.buf, ')')
 	if v, ok := t.Input.(*xtra.Values); ok {
-		sb.WriteString(" VALUES ")
-		var rows []string
-		for _, row := range v.Rows {
-			var vals []string
-			for _, e := range row {
+		w.buf = append(w.buf, " VALUES "...)
+		for ri, row := range v.Rows {
+			if ri > 0 {
+				w.buf = append(w.buf, ", "...)
+			}
+			w.buf = append(w.buf, '(')
+			for i, e := range row {
 				s, err := w.scalar(e)
 				if err != nil {
+					w.buf = w.buf[:mark]
 					return "", err
 				}
-				vals = append(vals, s)
+				if i > 0 {
+					w.buf = append(w.buf, ", "...)
+				}
+				w.buf = append(w.buf, s...)
 			}
-			rows = append(rows, "("+strings.Join(vals, ", ")+")")
+			w.buf = append(w.buf, ')')
 		}
-		sb.WriteString(strings.Join(rows, ", "))
-		return sb.String(), nil
+		return w.cut(mark), nil
 	}
 	b, err := w.fold(t.Input)
 	if err != nil {
+		w.buf = w.buf[:mark]
 		return "", err
 	}
-	sb.WriteString(" " + w.render(b))
-	return sb.String(), nil
+	sql := w.render(b)
+	w.buf = append(w.buf, ' ')
+	w.buf = append(w.buf, sql...)
+	return w.cut(mark), nil
 }
 
 func (w *writer) update(t *xtra.Update) (string, error) {
@@ -93,27 +102,35 @@ func (w *writer) update(t *xtra.Update) (string, error) {
 	for _, c := range t.Cols {
 		w.names[c.ID] = alias + "." + quoteIdent(c.Name)
 	}
-	var sb strings.Builder
-	sb.WriteString("UPDATE ")
-	sb.WriteString(quoteIdent(t.Table))
-	sb.WriteString(" AS " + alias + " SET ")
-	var sets []string
-	for _, a := range t.Assigns {
+	mark := len(w.buf)
+	w.buf = append(w.buf, "UPDATE "...)
+	w.buf = append(w.buf, quoteIdent(t.Table)...)
+	w.buf = append(w.buf, " AS "...)
+	w.buf = append(w.buf, alias...)
+	w.buf = append(w.buf, " SET "...)
+	for i, a := range t.Assigns {
 		e, err := w.scalar(a.Expr)
 		if err != nil {
+			w.buf = w.buf[:mark]
 			return "", err
 		}
-		sets = append(sets, quoteIdent(t.Cols[a.Ordinal].Name)+" = "+e)
+		if i > 0 {
+			w.buf = append(w.buf, ", "...)
+		}
+		w.buf = append(w.buf, quoteIdent(t.Cols[a.Ordinal].Name)...)
+		w.buf = append(w.buf, " = "...)
+		w.buf = append(w.buf, e...)
 	}
-	sb.WriteString(strings.Join(sets, ", "))
 	if t.Pred != nil {
 		p, err := w.scalar(t.Pred)
 		if err != nil {
+			w.buf = w.buf[:mark]
 			return "", err
 		}
-		sb.WriteString(" WHERE " + p)
+		w.buf = append(w.buf, " WHERE "...)
+		w.buf = append(w.buf, p...)
 	}
-	return sb.String(), nil
+	return w.cut(mark), nil
 }
 
 func (w *writer) delete(t *xtra.Delete) (string, error) {
@@ -121,53 +138,65 @@ func (w *writer) delete(t *xtra.Delete) (string, error) {
 	for _, c := range t.Cols {
 		w.names[c.ID] = alias + "." + quoteIdent(c.Name)
 	}
-	var sb strings.Builder
-	sb.WriteString("DELETE FROM ")
-	sb.WriteString(quoteIdent(t.Table))
-	sb.WriteString(" " + alias)
+	mark := len(w.buf)
+	w.buf = append(w.buf, "DELETE FROM "...)
+	w.buf = append(w.buf, quoteIdent(t.Table)...)
+	w.buf = append(w.buf, ' ')
+	w.buf = append(w.buf, alias...)
 	if t.Pred != nil {
 		p, err := w.scalar(t.Pred)
 		if err != nil {
+			w.buf = w.buf[:mark]
 			return "", err
 		}
-		sb.WriteString(" WHERE " + p)
+		w.buf = append(w.buf, " WHERE "...)
+		w.buf = append(w.buf, p...)
 	}
-	return sb.String(), nil
+	return w.cut(mark), nil
 }
 
 func (w *writer) createTable(t *xtra.CreateTable) (string, error) {
-	var sb strings.Builder
-	sb.WriteString("CREATE ")
+	mark := len(w.buf)
+	w.buf = append(w.buf, "CREATE "...)
 	switch t.Def.Kind {
 	case catalog.KindVolatile:
-		sb.WriteString("TEMPORARY ")
+		w.buf = append(w.buf, "TEMPORARY "...)
 	case catalog.KindGlobalTemporary:
-		sb.WriteString("GLOBAL TEMPORARY ")
+		w.buf = append(w.buf, "GLOBAL TEMPORARY "...)
 	}
-	sb.WriteString("TABLE ")
+	w.buf = append(w.buf, "TABLE "...)
 	if t.IfNotExists {
-		sb.WriteString("IF NOT EXISTS ")
+		w.buf = append(w.buf, "IF NOT EXISTS "...)
 	}
-	sb.WriteString(quoteIdent(t.Def.Name))
+	w.buf = append(w.buf, quoteIdent(t.Def.Name)...)
 	if t.Input != nil {
 		b, err := w.fold(t.Input)
 		if err != nil {
+			w.buf = w.buf[:mark]
 			return "", err
 		}
-		sb.WriteString(" AS (" + w.render(b) + ") WITH DATA")
-		return sb.String(), nil
+		sql := w.render(b)
+		w.buf = append(w.buf, " AS ("...)
+		w.buf = append(w.buf, sql...)
+		w.buf = append(w.buf, ") WITH DATA"...)
+		return w.cut(mark), nil
 	}
-	var cols []string
-	for _, c := range t.Def.Columns {
-		def := quoteIdent(c.Name) + " " + c.Type.String()
+	w.buf = append(w.buf, " ("...)
+	for i, c := range t.Def.Columns {
+		if i > 0 {
+			w.buf = append(w.buf, ", "...)
+		}
+		w.buf = append(w.buf, quoteIdent(c.Name)...)
+		w.buf = append(w.buf, ' ')
+		w.buf = append(w.buf, c.Type.String()...)
 		if c.NotNull {
-			def += " NOT NULL"
+			w.buf = append(w.buf, " NOT NULL"...)
 		}
 		if c.Default != "" {
-			def += " DEFAULT " + c.Default
+			w.buf = append(w.buf, " DEFAULT "...)
+			w.buf = append(w.buf, c.Default...)
 		}
-		cols = append(cols, def)
 	}
-	sb.WriteString(" (" + strings.Join(cols, ", ") + ")")
-	return sb.String(), nil
+	w.buf = append(w.buf, ')')
+	return w.cut(mark), nil
 }

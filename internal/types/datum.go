@@ -231,6 +231,96 @@ func (d Datum) SQLLiteral() string {
 	}
 }
 
+// AppendSQLLiteral appends the SQLLiteral rendering of d to b and returns
+// the extended slice. The translation cache splices literal vectors into
+// cached SQL templates with it so a fingerprint-tier hit serializes each
+// datum straight into the output buffer, with no intermediate strings. The
+// output is byte-identical to SQLLiteral for every kind.
+func (d Datum) AppendSQLLiteral(b []byte) []byte {
+	if d.Null {
+		return append(b, "NULL"...)
+	}
+	switch d.K {
+	case KindBool:
+		if d.I != 0 {
+			return append(b, "TRUE"...)
+		}
+		return append(b, "FALSE"...)
+	case KindInt, KindBigInt:
+		return strconv.AppendInt(b, d.I, 10)
+	case KindFloat:
+		return strconv.AppendFloat(b, d.F, 'g', -1, 64)
+	case KindDecimal:
+		return appendDecimal(b, d.I, int(d.Scale))
+	case KindChar, KindVarChar:
+		b = append(b, '\'')
+		s := d.S
+		for {
+			i := strings.IndexByte(s, '\'')
+			if i < 0 {
+				b = append(b, s...)
+				break
+			}
+			b = append(b, s[:i+1]...)
+			b = append(b, '\'')
+			s = s[i+1:]
+		}
+		return append(b, '\'')
+	case KindDate:
+		y, m, dd := DecodeDate(d.I)
+		if y >= 0 {
+			b = append(b, "DATE '"...)
+			b = appendZeroPad(b, int64(y), 4)
+			b = append(b, '-')
+			b = appendZeroPad(b, int64(m), 2)
+			b = append(b, '-')
+			b = appendZeroPad(b, int64(dd), 2)
+			return append(b, '\'')
+		}
+	case KindTime:
+		if d.I >= 0 {
+			b = append(b, "TIME '"...)
+			b = appendZeroPad(b, d.I/3600, 2)
+			b = append(b, ':')
+			b = appendZeroPad(b, (d.I/60)%60, 2)
+			b = append(b, ':')
+			b = appendZeroPad(b, d.I%60, 2)
+			return append(b, '\'')
+		}
+	}
+	// Rare kinds (TIMESTAMP, BYTES, INTERVAL, PERIOD) and defensive
+	// fallbacks go through the string renderer.
+	return append(b, d.SQLLiteral()...)
+}
+
+// appendZeroPad appends v (non-negative) zero-padded to at least width
+// digits, mirroring fmt's %0*d.
+func appendZeroPad(b []byte, v int64, width int) []byte {
+	digits := 1
+	for x := v; x >= 10; x /= 10 {
+		digits++
+	}
+	for ; digits < width; width-- {
+		b = append(b, '0')
+	}
+	return strconv.AppendInt(b, v, 10)
+}
+
+// appendDecimal appends the formatDecimal rendering.
+func appendDecimal(b []byte, scaled int64, scale int) []byte {
+	if scale == 0 {
+		return strconv.AppendInt(b, scaled, 10)
+	}
+	if scaled < 0 {
+		b = append(b, '-')
+		scaled = -scaled
+	}
+	p := pow10(scale)
+	b = strconv.AppendInt(b, scaled/p, 10)
+	b = append(b, '.')
+	return appendZeroPad(b, scaled%p, scale)
+}
+
 // Type returns the runtime type of the datum. CHAR/VARCHAR lengths and
 // DECIMAL precision are not tracked on values.
 func (d Datum) Type() T {
@@ -257,19 +347,26 @@ func (d Datum) Equal(o Datum) bool {
 // HashKey returns a string key under which the datum groups/dedups with SQL
 // equality semantics (numeric cross-kind equality, CHAR blank padding).
 func (d Datum) HashKey() string {
+	return string(d.AppendHashKey(nil))
+}
+
+// AppendHashKey appends the HashKey bytes to b and returns the extended
+// slice. Hot engine paths (hash aggregation, hash joins, DISTINCT) use it
+// with a reused buffer so key construction does not allocate per row.
+func (d Datum) AppendHashKey(b []byte) []byte {
 	if d.Null {
-		return "\x00N"
+		return append(b, '\x00', 'N')
 	}
 	switch d.K {
 	case KindBool:
-		return "b" + strconv.FormatInt(d.I, 10)
+		return strconv.AppendInt(append(b, 'b'), d.I, 10)
 	case KindInt, KindBigInt:
-		return "i" + strconv.FormatInt(d.I, 10)
+		return strconv.AppendInt(append(b, 'i'), d.I, 10)
 	case KindFloat:
 		if d.F == math.Trunc(d.F) && math.Abs(d.F) < 1e15 {
-			return "i" + strconv.FormatInt(int64(d.F), 10)
+			return strconv.AppendInt(append(b, 'i'), int64(d.F), 10)
 		}
-		return "f" + strconv.FormatFloat(d.F, 'b', -1, 64)
+		return strconv.AppendFloat(append(b, 'f'), d.F, 'b', -1, 64)
 	case KindDecimal:
 		// Normalize by stripping trailing zero scale.
 		v, s := d.I, int(d.Scale)
@@ -278,21 +375,23 @@ func (d Datum) HashKey() string {
 			s--
 		}
 		if s == 0 {
-			return "i" + strconv.FormatInt(v, 10)
+			return strconv.AppendInt(append(b, 'i'), v, 10)
 		}
-		return "d" + strconv.FormatInt(v, 10) + "@" + strconv.Itoa(s)
+		b = strconv.AppendInt(append(b, 'd'), v, 10)
+		return strconv.AppendInt(append(b, '@'), int64(s), 10)
 	case KindChar, KindVarChar:
-		return "s" + strings.TrimRight(d.S, " ")
+		return append(append(b, 's'), strings.TrimRight(d.S, " ")...)
 	case KindDate:
-		return "D" + strconv.FormatInt(d.I, 10)
+		return strconv.AppendInt(append(b, 'D'), d.I, 10)
 	case KindTime, KindTimestamp, KindInterval:
-		return "t" + strconv.FormatInt(d.I, 10)
+		return strconv.AppendInt(append(b, 't'), d.I, 10)
 	case KindBytes:
-		return "y" + d.S
+		return append(append(b, 'y'), d.S...)
 	case KindPeriod:
-		return "p" + strconv.FormatInt(d.PStart, 10) + ":" + strconv.FormatInt(d.PEnd, 10)
+		b = strconv.AppendInt(append(b, 'p'), d.PStart, 10)
+		return strconv.AppendInt(append(b, ':'), d.PEnd, 10)
 	}
-	return "?"
+	return append(b, '?')
 }
 
 // Compare compares two datums with SQL semantics, returning -1, 0 or +1.
