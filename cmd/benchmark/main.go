@@ -10,6 +10,7 @@
 //	benchmark -run fig9a -sf 0.01      # Figure 9(a) single-stream overhead
 //	benchmark -run fig9b -clients 10   # Figure 9(b) concurrent stress test
 //	benchmark -run pool -clients 16 -pool-size 4   # pool concurrency
+//	benchmark -run stream -rows 27000  # streamed vs buffered result path
 //	benchmark -run translate -sf 0.002 # translate-path allocation proof
 //
 // Flags -sf, -target, -clients, -iterations and -scale tune experiment size;
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool|translate")
+	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool|stream|translate")
 	target := flag.String("target", "CloudA", "target profile for Figure 9")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for Figure 9")
 	reps := flag.Int("reps", 1, "Figure 9(a) repetitions of the 22-query stream")
@@ -39,6 +40,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "Figure 8 workload scale (1.0 = paper-size workloads)")
 	poolSize := flag.Int("pool-size", 4, "pool experiment: backend connection pool capacity")
 	backendLatency := flag.Duration("backend-latency", 2*time.Millisecond, "pool experiment: injected per-request backend latency")
+	streamRows := flag.Int("rows", 27000, "stream experiment: result rows (~300 B each)")
+	resultBudget := flag.Int("result-budget", 1<<20, "stream experiment: per-session in-flight result byte budget")
+	streamDepth := flag.Int("stream-depth", 4, "stream experiment: pipeline stage depth in batches")
 	out := flag.String("out", "", "write the experiment result as JSON to this file (pool, translate)")
 	flag.Parse()
 
@@ -85,6 +89,23 @@ func main() {
 	})
 	runIf("pool", func() error {
 		res, err := bench.PoolBench(os.Stdout, prof, *sf, *clients, *poolSize, *iterations, *backendLatency)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
+	})
+	runIf("stream", func() error {
+		res, err := bench.StreamBench(os.Stdout, prof, *streamRows, *resultBudget, *streamDepth, 3)
 		if err != nil {
 			return err
 		}

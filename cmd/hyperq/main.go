@@ -52,6 +52,11 @@ func main() {
 	poolMaxWaiters := flag.Int("pool-max-waiters", 0, "max sessions queued for a pool connection before rejecting with 3134 (0 = 4x pool size, negative = unbounded)")
 	poolAcquireTimeout := flag.Duration("pool-acquire-timeout", 0, "max wait for a pool connection before failing with 3134 (0 = default 5s, negative = unbounded)")
 	poolMaxLifetime := flag.Duration("pool-max-lifetime", 0, "recycle pool connections older than this (0 = never)")
+	resultBudget := flag.Int("result-budget", 0, "per-session result memory budget in bytes; streamed results keep at most this many bytes in flight, buffered results spill past it (0 = default 64 MiB)")
+	resultMemoryCap := flag.Int("result-memory-cap", 0, "gateway-wide in-flight result memory hard cap in bytes; requests past it are shed with 3134 (0 = default 256 MiB, negative = unbounded)")
+	streamDepth := flag.Int("stream-depth", 0, "per-session streaming pipeline depth in batches per stage (0 = default 4)")
+	clientWriteTimeout := flag.Duration("client-write-timeout", 30*time.Second, "evict sessions whose client stalls a result write longer than this (0 = never)")
+	noStreaming := flag.Bool("no-streaming", false, "disable the streaming result path; materialize every result through the TDF store")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions, /pool on this HTTP address (empty = off)")
 	slowQueryMs := flag.Int("slow-query-ms", 200, "slow-query threshold for /traces/slow retention (0 = disable)")
 	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity")
@@ -124,6 +129,10 @@ func main() {
 		TraceRingSize:           *traceRing,
 		QueryLog:                qlog,
 		Pool:                    backendPool,
+		ResultBudget:            *resultBudget,
+		ResultMemoryCap:         *resultMemoryCap,
+		StreamDepth:             *streamDepth,
+		DisableStreaming:        *noStreaming,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -144,7 +153,7 @@ func main() {
 		go logStats(g, *statsEvery)
 	}
 	fmt.Printf("hyperq: virtualizing %s via %s, listening on %s\n", prof.Name, *backend, ln.Addr())
-	log.Fatal(tdp.Serve(ln, g))
+	log.Fatal(tdp.ServeOptions(ln, g, tdp.Options{WriteTimeout: *clientWriteTimeout}))
 }
 
 // logStats periodically logs the gateway metrics, including the translation
@@ -163,6 +172,9 @@ func logStats(g *hyperq.Gateway, every time.Duration) {
 			time.Duration(req.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond),
 			m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
 			m.Retries, m.Reconnects, m.Replays, m.BreakerOpen, m.ReplicaQuarantined)
+		log.Printf("hyperq: results streamed=%d buffered=%d inflight=%dB peak=%dB shed=%d evicted=%d midstream_failures=%d",
+			m.StreamedResults, m.BufferedResults, m.ResultInflightBytes, m.ResultPeakBytes,
+			m.ResultShed, m.ClientsEvicted, m.MidstreamFailures)
 		if ps, ok := g.PoolStats(); ok {
 			log.Printf("hyperq: pool size=%d in_use=%d idle=%d pinned=%d waiters=%d acquires=%d waits=%d wait p95=%s timeouts=%d rejected=%d shed=%d discarded=%d recycled=%d",
 				ps.Size, ps.InUse, ps.Idle, ps.Pinned, ps.Waiters,

@@ -34,20 +34,19 @@ func (s *Session) convertResult(frontCols []xtra.Col, br *cwp.StatementResult) (
 	if err := store.Seal(); err != nil {
 		return nil, nil, err
 	}
+	// Convert inside the drain callback so only one batch is resident at a
+	// time — collecting the batches first would re-materialize everything the
+	// store just spilled.
 	rows := make([][]types.Datum, 0, store.TotalRows())
-	var batches []*tdf.Batch
 	if err := store.Drain(func(b *tdf.Batch) error {
-		batches = append(batches, b)
+		converted, err := s.convertBatch(frontCols, b)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, converted...)
 		return nil
 	}); err != nil {
 		return nil, nil, err
-	}
-	for _, b := range batches {
-		converted, err := s.convertBatch(frontCols, b)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, converted...)
 	}
 	return cols, rows, nil
 }

@@ -29,6 +29,10 @@ func (s *Session) emulateRecursive(sel *sqlast.SelectStmt, rec *feature.Recorder
 	esp := s.tr.Start("emulate")
 	esp.Set("feature", "recursive")
 	defer esp.End()
+	// Registered before the cleanup defer (LIFO) so the work-table teardown
+	// still runs inside the composite.
+	s.enterComposite()
+	defer s.leaveComposite()
 	plan, err := emulate.PlanRecursive(sel.Query)
 	if err != nil {
 		return nil, failf(tdp.CodeSemanticError, "%v", err)
@@ -132,6 +136,8 @@ func (s *Session) createEmulationTable(name string, colNames []string, cols []xt
 	if err := s.pinBackend(); err != nil {
 		return err
 	}
+	s.enterComposite()
+	defer s.leaveComposite()
 	def := &catalog.Table{Name: name, Kind: catalog.KindVolatile}
 	ast := &sqlast.CreateTableStmt{Name: name, Volatile: true}
 	for i, c := range cols {
@@ -216,6 +222,8 @@ func (s *Session) execMerge(m *sqlast.MergeStmt, rec *feature.Recorder) ([]*Fron
 	esp := s.tr.Start("emulate")
 	esp.Set("feature", "merge")
 	defer esp.End()
+	s.enterComposite()
+	defer s.leaveComposite()
 	rec.Record(feature.Merge)
 	stmts, err := emulate.DecomposeMerge(m)
 	if err != nil {
@@ -245,5 +253,7 @@ func (s *Session) execSetTableInsert(ins *sqlast.InsertStmt, tbl *catalog.Table,
 	if err != nil {
 		return nil, failf(tdp.CodeSemanticError, "%v", err)
 	}
+	s.enterComposite()
+	defer s.leaveComposite()
 	return s.translateAndRun(rewritten, rec)
 }

@@ -39,8 +39,24 @@ type Config struct {
 	// populated through gateway DDL or imported from the backend at startup.
 	Catalog *catalog.Catalog
 	// ResultBudget is the Result Store's in-memory byte budget before
-	// buffered results spill to disk (§4.6). 0 selects 64 MiB.
+	// buffered results spill to disk (§4.6), and the per-session in-flight
+	// byte budget of the streaming result pipeline: a session's fetch stage
+	// stops pulling from the backend while more than this many bytes sit
+	// between fetch and frontend delivery. 0 selects 64 MiB.
 	ResultBudget int
+	// StreamDepth bounds the per-session streaming pipeline: each stage
+	// boundary (fetch→convert, convert→write) holds at most this many
+	// batches. 0 selects 4.
+	StreamDepth int
+	// ResultMemoryCap is the gateway-wide hard cap on in-flight streamed
+	// result bytes across all sessions. A request whose next batch would
+	// push the gauge past the cap is shed with CodeGatewaySaturated rather
+	// than ballooning gateway memory. 0 selects 256 MiB.
+	ResultMemoryCap int
+	// DisableStreaming forces every result set through the buffered
+	// TDF-store path (the pre-streaming behaviour) — the reference side of
+	// the streamed-vs-buffered differential tests.
+	DisableStreaming bool
 	// ConvertWorkers is the parallel result-conversion degree (§4.6:
 	// "conversion operation happens in parallel"). 0 selects GOMAXPROCS.
 	ConvertWorkers int
@@ -94,6 +110,12 @@ type Metrics struct {
 	cacheMisses int64
 	cacheBypass int64
 	cacheEvict  int64
+
+	streamedResults   int64
+	bufferedResults   int64
+	clientsEvicted    int64
+	midstreamFailures int64
+	resultShed        int64
 }
 
 // MetricsSnapshot is a point-in-time copy of the gateway metrics.
@@ -119,6 +141,20 @@ type MetricsSnapshot struct {
 	Replays            int64
 	BreakerOpen        int64
 	ReplicaQuarantined int64
+	// Streaming-result counters: result sets streamed through the bounded
+	// pipeline, result sets buffered through the TDF store, sessions evicted
+	// for stalling past the client write deadline, mid-stream backend
+	// failures surfaced to clients (never retried), and requests shed at the
+	// gateway-wide result memory cap.
+	StreamedResults   int64
+	BufferedResults   int64
+	ClientsEvicted    int64
+	MidstreamFailures int64
+	ResultShed        int64
+	// ResultInflightBytes is the gateway-wide in-flight streamed result
+	// gauge at snapshot time; ResultPeakBytes its high-water mark.
+	ResultInflightBytes int64
+	ResultPeakBytes     int64
 }
 
 // Overhead returns the fraction of total time spent in the gateway
@@ -151,6 +187,10 @@ type Gateway struct {
 	// live sessions, for the /sessions introspection endpoint.
 	sessMu   sync.Mutex
 	sessions map[uint64]*Session
+	// resultInflight is the gateway-wide in-flight streamed result byte
+	// gauge (the result-memory accountant); resultPeak its high-water mark.
+	resultInflight int64
+	resultPeak     int64
 }
 
 // New creates a gateway.
@@ -166,6 +206,12 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.ResultBudget == 0 {
 		cfg.ResultBudget = 64 << 20
+	}
+	if cfg.StreamDepth == 0 {
+		cfg.StreamDepth = 4
+	}
+	if cfg.ResultMemoryCap == 0 {
+		cfg.ResultMemoryCap = 256 << 20
 	}
 	if cfg.ConvertWorkers == 0 {
 		cfg.ConvertWorkers = runtime.GOMAXPROCS(0)
@@ -207,6 +253,14 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 		CacheMisses: atomic.LoadInt64(&g.metrics.cacheMisses),
 		CacheBypass: atomic.LoadInt64(&g.metrics.cacheBypass),
 		CacheEvict:  atomic.LoadInt64(&g.metrics.cacheEvict),
+
+		StreamedResults:     atomic.LoadInt64(&g.metrics.streamedResults),
+		BufferedResults:     atomic.LoadInt64(&g.metrics.bufferedResults),
+		ClientsEvicted:      atomic.LoadInt64(&g.metrics.clientsEvicted),
+		MidstreamFailures:   atomic.LoadInt64(&g.metrics.midstreamFailures),
+		ResultShed:          atomic.LoadInt64(&g.metrics.resultShed),
+		ResultInflightBytes: atomic.LoadInt64(&g.resultInflight),
+		ResultPeakBytes:     atomic.LoadInt64(&g.resultPeak),
 	}
 	if r := g.cfg.Resilience; r != nil {
 		snap.Retries = r.Retries()
@@ -235,6 +289,14 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.cacheMisses, 0)
 	atomic.StoreInt64(&g.metrics.cacheBypass, 0)
 	atomic.StoreInt64(&g.metrics.cacheEvict, 0)
+	atomic.StoreInt64(&g.metrics.streamedResults, 0)
+	atomic.StoreInt64(&g.metrics.bufferedResults, 0)
+	atomic.StoreInt64(&g.metrics.clientsEvicted, 0)
+	atomic.StoreInt64(&g.metrics.midstreamFailures, 0)
+	atomic.StoreInt64(&g.metrics.resultShed, 0)
+	// The in-flight gauge tracks live memory and is never reset; only the
+	// high-water mark rewinds.
+	atomic.StoreInt64(&g.resultPeak, atomic.LoadInt64(&g.resultInflight))
 	g.cfg.Resilience.Reset()
 	g.stages.Reset()
 	g.ring.Reset()
@@ -242,6 +304,46 @@ func (g *Gateway) ResetMetrics() {
 
 // Stages exposes the per-stage latency histograms.
 func (g *Gateway) Stages() *metrics.Stages { return g.stages }
+
+// --- result-memory accountant ----------------------------------------------
+
+// acquireResultBytes reserves n bytes of gateway-wide in-flight result
+// memory, returning false when the reservation would exceed the hard cap —
+// the caller must shed the request. A reservation is always granted when the
+// gauge is empty, so one batch larger than the entire cap degrades to
+// sequential admission instead of failing unconditionally.
+func (g *Gateway) acquireResultBytes(n int64) bool {
+	capBytes := int64(g.cfg.ResultMemoryCap)
+	for {
+		cur := atomic.LoadInt64(&g.resultInflight)
+		next := cur + n
+		if capBytes > 0 && next > capBytes && cur > 0 {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&g.resultInflight, cur, next) {
+			for {
+				peak := atomic.LoadInt64(&g.resultPeak)
+				if next <= peak || atomic.CompareAndSwapInt64(&g.resultPeak, peak, next) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// releaseResultBytes returns a reservation to the accountant.
+func (g *Gateway) releaseResultBytes(n int64) {
+	if n > 0 {
+		atomic.AddInt64(&g.resultInflight, -n)
+	}
+}
+
+// ResultInflightBytes reports the gateway-wide in-flight streamed result
+// bytes (the hyperq_result_inflight_bytes gauge).
+func (g *Gateway) ResultInflightBytes() int64 { return atomic.LoadInt64(&g.resultInflight) }
+
+// ResultPeakBytes reports the gauge's high-water mark since the last reset.
+func (g *Gateway) ResultPeakBytes() int64 { return atomic.LoadInt64(&g.resultPeak) }
 
 // PoolStats snapshots the backend connection pool, when one is configured.
 func (g *Gateway) PoolStats() (pool.Stats, bool) {
@@ -330,6 +432,10 @@ func classifyCode(code int) string {
 		return "pool-saturated"
 	case tdp.CodeWriteStateUnknown:
 		return "connection-lost"
+	case tdp.CodeClientTooSlow:
+		return "client-evicted"
+	case tdp.CodeResultInterrupted:
+		return "midstream"
 	case tdp.CodeObjectNotFound, tdp.CodeObjectExists, tdp.CodeMacroNotFound, tdp.CodeBadMacroArgument:
 		return "execution"
 	}
@@ -442,6 +548,10 @@ type FrontResult struct {
 	Rows     [][]types.Datum
 	Activity int64
 	Command  string
+	// sent marks a result whose parcels already went to the client (the
+	// streaming path writes rows as they arrive and returns a row-less
+	// marker); emitters must skip it instead of re-sending.
+	sent bool
 }
 
 // RequestError carries the frontend failure code.

@@ -60,6 +60,11 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"hyperq_backend_replays_total", "Session-state replays.", m.Replays},
 		{"hyperq_breaker_open_total", "Circuit-breaker open transitions.", m.BreakerOpen},
 		{"hyperq_replicas_quarantined_total", "Replicas quarantined from reads.", m.ReplicaQuarantined},
+		{"hyperq_results_streamed_total", "Result sets delivered through the streaming pipeline.", m.StreamedResults},
+		{"hyperq_results_buffered_total", "Result sets materialized through the TDF-store path.", m.BufferedResults},
+		{"hyperq_clients_evicted_total", "Sessions evicted for stalling past the client write deadline.", m.ClientsEvicted},
+		{"hyperq_midstream_failures_total", "Requests failed after rows had already reached the client.", m.MidstreamFailures},
+		{"hyperq_results_shed_total", "Requests shed at the gateway result-memory cap.", m.ResultShed},
 	}
 	for _, c := range counters {
 		metrics.WriteCounter(w, c.name, c.help, "counter", c.value)
@@ -68,6 +73,8 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	active := int64(len(g.sessions))
 	g.sessMu.Unlock()
 	metrics.WriteCounter(w, "hyperq_sessions_active", "Live frontend sessions.", "gauge", active)
+	metrics.WriteCounter(w, "hyperq_result_inflight_bytes", "Result bytes fetched from the backend and not yet delivered to clients.", "gauge", m.ResultInflightBytes)
+	metrics.WriteCounter(w, "hyperq_result_inflight_peak_bytes", "High-water mark of in-flight result bytes.", "gauge", m.ResultPeakBytes)
 
 	if ps, ok := g.PoolStats(); ok {
 		gauges := []struct {

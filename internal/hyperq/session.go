@@ -68,6 +68,15 @@ type Session struct {
 	// tr is the current request's trace; nil outside a request or when
 	// tracing is disabled.
 	tr *trace.Trace
+	// fw wraps the current request's frontend writer; nil outside a request
+	// or for local (non-wire) sessions. When set, Run emits each unit's
+	// parcels as it completes and streamable statements bypass result
+	// materialization entirely.
+	fw *frontWriter
+	// compositeDepth > 0 while inside a multi-statement emulation protocol
+	// (macro, MERGE, recursive query, SET-table insert); streaming is
+	// disabled there to preserve parcel order across sibling statements.
+	compositeDepth int
 	// Observability counters, read by the /sessions endpoint from other
 	// goroutines (hence atomics / atomic.Values).
 	obsRequests   int64
@@ -209,29 +218,41 @@ func (s *Session) Close() {
 }
 
 // Request implements tdp.SessionHandler: the full per-request pipeline.
+// Response parcels are emitted as statements complete (and, on the
+// streaming path, as rows arrive), so the paragraph below on failures is a
+// wire-visible contract: a request that fails partway may deliver earlier
+// statements' parcels before the failure parcel; the client discards them
+// (tdp.Client already does).
 func (s *Session) Request(sql string, w tdp.ResponseWriter) error {
+	fw := &frontWriter{s: s, w: w}
+	s.fw = fw
 	results, err := s.Run(sql)
+	s.fw = nil
 	if err != nil {
+		var fwe *frontWriteError
+		if errors.As(err, &fwe) {
+			if fwe.Timeout() {
+				// Slow-client eviction: the client stalled past the write
+				// deadline while results were in flight. Best-effort failure
+				// parcel (the socket buffer may still have room for a few
+				// bytes), then tear the connection down — the returned error
+				// makes the tdp server drop the connection, which releases
+				// the session and its pool lease.
+				atomic.AddInt64(&s.g.metrics.clientsEvicted, 1)
+				_ = w.Failure(tdp.CodeClientTooSlow, "client too slow: result delivery stalled past the write deadline; session evicted")
+			}
+			return fwe.err
+		}
 		re, ok := err.(*RequestError)
 		if !ok {
 			re = failf(tdp.CodeSyntaxError, "%v", err)
 		}
 		return w.Failure(re.Code, re.Message)
 	}
-	for _, res := range results {
-		if res.Cols != nil {
-			if err := w.BeginResultSet(res.Cols); err != nil {
-				return err
-			}
-			for _, row := range res.Rows {
-				if err := w.Row(row); err != nil {
-					return err
-				}
-			}
-		}
-		if err := w.EndStatement(res.Activity, res.Command); err != nil {
-			return err
-		}
+	// Run already emitted everything through fw; this pass only covers
+	// results a future path might leave unsent (writeResults skips sent).
+	if werr := fw.writeResults(results); werr != nil {
+		return werr
 	}
 	return nil
 }
@@ -260,6 +281,11 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	}()
 	rec := &feature.Recorder{}
 	if cached, done, cerr := s.runCachedRaw(sql, rec); done {
+		if cerr == nil && s.fw != nil {
+			if werr := s.fw.writeResults(cached); werr != nil {
+				return nil, werr
+			}
+		}
 		return cached, cerr
 	}
 	s.translateCalls = 0
@@ -290,12 +316,22 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 			s.finishRequest(rec)
 			return nil, err
 		}
+		unitResults := results
 		if unit.perStmtRows != nil {
+			unitResults = make([]*FrontResult, 0, len(unit.perStmtRows))
 			for _, n := range unit.perStmtRows {
-				out = append(out, &FrontResult{Activity: int64(n), Command: "INSERT"})
+				unitResults = append(unitResults, &FrontResult{Activity: int64(n), Command: "INSERT"})
 			}
-		} else {
-			out = append(out, results...)
+		}
+		out = append(out, unitResults...)
+		// With a frontend attached, each unit's parcels go out as the unit
+		// completes — a streamed later unit must not overtake an earlier
+		// unit's buffered response.
+		if s.fw != nil {
+			if werr := s.fw.writeResults(unitResults); werr != nil {
+				s.finishRequest(rec)
+				return nil, werr
+			}
 		}
 		atomic.AddInt64(&s.g.metrics.statements, 1)
 		atomic.AddInt64(&s.obsStatements, 1)
@@ -626,8 +662,16 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 
 // execTranslated executes translated SQL on the backend and converts the
 // results to the frontend representation. cmd maps the backend command tag
-// to the frontend activity name.
+// to the frontend activity name. Result-set statements with a frontend
+// attached take the streaming pipeline (bounded memory, backpressure to the
+// backend); everything else — and everything inside emulation composites —
+// keeps the materializing TDF-store path.
 func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
+	if s.streamable(frontCols) {
+		if se, ok := s.be.(odbc.StreamExecutor); ok {
+			return s.execStreamed(se, sql, frontCols, cmd)
+		}
+	}
 	s.tr.AddTranslated(sql)
 	sp := s.tr.Start("execute")
 	sp.Set("sql", sql)
@@ -660,6 +704,7 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 			if err != nil {
 				return nil, failf(tdp.CodeObjectNotFound, "result conversion: %v", err)
 			}
+			atomic.AddInt64(&s.g.metrics.bufferedResults, 1)
 			fr.Cols = cols
 			fr.Rows = rows
 			fr.Activity = int64(len(rows))
@@ -766,6 +811,10 @@ func (s *Session) execMacro(t *sqlast.ExecStmt, rec *feature.Recorder) ([]*Front
 	saved := s.macroParams
 	s.macroParams = params
 	defer func() { s.macroParams = saved }()
+	// A macro's inner statements answer as one composite response; streaming
+	// an inner result would reorder parcels.
+	s.enterComposite()
+	defer s.leaveComposite()
 	var out []*FrontResult
 	for _, stmt := range stmts {
 		results, err := s.execStatement(stmt, rec)

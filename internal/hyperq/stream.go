@@ -1,0 +1,396 @@
+package hyperq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperq/internal/odbc"
+	"hyperq/internal/tdf"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/cwp"
+	"hyperq/internal/wire/tdp"
+	"hyperq/internal/xtra"
+)
+
+// frontWriter wraps the request's tdp.ResponseWriter so both the streaming
+// pipeline and the buffered emitter share one code path, every write error
+// is wrapped as *frontWriteError (distinguishing frontend faults from
+// backend faults in the session's error handling), and the session knows
+// whether any row of the current request has reached the client — the point
+// past which backend failures become non-retryable.
+type frontWriter struct {
+	s *Session
+	w tdp.ResponseWriter
+	// rowsSent: at least one row parcel of the current request was handed to
+	// the frontend writer.
+	rowsSent bool
+}
+
+// frontWriteError marks a failure writing to the client connection. The
+// request cannot produce further output; the session tears the connection
+// down instead of emitting a failure parcel nobody can read.
+type frontWriteError struct {
+	err error
+}
+
+func (e *frontWriteError) Error() string { return "frontend write: " + e.err.Error() }
+func (e *frontWriteError) Unwrap() error { return e.err }
+
+// Timeout reports whether the write failed on the armed write deadline —
+// the slow-client eviction case, as opposed to a vanished client.
+func (e *frontWriteError) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.err, &ne) && ne.Timeout()
+}
+
+func (fw *frontWriter) begin(cols []tdp.ColumnDef) error {
+	if err := fw.w.BeginResultSet(cols); err != nil {
+		return &frontWriteError{err: err}
+	}
+	return nil
+}
+
+func (fw *frontWriter) row(row []types.Datum) error {
+	fw.rowsSent = true
+	if err := fw.w.Row(row); err != nil {
+		return &frontWriteError{err: err}
+	}
+	return nil
+}
+
+func (fw *frontWriter) end(activity int64, name string) error {
+	if err := fw.w.EndStatement(activity, name); err != nil {
+		return &frontWriteError{err: err}
+	}
+	return nil
+}
+
+// writeResults emits materialized results, skipping those the streaming
+// path already delivered; emitted results are marked sent so a second pass
+// is a no-op.
+func (fw *frontWriter) writeResults(results []*FrontResult) error {
+	for _, res := range results {
+		if res.sent {
+			continue
+		}
+		if res.Cols != nil {
+			if err := fw.begin(res.Cols); err != nil {
+				return err
+			}
+			for _, row := range res.Rows {
+				if err := fw.row(row); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fw.end(res.Activity, res.Command); err != nil {
+			return err
+		}
+		res.sent = true
+	}
+	return nil
+}
+
+// errResultShed aborts a streamed request whose next batch would push the
+// gateway-wide in-flight result memory past the hard cap.
+var errResultShed = errors.New("gateway result memory cap exceeded")
+
+// enterComposite/leaveComposite bracket multi-statement emulation protocols
+// (macros, MERGE, recursive queries, SET-table inserts). Inside a composite
+// the per-inner-statement results must accumulate and emit together in
+// statement order, so streaming is disabled: a streamed inner result would
+// hit the wire before an earlier sibling's buffered parcels.
+func (s *Session) enterComposite() { s.compositeDepth++ }
+func (s *Session) leaveComposite() { s.compositeDepth-- }
+
+// streamable selects the result path per statement (the tentpole's
+// fallback rule): stream only when a frontend is attached, the statement is
+// top-level (not inside an emulation composite), it produces a result set
+// (frontCols non-nil — DML/DDL activity counts are synthesized gateway-side
+// and stay buffered), streaming is not disabled, and the backend executor
+// supports it.
+func (s *Session) streamable(frontCols []xtra.Col) bool {
+	if s.fw == nil || s.compositeDepth > 0 || s.g.cfg.DisableStreaming || frontCols == nil {
+		return false
+	}
+	_, ok := s.be.(odbc.StreamExecutor)
+	return ok
+}
+
+// streamItem is one unit flowing through the three-stage pipeline. Exactly
+// one of cols / batch / rows / complete / err is meaningful; bytes carries
+// the accountant reservation attached to a batch until its rows are
+// delivered.
+type streamItem struct {
+	cols     []tdf.ColumnMeta
+	batch    *tdf.Batch
+	rows     [][]types.Datum
+	bytes    int64
+	complete bool
+	command  string
+	affected int64
+	err      error
+	convErr  bool // err came from result conversion, not the backend
+}
+
+// execStreamed is the streaming counterpart of execTranslated's
+// execute+convert phase: fetch → parallel convert → frontend write run as a
+// bounded three-stage pipeline. Backpressure is end-to-end: a slow client
+// stalls the write stage, the bounded channels fill, the fetch stage stops
+// pulling, and the backend's own socket writes block — bounded by the
+// per-session byte budget and the gateway-wide accountant rather than the
+// result size.
+func (s *Session) execStreamed(se odbc.StreamExecutor, sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
+	g := s.g
+	fw := s.fw
+	s.tr.AddTranslated(sql)
+	sp := s.tr.Start("execute")
+	sp.Set("sql", sql)
+	sp.Set("streamed", "true")
+	t1 := time.Now()
+	var convertNs int64
+	defer func() {
+		// The execute span covers the whole pipeline wall-clock; the convert
+		// stage's share is carved out so the Figure 9 split stays honest.
+		dc := time.Duration(atomic.LoadInt64(&convertNs))
+		d := time.Since(t1) - dc
+		if d < 0 {
+			d = 0
+		}
+		atomic.AddInt64(&g.metrics.executeNs, int64(d))
+		g.stages.Observe("execute", d)
+		atomic.AddInt64(&g.metrics.convertNs, int64(dc))
+		g.stages.Observe("convert", dc)
+		csp := s.tr.Start("convert")
+		csp.Set("streamed", "true")
+		csp.EndWithDuration(dc)
+		sp.EndWithDuration(d)
+	}()
+
+	pctx, cancel := context.WithCancel(s.requestCtx())
+	defer cancel()
+	st, err := se.ExecStream(pctx, sql)
+	if err != nil {
+		return nil, mapBackendError(err)
+	}
+	defer st.Close()
+
+	depth := g.cfg.StreamDepth
+	budget := int64(g.cfg.ResultBudget)
+	fetched := make(chan streamItem, depth)
+	converted := make(chan streamItem, depth)
+	released := make(chan struct{}, 1)
+
+	// sessInflight is this session's accounted bytes between fetch and
+	// delivery; acquired/releasedBytes are running totals reconciled once at
+	// pipeline teardown so no exit path can leak accountant reservations.
+	var sessInflight, acquired, releasedBytes int64
+
+	var wg sync.WaitGroup
+
+	// Stage 1: fetch. Pulls events off the backend stream, reserves result
+	// memory per batch, and forwards into the bounded channel.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(fetched)
+		// A well-formed stream ends (io.EOF) only after every statement's
+		// Complete event. EOF with a statement still open — or before any
+		// statement completed — is a backend that died mid-request and must
+		// surface as a failure, never as a successful empty result.
+		statementOpen, sawComplete := false, false
+		for {
+			ev, err := st.Next(pctx)
+			if err != nil {
+				if err == io.EOF && sawComplete && !statementOpen {
+					return
+				}
+				if err == io.EOF {
+					err = fmt.Errorf("backend stream ended without statement completion: %w", io.ErrUnexpectedEOF)
+				}
+				select {
+				case fetched <- streamItem{err: err}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			var item streamItem
+			switch ev.Kind {
+			case cwp.StreamMeta:
+				statementOpen = true
+				item = streamItem{cols: ev.Cols}
+			case cwp.StreamComplete:
+				statementOpen, sawComplete = false, true
+				item = streamItem{complete: true, command: ev.Command, affected: ev.Affected}
+			case cwp.StreamBatch:
+				size := int64(ev.Batch.EncodedSize())
+				// Per-session budget: wait for in-flight bytes to drain
+				// before admitting the next batch. A single batch larger
+				// than the whole budget is admitted while the pipeline is
+				// empty — holding it back forever would deadlock.
+				for atomic.LoadInt64(&sessInflight) > 0 &&
+					atomic.LoadInt64(&sessInflight)+size > budget {
+					select {
+					case <-released:
+					case <-pctx.Done():
+						return
+					}
+				}
+				if !g.acquireResultBytes(size) {
+					select {
+					case fetched <- streamItem{err: errResultShed}:
+					case <-pctx.Done():
+					}
+					return
+				}
+				atomic.AddInt64(&sessInflight, size)
+				atomic.AddInt64(&acquired, size)
+				item = streamItem{batch: ev.Batch, bytes: size}
+			default:
+				continue
+			}
+			select {
+			case fetched <- item:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 2: convert. One batch at a time in arrival order (so row order
+	// is preserved), each batch split across the §4.6 worker pool inside
+	// convertBatch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(converted)
+		for item := range fetched {
+			if item.batch != nil {
+				t := time.Now()
+				rows, err := s.convertBatch(frontCols, item.batch)
+				atomic.AddInt64(&convertNs, int64(time.Since(t)))
+				if err != nil {
+					item = streamItem{err: err, bytes: item.bytes, convErr: true}
+				} else {
+					item = streamItem{rows: rows, bytes: item.bytes}
+				}
+			}
+			select {
+			case converted <- item:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	// release hands a batch's bytes back to both budgets once its rows are
+	// with the frontend writer (kernel socket buffer included — userspace
+	// accounting only) and nudges the fetch stage.
+	release := func(n int64) {
+		if n <= 0 {
+			return
+		}
+		atomic.AddInt64(&sessInflight, -n)
+		atomic.AddInt64(&releasedBytes, n)
+		g.releaseResultBytes(n)
+		select {
+		case released <- struct{}{}:
+		default:
+		}
+	}
+
+	// Stage 3: write (this goroutine). Emits parcels in event order and
+	// tracks per-statement state exactly like the buffered emitter.
+	var out []*FrontResult
+	inResultSet := false
+	var rowCount int64
+	var streamErr error
+	convFail := false
+
+	cols := make([]tdp.ColumnDef, len(frontCols))
+	for i, c := range frontCols {
+		cols[i] = tdp.ColumnDef{Name: c.Name, Type: c.Type}
+	}
+
+writeLoop:
+	for item := range converted {
+		switch {
+		case item.err != nil:
+			release(item.bytes)
+			streamErr = item.err
+			convFail = item.convErr
+			break writeLoop
+		case item.cols != nil:
+			if len(item.cols) != len(frontCols) {
+				streamErr = fmt.Errorf("backend returned %d columns, expected %d", len(item.cols), len(frontCols))
+				convFail = true
+				break writeLoop
+			}
+			if streamErr = fw.begin(cols); streamErr != nil {
+				break writeLoop
+			}
+			inResultSet = true
+			rowCount = 0
+			atomic.AddInt64(&g.metrics.streamedResults, 1)
+		case item.complete:
+			activity := item.affected
+			name := cmd(item.command)
+			if inResultSet {
+				activity = rowCount
+			}
+			if streamErr = fw.end(activity, name); streamErr != nil {
+				break writeLoop
+			}
+			out = append(out, &FrontResult{Activity: activity, Command: name, sent: true})
+			inResultSet = false
+		default:
+			for _, row := range item.rows {
+				if streamErr = fw.row(row); streamErr != nil {
+					release(item.bytes)
+					break writeLoop
+				}
+			}
+			rowCount += int64(len(item.rows))
+			release(item.bytes)
+		}
+	}
+
+	// Teardown: stop the stages, join them, then reconcile the accountant —
+	// any reservation still attached to in-flight items is returned here, in
+	// exactly one place, so neither error paths nor cancellation can leak
+	// gauge bytes.
+	cancel()
+	wg.Wait()
+	if leak := atomic.LoadInt64(&acquired) - atomic.LoadInt64(&releasedBytes); leak > 0 {
+		g.releaseResultBytes(leak)
+	}
+
+	if streamErr == nil {
+		return out, nil
+	}
+	var fwe *frontWriteError
+	switch {
+	case errors.As(streamErr, &fwe):
+		// Frontend write failure: surfaced untyped so Request tears the
+		// client connection down (eviction or disconnect, not a SQL failure).
+		return nil, streamErr
+	case errors.Is(streamErr, errResultShed):
+		atomic.AddInt64(&g.metrics.resultShed, 1)
+		return nil, failf(tdp.CodeGatewaySaturated, "%v: request shed", streamErr)
+	case convFail:
+		return nil, failf(tdp.CodeObjectNotFound, "result conversion: %v", streamErr)
+	case fw.rowsSent:
+		// Rows already reached the client: the request cannot be retried or
+		// cleanly failed over — surface the interruption honestly.
+		atomic.AddInt64(&g.metrics.midstreamFailures, 1)
+		return nil, failf(tdp.CodeResultInterrupted, "result delivery interrupted: %v", streamErr)
+	default:
+		return nil, mapBackendError(streamErr)
+	}
+}

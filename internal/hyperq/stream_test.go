@@ -1,0 +1,644 @@
+package hyperq
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperq/internal/dialect"
+	"hyperq/internal/engine"
+	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/faultdriver"
+	"hyperq/internal/wire"
+	"hyperq/internal/wire/cwp"
+	"hyperq/internal/wire/tdp"
+	"hyperq/internal/workload/customer"
+)
+
+// bigRowPad is the filler column of the streaming tests' large results:
+// ~300 bytes per row, so a TDF batch (1024 rows) carries ~300 KiB.
+var bigRowPad = strings.Repeat("x", 300)
+
+// bigTableEngine loads a backend engine with BIG: seedN³ rows of ~300 bytes
+// each, built by a cross-join insert so the setup stays cheap.
+func bigTableEngine(t *testing.T, target *dialect.Profile, seedN int) *engine.Engine {
+	t.Helper()
+	eng := engine.New(target)
+	s := eng.NewSession()
+	for _, sql := range []string{
+		"CREATE TABLE SEED (I INT)",
+		"CREATE TABLE BIG (PAD VARCHAR(400))",
+	} {
+		if _, err := s.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < seedN; i++ {
+		if _, err := s.ExecSQL(fmt.Sprintf("INSERT INTO SEED VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ExecSQL(fmt.Sprintf(
+		"INSERT INTO BIG SELECT '%s' FROM SEED a, SEED b, SEED c", bigRowPad)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// streamStack is a full Figure 1(b) wire stack with a fault-injection layer
+// between the gateway and the backend: TDP client → gateway → resilient
+// driver → faultdriver → CWP → engine.
+type streamStack struct {
+	g    *Gateway
+	fd   *faultdriver.Driver
+	met  *odbc.ResilienceMetrics
+	addr string
+}
+
+func newStreamStack(t *testing.T, target *dialect.Profile, eng *engine.Engine, cfg Config, opts tdp.Options) *streamStack {
+	t.Helper()
+	return newStreamStackVia(t, target, eng, serveBackend(t, eng), cfg, opts)
+}
+
+// serveBackend starts a CWP server over eng and returns its address.
+func serveBackend(t *testing.T, eng *engine.Engine) string {
+	t.Helper()
+	beLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { beLn.Close() })
+	go func() { _ = cwp.Serve(beLn, eng) }()
+	return beLn.Addr().String()
+}
+
+// newStreamStackVia builds the gateway against an explicit backend address
+// (possibly a fault-injecting proxy rather than the backend itself).
+func newStreamStackVia(t *testing.T, target *dialect.Profile, eng *engine.Engine, beAddr string, cfg Config, opts tdp.Options) *streamStack {
+	t.Helper()
+	fd := faultdriver.New(&odbc.NetworkDriver{Addr: beAddr, User: "gw", Password: "pw"})
+	met := &odbc.ResilienceMetrics{}
+	cfg.Target = target
+	cfg.Driver = &odbc.ResilientDriver{Inner: fd, Metrics: met, Sleep: func(time.Duration) {}}
+	cfg.Catalog = eng.Catalog().Clone()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { feLn.Close() })
+	go func() { _ = tdp.ServeOptions(feLn, g, opts) }()
+	return &streamStack{g: g, fd: fd, met: met, addr: feLn.Addr().String()}
+}
+
+// rawConn is a parcel-level TDP client: the tests drive reads one parcel at
+// a time to model slow, stalled, and vanished clients.
+type rawConn struct {
+	t *testing.T
+	c net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b wire.Buffer
+	b.PutString("appuser")
+	b.PutString("secret")
+	if err := wire.WriteMessage(c, tdp.MsgLogon, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := wire.ReadMessage(c)
+	if err != nil || kind != tdp.MsgLogonOK {
+		t.Fatalf("logon: kind=0x%02x err=%v", kind, err)
+	}
+	return &rawConn{t: t, c: c}
+}
+
+func (r *rawConn) request(sql string) {
+	r.t.Helper()
+	var b wire.Buffer
+	b.PutString(sql)
+	if err := wire.WriteMessage(r.c, tdp.MsgRunRequest, b.Bytes()); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawConn) read() (byte, []byte, error) { return wire.ReadMessage(r.c) }
+
+func (r *rawConn) close() { _ = r.c.Close() }
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline, failing the test if it never does (a leaked pipeline stage,
+// stream reader, or server session).
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d, baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// The acceptance e2e: a result ~10x the configured result budget streams
+// through the gateway to a slow client while the gateway-wide in-flight
+// gauge never exceeds the budget, and is fully reconciled to zero after.
+func TestStreamingBackpressureBoundsResultMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large streamed result")
+	}
+	target := dialect.CloudA()
+	const budget = 768 << 10 // ~2.5 TDF batches of BIG rows
+	eng := bigTableEngine(t, target, 30) // 27000 rows × ~305 B ≈ 8.2 MiB ≥ 10× budget
+	st := newStreamStack(t, target, eng, Config{ResultBudget: budget}, tdp.Options{})
+
+	c := dialRaw(t, st.addr)
+	defer c.close()
+	c.request("SEL PAD FROM BIG")
+	var rows, payloadBytes int
+	for {
+		kind, payload, err := c.read()
+		if err != nil {
+			t.Fatalf("read after %d rows: %v", rows, err)
+		}
+		if kind == tdp.MsgRecord {
+			rows++
+			payloadBytes += len(payload)
+			if rows%2048 == 0 {
+				time.Sleep(2 * time.Millisecond) // slow reader: let backpressure engage
+			}
+		}
+		if kind == tdp.MsgFailure {
+			r := wire.NewReader(payload)
+			t.Fatalf("request failed [%d]: %s", r.U32(), r.String())
+		}
+		if kind == tdp.MsgEndRequest {
+			break
+		}
+	}
+	if rows != 27000 {
+		t.Fatalf("rows = %d, want 27000", rows)
+	}
+	if payloadBytes < 10*budget {
+		t.Fatalf("result size %d < 10x budget %d — test data too small to prove anything", payloadBytes, 10*budget)
+	}
+	m := st.g.MetricsSnapshot()
+	if m.StreamedResults != 1 {
+		t.Errorf("streamed results = %d, want 1", m.StreamedResults)
+	}
+	if m.ResultPeakBytes == 0 {
+		t.Error("in-flight peak is zero — the accountant never saw the result")
+	}
+	if m.ResultPeakBytes > budget {
+		t.Errorf("in-flight peak %d exceeded the %d budget", m.ResultPeakBytes, budget)
+	}
+	if got := st.g.ResultInflightBytes(); got != 0 {
+		t.Errorf("in-flight gauge = %d after request end, want 0 (leaked reservation)", got)
+	}
+}
+
+// A client that stops reading entirely is evicted once a frontend write
+// stalls past the write deadline; the gauge drains and the gateway stays
+// healthy for other sessions.
+func TestStreamingSlowClientEvicted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stalls for the write deadline")
+	}
+	target := dialect.CloudA()
+	eng := bigTableEngine(t, target, 40) // 64000 rows ≈ 19.5 MiB: larger than socket+bufio capacity
+	st := newStreamStack(t, target, eng, Config{ResultBudget: 512 << 10},
+		tdp.Options{WriteTimeout: 300 * time.Millisecond})
+
+	c := dialRaw(t, st.addr)
+	defer c.close()
+	// Shrink the client's receive window so kernel buffering cannot absorb
+	// the whole result while the application stalls.
+	if tc, ok := c.c.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(32 << 10)
+	}
+	c.request("SEL PAD FROM BIG")
+	// Read a little, then stall far past the write deadline.
+	for rows := 0; rows < 100; {
+		kind, _, err := c.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == tdp.MsgRecord {
+			rows++
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for st.g.MetricsSnapshot().ClientsEvicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never evicted")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The server tore the connection down: draining eventually errors (the
+	// best-effort 3136 failure parcel may or may not make it through the
+	// stalled socket).
+	_ = c.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sawFailure := false
+	for {
+		kind, payload, err := c.read()
+		if err != nil {
+			break
+		}
+		if kind == tdp.MsgFailure {
+			r := wire.NewReader(payload)
+			if code := int(r.U32()); code != tdp.CodeClientTooSlow {
+				t.Errorf("failure code = %d, want %d", code, tdp.CodeClientTooSlow)
+			}
+			sawFailure = true
+		}
+	}
+	t.Logf("eviction failure parcel delivered: %v", sawFailure)
+
+	// The gauge reconciles and the gateway still serves new sessions.
+	deadline = time.Now().Add(10 * time.Second)
+	for st.g.ResultInflightBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d after eviction", st.g.ResultInflightBytes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c2, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatalf("gateway unusable after eviction: %v", err)
+	}
+}
+
+// Killing the backend connection mid-result yields one clean 3610 failure:
+// no transparent retry, no hang, no goroutine leak, and the same session
+// keeps working on a replacement backend connection.
+func TestStreamingMidStreamBackendDeathFailsCleanly(t *testing.T) {
+	target := dialect.CloudA()
+	eng := bigTableEngine(t, target, 20) // 8000 rows: several batches
+	st := newStreamStack(t, target, eng, Config{}, tdp.Options{})
+
+	c, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Warm the session (logon + backend connect), then measure goroutines.
+	if _, err := c.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	execsBefore := st.fd.Execs()
+	connectsBefore := st.fd.Connects()
+
+	st.fd.DropAfterBatches(1)
+	_, err = c.Request("SEL PAD FROM BIG")
+	st.fd.DropAfterBatches(0)
+	re, ok := err.(*tdp.RequestError)
+	if !ok {
+		t.Fatalf("err = %v, want RequestError", err)
+	}
+	if re.Code != tdp.CodeResultInterrupted {
+		t.Fatalf("failure code = %d, want %d (result interrupted)", re.Code, tdp.CodeResultInterrupted)
+	}
+	if got := st.fd.Execs() - execsBefore; got != 1 {
+		t.Fatalf("backend execs for the interrupted request = %d, want 1 — rows reached the client, a retry would duplicate them", got)
+	}
+	if st.met.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", st.met.Retries())
+	}
+	if m := st.g.MetricsSnapshot(); m.MidstreamFailures != 1 {
+		t.Errorf("midstream failures = %d, want 1", m.MidstreamFailures)
+	}
+
+	// Same TDP session, next request: the dead backend connection was
+	// discarded, a replacement is dialed, and the request succeeds.
+	res, err := c.Request("SEL COUNT(*) FROM BIG")
+	if err != nil {
+		t.Fatalf("session did not survive the mid-stream failure: %v", err)
+	}
+	if len(res) != 1 || res[0].Rows[0][0].I != 8000 {
+		t.Fatalf("recovery result = %+v", res)
+	}
+	if got := st.fd.Connects() - connectsBefore; got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if got := st.g.ResultInflightBytes(); got != 0 {
+		t.Errorf("in-flight gauge = %d, want 0", got)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// A client that vanishes mid-result tears the whole pipeline down — backend
+// stream, pipeline stages, accountant reservations, server session — with
+// nothing leaked.
+func TestStreamingClientDisconnectReleasesEverything(t *testing.T) {
+	target := dialect.CloudA()
+	eng := bigTableEngine(t, target, 20)
+	st := newStreamStack(t, target, eng, Config{ResultBudget: 256 << 10}, tdp.Options{})
+
+	// Warm-up connection proves the stack works, and its teardown settles
+	// the baseline.
+	warm, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	c := dialRaw(t, st.addr)
+	c.request("SEL PAD FROM BIG")
+	for rows := 0; rows < 10; {
+		kind, _, err := c.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == tdp.MsgRecord {
+			rows++
+		}
+	}
+	c.close() // vanish mid-result
+
+	settleGoroutines(t, baseline)
+	deadline := time.Now().Add(5 * time.Second)
+	for st.g.ResultInflightBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d after disconnect", st.g.ResultInflightBytes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The gateway still serves new sessions.
+	c2, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The gateway-wide result-memory cap sheds a request whose next batch would
+// blow past it, with the saturation code clients already know how to retry.
+func TestStreamingResultMemoryCapSheds(t *testing.T) {
+	target := dialect.CloudA()
+	eng := bigTableEngine(t, target, 20)
+	// Cap below a single batch: the first is admitted (an empty gauge always
+	// admits, so one huge batch degrades to sequential admission), the
+	// second sheds.
+	st := newStreamStack(t, target, eng, Config{ResultMemoryCap: 100 << 10}, tdp.Options{})
+
+	c, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Request("SEL PAD FROM BIG")
+	re, ok := err.(*tdp.RequestError)
+	if !ok || re.Code != tdp.CodeGatewaySaturated {
+		t.Fatalf("err = %v, want gateway-saturated failure", err)
+	}
+	if m := st.g.MetricsSnapshot(); m.ResultShed != 1 {
+		t.Errorf("result shed = %d, want 1", m.ResultShed)
+	}
+	if got := st.g.ResultInflightBytes(); got != 0 {
+		t.Errorf("in-flight gauge = %d, want 0", got)
+	}
+	// The session survives shedding.
+	if _, err := c.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatalf("session did not survive the shed: %v", err)
+	}
+}
+
+// proxyBackend forwards TCP between the gateway and the backend, severing
+// each connection with a FIN after cutAfter backend→gateway bytes — a
+// backend process dying mid-result, as the gateway's socket actually sees
+// it (bare EOF, not a reset or an error parcel).
+func proxyBackend(t *testing.T, target string, cutAfter int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			up, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			down, err := net.Dial("tcp", target)
+			if err != nil {
+				up.Close()
+				continue
+			}
+			go func() {
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := up.Read(buf)
+					if n > 0 {
+						if _, werr := down.Write(buf[:n]); werr != nil {
+							break
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+			}()
+			go func() {
+				var total int
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := down.Read(buf)
+					if n > 0 {
+						if _, werr := up.Write(buf[:n]); werr != nil {
+							break
+						}
+						total += n
+						if total >= cutAfter {
+							break // the backend "dies" mid-result
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+				down.Close()
+				up.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// The regression this drives was found at the live wire: killing the
+// backend process mid-result used to surface as a SUCCESSFUL EMPTY response
+// (the socket EOF leaked through as the stream's clean-end sentinel and the
+// statement ended with neither Success nor Failure). It must be a single
+// clean failure with the result-interrupted code, no retry, and the session
+// must heal on its next request.
+func TestStreamingBackendProcessDeathSurfacesFailure(t *testing.T) {
+	target := dialect.CloudA()
+	eng := bigTableEngine(t, target, 30) // ~8.2 MiB result
+	// Sever each backend connection after ~1.5 MiB of response bytes: mid-way
+	// through the big result, but far past logon and the warm-up request.
+	proxyAddr := proxyBackend(t, serveBackend(t, eng), 1<<20+512<<10)
+	st := newStreamStackVia(t, target, eng, proxyAddr, Config{}, tdp.Options{})
+
+	c, err := tdp.Dial(st.addr, "appuser", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Request("SEL COUNT(*) FROM BIG"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Request("SEL PAD FROM BIG")
+	if err == nil {
+		t.Fatal("backend death mid-result produced a successful response")
+	}
+	re, ok := err.(*tdp.RequestError)
+	if !ok {
+		t.Fatalf("err = %v, want RequestError", err)
+	}
+	if re.Code != tdp.CodeResultInterrupted {
+		t.Fatalf("failure code = %d, want %d (result interrupted)", re.Code, tdp.CodeResultInterrupted)
+	}
+	if st.met.Retries() != 0 {
+		t.Errorf("retries = %d, want 0 — rows reached the client", st.met.Retries())
+	}
+	if m := st.g.MetricsSnapshot(); m.MidstreamFailures != 1 {
+		t.Errorf("midstream failures = %d, want 1", m.MidstreamFailures)
+	}
+	if got := st.g.ResultInflightBytes(); got != 0 {
+		t.Errorf("in-flight gauge = %d, want 0", got)
+	}
+
+	// The session heals: the dead connection is replaced (through a fresh
+	// proxy connection) and a small request succeeds.
+	res, err := c.Request("SEL COUNT(*) FROM BIG")
+	if err != nil {
+		t.Fatalf("session did not survive the backend death: %v", err)
+	}
+	if len(res) != 1 || res[0].Rows[0][0].I != 27000 {
+		t.Fatalf("recovery result = %+v", res)
+	}
+}
+
+// parcel is one captured wire parcel of a transcript.
+type parcel struct {
+	kind    byte
+	payload []byte
+}
+
+// transcript runs sql and captures every response parcel through the end of
+// the request.
+func transcript(t *testing.T, c *rawConn, sql string) []parcel {
+	t.Helper()
+	c.request(sql)
+	var out []parcel
+	for {
+		kind, payload, err := c.read()
+		if err != nil {
+			t.Fatalf("transcript read for %q: %v", sql, err)
+		}
+		out = append(out, parcel{kind: kind, payload: append([]byte(nil), payload...)})
+		if kind == tdp.MsgEndRequest {
+			return out
+		}
+	}
+}
+
+// The streamed and buffered result paths must be wire-indistinguishable:
+// replaying both customer workloads through two identically-loaded stacks —
+// one streaming, one with streaming disabled — must produce byte-identical
+// TDP parcel sequences for every request.
+func TestStreamingMatchesBufferedWireTranscripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two customer workloads twice")
+	}
+	target := dialect.CloudA()
+	newSide := func(disable bool) (*rawConn, *streamStack) {
+		eng := engine.New(target)
+		be := eng.NewSession()
+		for _, ddl := range customer.SchemaDDL {
+			if _, err := be.ExecSQL(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := newStreamStack(t, target, eng, Config{DisableStreaming: disable}, tdp.Options{})
+		c := dialRaw(t, st.addr)
+		for _, sql := range customer.GatewaySetup {
+			for _, p := range transcript(t, c, sql) {
+				if p.kind == tdp.MsgFailure {
+					t.Fatalf("setup %q failed: %s", sql, p.payload)
+				}
+			}
+		}
+		return c, st
+	}
+	streamed, streamedStack := newSide(false)
+	defer streamed.close()
+	buffered, bufferedStack := newSide(true)
+	defer buffered.close()
+
+	var queries []string
+	for _, spec := range []customer.Spec{customer.Workload1(), customer.Workload2()} {
+		spec.Distinct = 120
+		spec.Total = spec.Distinct
+		for _, q := range customer.Generate(spec) {
+			queries = append(queries, q.SQL)
+		}
+	}
+	var compared int
+	for _, sql := range queries {
+		a := transcript(t, streamed, sql)
+		b := transcript(t, buffered, sql)
+		if len(a) != len(b) {
+			t.Fatalf("parcel count diverged on %q: streamed %d, buffered %d", sql, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].kind != b[i].kind || !bytes.Equal(a[i].payload, b[i].payload) {
+				t.Fatalf("parcel %d diverged on %q:\nstreamed 0x%02x %x\nbuffered 0x%02x %x",
+					i, sql, a[i].kind, a[i].payload, b[i].kind, b[i].payload)
+			}
+		}
+		compared++
+	}
+	if compared < 200 {
+		t.Fatalf("only %d requests compared — workload generation drifted", compared)
+	}
+	// The comparison only means something if the two sides really took
+	// different result paths.
+	if n := streamedStack.g.MetricsSnapshot().StreamedResults; n == 0 {
+		t.Fatal("streaming side never streamed a result — both sides ran buffered")
+	}
+	if n := bufferedStack.g.MetricsSnapshot().StreamedResults; n != 0 {
+		t.Fatalf("buffered side streamed %d results despite DisableStreaming", n)
+	}
+}

@@ -194,11 +194,12 @@ func classifySpanUse(stack []ast.Node, id *ast.Ident) spanUseKind {
 		if p.X != id {
 			return useBenign // sp is the field name, not the receiver
 		}
-		// Method call on the span: End() terminates it, Event/Set/Status are
-		// benign. A selector not immediately called (method value) escapes.
+		// Method call on the span: End()/EndWithDuration() terminate it,
+		// Event/Set/Status are benign. A selector not immediately called
+		// (method value) escapes.
 		if len(stack) >= 3 {
 			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
-				if p.Sel.Name == "End" {
+				if p.Sel.Name == "End" || p.Sel.Name == "EndWithDuration" {
 					return useEnd
 				}
 				return useBenign

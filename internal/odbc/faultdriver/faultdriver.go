@@ -43,6 +43,17 @@ type Driver struct {
 	latency        time.Duration
 	execErrs       []error // queue consumed by exec attempts
 	sessions       []*Executor
+
+	batchLatency     time.Duration // delay before each streamed batch delivery
+	dropAfterBatches int           // streams opened from now on drop after this many batches
+	streamErrs       []streamFault // queue consumed by stream opens
+}
+
+// streamFault is one scripted mid-result failure: the stream delivers
+// afterBatches batches, then terminates with err.
+type streamFault struct {
+	afterBatches int
+	err          error
 }
 
 // New wraps inner.
@@ -100,6 +111,35 @@ func (d *Driver) QueueExecErrors(errs ...error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.execErrs = append(d.execErrs, errs...)
+}
+
+// SetBatchLatency injects a fixed delay before each streamed batch is
+// delivered (slow-backend streaming tests). 0 disables.
+func (d *Driver) SetBatchLatency(l time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.batchLatency = l
+}
+
+// DropAfterBatches arms streams opened from now on to drop the session's
+// connection after delivering n batches — the mid-result equivalent of a
+// backend death: the first n batches arrive, then the stream terminates
+// with ECONNRESET and the session is gone. 0 disables.
+func (d *Driver) DropAfterBatches(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropAfterBatches = n
+}
+
+// QueueStreamError injects err as the terminal result of the next opened
+// stream once it has delivered afterBatches batches. Unlike
+// DropAfterBatches the connection survives: the remaining events are
+// drained so the protocol stays synchronized, modelling a backend that
+// fails a later statement of a multi-statement request mid-result.
+func (d *Driver) QueueStreamError(afterBatches int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.streamErrs = append(d.streamErrs, streamFault{afterBatches: afterBatches, err: err})
 }
 
 // Connects reports the number of connect attempts observed.
@@ -216,6 +256,128 @@ func (e *Executor) ExecContext(ctx context.Context, sql string) ([]*cwp.Statemen
 	return e.inner.ExecContext(ctx, sql)
 }
 
+// ExecStream implements odbc.StreamExecutor: the pre-result faults behave
+// exactly like ExecContext (queued errors, latency, drops consume the same
+// scripts and counters), then the returned stream applies the mid-result
+// faults armed on the driver.
+func (e *Executor) ExecStream(ctx context.Context, sql string) (odbc.ResultStream, error) {
+	d := e.d
+	d.mu.Lock()
+	d.execs++
+	var queued error
+	if len(d.execErrs) > 0 {
+		queued = d.execErrs[0]
+		d.execErrs = d.execErrs[1:]
+	}
+	latency := d.latency
+	dropBatches := d.dropAfterBatches
+	var fault *streamFault
+	if len(d.streamErrs) > 0 {
+		f := d.streamErrs[0]
+		d.streamErrs = d.streamErrs[1:]
+		fault = &f
+	}
+	d.mu.Unlock()
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if queued != nil {
+		return nil, queued
+	}
+	e.mu.Lock()
+	if !e.dropped && e.dropAfter > 0 && e.execs >= e.dropAfter {
+		e.dropped = true
+		e.mu.Unlock()
+		_ = e.inner.Close()
+		return nil, Dropped()
+	}
+	if e.dropped {
+		e.mu.Unlock()
+		return nil, Dropped()
+	}
+	e.execs++
+	e.mu.Unlock()
+	inner, err := odbc.OpenStream(ctx, e.inner, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &faultStream{e: e, inner: inner, dropAfter: dropBatches, fault: fault}, nil
+}
+
+// faultStream counts delivered batches and fires the armed mid-result
+// faults between events, so the consumer sees exactly N good batches before
+// the failure.
+type faultStream struct {
+	e         *Executor
+	inner     odbc.ResultStream
+	dropAfter int
+	fault     *streamFault
+
+	batches     int
+	pendingDrop bool
+	err         error
+}
+
+func (s *faultStream) Next(ctx context.Context) (cwp.StreamEvent, error) {
+	if s.err != nil {
+		return cwp.StreamEvent{}, s.err
+	}
+	if s.pendingDrop {
+		s.e.drop()
+		_ = s.inner.Close()
+		s.err = Dropped()
+		return cwp.StreamEvent{}, s.err
+	}
+	if s.fault != nil && s.batches >= s.fault.afterBatches {
+		ferr := s.fault.err
+		s.fault = nil
+		// Drain the real stream to completion so the connection stays
+		// protocol-synchronized and reusable after the injected failure.
+		for {
+			if _, derr := s.inner.Next(ctx); derr != nil {
+				break
+			}
+		}
+		s.err = ferr
+		return cwp.StreamEvent{}, s.err
+	}
+	ev, err := s.inner.Next(ctx)
+	if err != nil {
+		s.err = err
+		return ev, err
+	}
+	if ev.Kind == cwp.StreamBatch {
+		s.e.d.mu.Lock()
+		lat := s.e.d.batchLatency
+		s.e.d.mu.Unlock()
+		if lat > 0 {
+			t := time.NewTimer(lat)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				s.err = ctx.Err()
+				return cwp.StreamEvent{}, s.err
+			}
+		}
+		s.batches++
+		if s.dropAfter > 0 && s.batches >= s.dropAfter {
+			s.pendingDrop = true
+		}
+	}
+	return ev, nil
+}
+
+func (s *faultStream) Close() error {
+	return s.inner.Close()
+}
+
 func (e *Executor) Close() error {
 	e.mu.Lock()
 	dropped := e.dropped
@@ -237,7 +399,8 @@ func (e *Executor) Close() error {
 }
 
 var (
-	_ odbc.Driver        = (*Driver)(nil)
-	_ odbc.ContextDriver = (*Driver)(nil)
-	_ odbc.Executor      = (*Executor)(nil)
+	_ odbc.Driver         = (*Driver)(nil)
+	_ odbc.ContextDriver  = (*Driver)(nil)
+	_ odbc.Executor       = (*Executor)(nil)
+	_ odbc.StreamExecutor = (*Executor)(nil)
 )

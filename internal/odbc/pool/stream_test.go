@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// streamPool builds a single-connection pool over the fake driver so lease
+// accounting is observable.
+func streamPool(t *testing.T) (*fakeDriver, *Pool) {
+	t.Helper()
+	d := &fakeDriver{}
+	p, err := New(Config{Driver: d, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return d, p
+}
+
+// A stream consumed to its terminal event returns the lease healthy: the
+// connection goes back to the pool and is reused.
+func TestSessionStreamLeaseReleasedClean(t *testing.T) {
+	d, p := streamPool(t)
+	sc := p.Session()
+	defer sc.Close()
+
+	for i := 0; i < 3; i++ {
+		st, err := sc.ExecStream(context.Background(), "SELECT 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := st.Next(context.Background()); err != nil {
+				if err != io.EOF {
+					t.Fatalf("terminal = %v", err)
+				}
+				break
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.InUse != 0 || st.Discarded != 0 {
+		t.Fatalf("in_use=%d discarded=%d after clean streams", st.InUse, st.Discarded)
+	}
+	if dials, _ := d.counts(); dials != 1 {
+		t.Fatalf("dials = %d, want 1 (connection reused)", dials)
+	}
+}
+
+// Abandoning a stream before its terminal event destroys the lease: the
+// backend session may be mid-result and cannot be handed to anyone else.
+func TestSessionStreamAbandonDestroysLease(t *testing.T) {
+	d, p := streamPool(t)
+	sc := p.Session()
+	defer sc.Close()
+
+	st, err := sc.ExecStream(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close without draining: the lease must be released broken.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.InUse != 0 || s.Discarded != 1 {
+		t.Fatalf("in_use=%d discarded=%d after abandoned stream", s.InUse, s.Discarded)
+	}
+	// The pool replaces the destroyed connection for the next request.
+	st, err = sc.ExecStream(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := st.Next(context.Background()); err != nil {
+			break
+		}
+	}
+	_ = st.Close()
+	if dials, _ := d.counts(); dials != 2 {
+		t.Fatalf("dials = %d, want 2", dials)
+	}
+}
+
+// Close is idempotent on the lease: a double Close must not double-release.
+func TestSessionStreamDoubleCloseReleasesOnce(t *testing.T) {
+	_, p := streamPool(t)
+	sc := p.Session()
+	defer sc.Close()
+
+	st, err := sc.ExecStream(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Close()
+	_ = st.Close()
+	if s := p.Stats(); s.Discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", s.Discarded)
+	}
+	// A fresh lease still works: the pool was not corrupted.
+	if _, err := sc.ExecContext(context.Background(), "SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+}

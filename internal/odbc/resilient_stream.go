@@ -1,0 +1,184 @@
+package odbc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hyperq/internal/trace"
+	"hyperq/internal/wire/cwp"
+)
+
+// ExecStream opens a fault-tolerant result stream. Retry semantics are
+// deliberately asymmetric around the first event: until something has been
+// received, no result has been observed by anyone, so the usual ExecContext
+// rules apply (transient failures retried with backoff, sent writes never
+// re-executed, breaker accounting identical). From the first event on, rows
+// may already have left the gateway toward the frontend — a re-execution
+// would silently duplicate or reorder delivered data — so mid-stream
+// failures are NEVER retried: they surface to the caller, the dead
+// connection is discarded, and the breaker records the connection failure.
+func (e *resilientExecutor) ExecStream(ctx context.Context, sql string) (ResultStream, error) {
+	d := e.d
+	d.init()
+	// The cancel is owned by the returned stream (released in Close); a
+	// deferred cancel here would kill the stream before it is consumed.
+	rctx, cancel := d.reqContext(ctx)
+	readOnly := isReadOnly(sql)
+	for attempt := 0; ; attempt++ {
+		if e.inner == nil {
+			if err := e.reconnect(rctx); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+		st, err := OpenStream(rctx, e.inner, sql)
+		if err == nil {
+			// Peek the first event so pre-result failures (backend rejected
+			// the request, connection died before any data) keep buffered
+			// retry semantics.
+			ev, perr := st.Next(rctx)
+			if perr == nil {
+				d.brk.Success()
+				return &resilientStream{e: e, inner: st, cancel: cancel, peeked: &ev, real: realStream(st)}, nil
+			}
+			_ = st.Close()
+			if perr == io.EOF {
+				// Empty request (no statements): clean immediate end.
+				d.brk.Success()
+				return &resilientStream{e: e, cancel: cancel, done: true, err: io.EOF}, nil
+			}
+			err = perr
+		}
+		if !ConnectionError(err) {
+			// The backend answered: the connection is healthy.
+			d.brk.Success()
+			if !Transient(err) || attempt >= d.maxRetries() {
+				cancel()
+				return nil, err
+			}
+			d.Metrics.addRetry()
+			trace.FromContext(rctx).Event("retry", "op", "exec-stream", "class", "retryable-abort", "attempt", strconv.Itoa(attempt+1))
+			d.backoff(rctx, attempt+1)
+			if rctx.Err() != nil {
+				cancel()
+				return nil, err
+			}
+			continue
+		}
+		// Connection-level failure before any event: the session is unusable.
+		d.brk.Failure()
+		_ = e.inner.Close()
+		e.inner = nil
+		if !readOnly {
+			cancel()
+			return nil, fmt.Errorf("%w (%v)", ErrMaybeApplied, err)
+		}
+		if attempt >= d.maxRetries() || rctx.Err() != nil {
+			cancel()
+			return nil, err
+		}
+		d.Metrics.addRetry()
+		trace.FromContext(rctx).Event("retry", "op", "exec-stream", "class", "connection-lost", "attempt", strconv.Itoa(attempt+1))
+		d.backoff(rctx, attempt+1)
+	}
+}
+
+// realStream reports whether st is backed by a live connection (as opposed
+// to the slice-backed buffered fallback, which has no connection to poison).
+func realStream(st ResultStream) bool {
+	_, buffered := st.(*bufferedStream)
+	return !buffered
+}
+
+// resilientStream forwards an inner stream while keeping the driver's
+// breaker and connection bookkeeping correct at termination. It never
+// retries: by construction it exists only after the first event arrived.
+type resilientStream struct {
+	e      *resilientExecutor
+	inner  ResultStream
+	cancel context.CancelFunc
+	peeked *cwp.StreamEvent
+	real   bool
+
+	done bool
+	err  error
+}
+
+func (s *resilientStream) Next(ctx context.Context) (cwp.StreamEvent, error) {
+	if s.peeked != nil {
+		ev := *s.peeked
+		s.peeked = nil
+		return ev, nil
+	}
+	if s.done {
+		if s.err != nil {
+			return cwp.StreamEvent{}, s.err
+		}
+		return cwp.StreamEvent{}, io.EOF
+	}
+	ev, err := s.inner.Next(ctx)
+	if err == nil {
+		return ev, nil
+	}
+	s.done = true
+	s.err = err
+	d := s.e.d
+	switch {
+	case err == io.EOF:
+		d.brk.Success()
+	case ConnectionError(err):
+		// Mid-stream connection death. Rows may already be with the
+		// frontend, so this is terminal — no retry — but the breaker and
+		// pool must learn the connection is gone.
+		d.brk.Failure()
+		s.dropInner()
+	case ctx.Err() != nil && err == ctx.Err():
+		// Consumer cancellation (client disconnect): not a backend fault —
+		// the breaker is untouched — but aborting mid-result broke the
+		// connection's protocol state.
+		if s.real {
+			s.dropInner()
+		}
+	default:
+		// Backend SQL failure mid-request: the connection answered and
+		// stays healthy.
+		d.brk.Success()
+	}
+	return cwp.StreamEvent{}, err
+}
+
+// dropInner discards the executor's dead connection so the next request
+// reconnects instead of reusing a broken session.
+func (s *resilientStream) dropInner() {
+	if s.e.inner != nil {
+		_ = s.e.inner.Close()
+		s.e.inner = nil
+	}
+}
+
+// Close releases the stream. Closing before the terminal event abandons the
+// in-flight request: a live connection cannot be re-synchronized mid-result,
+// so it is discarded (the breaker is untouched — abandonment is a consumer
+// decision, not a backend failure).
+func (s *resilientStream) Close() error {
+	defer s.cancel()
+	if !s.done {
+		s.done = true
+		s.err = fmt.Errorf("odbc: stream abandoned")
+		if s.real {
+			if s.inner != nil {
+				_ = s.inner.Close()
+			}
+			s.dropInner()
+			return nil
+		}
+	}
+	if s.inner != nil {
+		return s.inner.Close()
+	}
+	return nil
+}
+
+var _ StreamExecutor = (*resilientExecutor)(nil)

@@ -1,0 +1,257 @@
+package odbc_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"hyperq/internal/odbc"
+	"hyperq/internal/odbc/faultdriver"
+	"hyperq/internal/wire/cwp"
+)
+
+// drainStream reads a stream to its terminal error, returning the events.
+func drainStream(t *testing.T, st odbc.ResultStream) ([]cwp.StreamEvent, error) {
+	t.Helper()
+	var evs []cwp.StreamEvent
+	for {
+		ev, err := st.Next(context.Background())
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// countRows sums the rows across a stream's batch events.
+func countRows(evs []cwp.StreamEvent) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Kind == cwp.StreamBatch {
+			n += len(ev.Batch.Rows)
+		}
+	}
+	return n
+}
+
+// OpenStream on the in-process executor uses the buffered fallback; the
+// event sequence must match what the materializing path returns.
+func TestOpenStreamBufferedFallback(t *testing.T) {
+	eng := resilienceEngine(t)
+	ex, err := (&odbc.LocalDriver{Engine: eng, User: "u"}).Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	buffered, err := ex.ExecContext(context.Background(), "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := odbc.OpenStream(context.Background(), ex, "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	evs, serr := drainStream(t, st)
+	if serr != io.EOF {
+		t.Fatalf("terminal = %v, want io.EOF", serr)
+	}
+	if evs[0].Kind != cwp.StreamMeta || evs[len(evs)-1].Kind != cwp.StreamComplete {
+		t.Fatalf("event shape wrong: %+v", evs)
+	}
+	if got, want := countRows(evs), len(buffered[0].Rows()); got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+
+	// A rowless statement is a single Complete event.
+	st, err = odbc.OpenStream(context.Background(), ex, "INSERT INTO rt VALUES (4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	evs, serr = drainStream(t, st)
+	if serr != io.EOF || len(evs) != 1 || evs[0].Kind != cwp.StreamComplete || evs[0].Affected != 1 {
+		t.Fatalf("insert events = %+v (%v)", evs, serr)
+	}
+}
+
+// A connection failure before the first event keeps the buffered retry
+// semantics: reconnect, replay, re-execute — invisible to the consumer.
+func TestResilientStreamPreEventFailureRetried(t *testing.T) {
+	fd, rd, met := resilientStack(t)
+	ex, err := rd.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	se := ex.(odbc.StreamExecutor)
+
+	fd.QueueExecErrors(faultdriver.Dropped())
+	st, err := se.ExecStream(context.Background(), "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatalf("ExecStream after transient pre-event failure: %v", err)
+	}
+	evs, serr := drainStream(t, st)
+	if serr != io.EOF {
+		t.Fatalf("terminal = %v", serr)
+	}
+	if got := countRows(evs); got != 3 {
+		t.Fatalf("rows = %d, want 3", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if met.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", met.Retries())
+	}
+	if fd.Connects() != 2 {
+		t.Errorf("connects = %d, want 2 (reconnect after drop)", fd.Connects())
+	}
+}
+
+// A pre-event connection failure on a write surfaces ErrMaybeApplied — the
+// statement may have been applied, so it is never re-executed.
+func TestResilientStreamPreEventWriteNotRetried(t *testing.T) {
+	fd, rd, _ := resilientStack(t)
+	ex, err := rd.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	se := ex.(odbc.StreamExecutor)
+
+	fd.QueueExecErrors(faultdriver.Dropped())
+	_, err = se.ExecStream(context.Background(), "INSERT INTO rt VALUES (9)")
+	if !errors.Is(err, odbc.ErrMaybeApplied) {
+		t.Fatalf("err = %v, want ErrMaybeApplied", err)
+	}
+	if fd.Execs() != 1 {
+		t.Errorf("execs = %d, want 1 (no retry)", fd.Execs())
+	}
+}
+
+// Once a batch has been delivered, a connection death is terminal: no
+// retry, the dead connection is discarded, and the next request heals by
+// reconnecting.
+func TestResilientStreamMidStreamDropNotRetried(t *testing.T) {
+	fd, rd, met := resilientStack(t)
+	ex, err := rd.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	se := ex.(odbc.StreamExecutor)
+
+	fd.DropAfterBatches(1)
+	st, err := se.ExecStream(context.Background(), "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, serr := drainStream(t, st)
+	if serr == nil || serr == io.EOF {
+		t.Fatalf("terminal = %v, want connection error", serr)
+	}
+	if !odbc.ConnectionError(serr) {
+		t.Fatalf("terminal %v is not a connection error", serr)
+	}
+	if got := countRows(evs); got != 3 {
+		t.Fatalf("rows before drop = %d, want the full first batch (3)", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Execs() != 1 {
+		t.Fatalf("execs = %d, want 1 — a mid-stream failure must never re-execute", fd.Execs())
+	}
+	if met.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", met.Retries())
+	}
+
+	// The executor heals on the next request by reconnecting.
+	fd.DropAfterBatches(0)
+	res, err := ex.ExecContext(context.Background(), "SELECT COUNT(*) FROM rt")
+	if err != nil {
+		t.Fatalf("request after mid-stream drop: %v", err)
+	}
+	if res[0].Rows()[0][0].I != 3 {
+		t.Errorf("count = %v", res[0].Rows()[0][0])
+	}
+	if fd.Connects() != 2 {
+		t.Errorf("connects = %d, want 2", fd.Connects())
+	}
+}
+
+// A backend SQL failure mid-stream (error parcel, connection alive) is also
+// terminal for the stream, but the connection survives: the next request
+// reuses it without reconnecting.
+func TestResilientStreamMidStreamBackendErrorKeepsConnection(t *testing.T) {
+	fd, rd, _ := resilientStack(t)
+	ex, err := rd.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	se := ex.(odbc.StreamExecutor)
+
+	injected := &cwp.BackendError{Code: 3807, Message: "spool space exceeded mid-result"}
+	fd.QueueStreamError(1, injected)
+	st, err := se.ExecStream(context.Background(), "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, serr := drainStream(t, st)
+	var be *cwp.BackendError
+	if !errors.As(serr, &be) || be.Code != 3807 {
+		t.Fatalf("terminal = %v, want injected backend error", serr)
+	}
+	if got := countRows(evs); got != 3 {
+		t.Fatalf("rows before failure = %d, want 3", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fd.Execs() != 1 {
+		t.Fatalf("execs = %d, want 1 (no retry)", fd.Execs())
+	}
+	res, err := ex.ExecContext(context.Background(), "SELECT COUNT(*) FROM rt")
+	if err != nil {
+		t.Fatalf("request after backend error: %v", err)
+	}
+	if res[0].Rows()[0][0].I != 3 {
+		t.Errorf("count = %v", res[0].Rows()[0][0])
+	}
+	if fd.Connects() != 1 {
+		t.Errorf("connects = %d, want 1 — the connection must survive a SQL failure", fd.Connects())
+	}
+}
+
+// Abandoning a live stream mid-result discards the (unsynchronizable)
+// connection; the next request reconnects.
+func TestResilientStreamAbandonDiscardsConnection(t *testing.T) {
+	fd, rd, _ := resilientStack(t)
+	ex, err := rd.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	se := ex.(odbc.StreamExecutor)
+
+	st, err := se.ExecStream(context.Background(), "SELECT x FROM rt ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.ExecContext(context.Background(), "SELECT 1"); err != nil {
+		t.Fatalf("request after abandoned stream: %v", err)
+	}
+	if fd.Connects() != 2 {
+		t.Errorf("connects = %d, want 2 (abandoned stream discarded the connection)", fd.Connects())
+	}
+}

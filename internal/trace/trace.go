@@ -133,6 +133,18 @@ func (sp *Span) End() {
 	if sp == nil || sp.tr == nil {
 		return
 	}
+	sp.EndWithDuration(time.Duration(time.Since(sp.tr.start).Nanoseconds() - sp.StartNs))
+}
+
+// EndWithDuration closes the span like End but records the given duration
+// instead of wall-clock elapsed time. For concurrent pipeline stages whose
+// effective time is accumulated externally — e.g. the streaming convert
+// stage, which overlaps the execute span's wall-clock — so per-stage sums
+// stay additive instead of double-counting overlapped time.
+func (sp *Span) EndWithDuration(d time.Duration) {
+	if sp == nil || sp.tr == nil {
+		return
+	}
 	t := sp.tr
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -140,7 +152,7 @@ func (sp *Span) End() {
 		return
 	}
 	sp.ended = true
-	sp.DurNs = time.Since(t.start).Nanoseconds() - sp.StartNs
+	sp.DurNs = d.Nanoseconds()
 	t.StageNs[sp.Name] += sp.DurNs
 	// Pop the span (and anything opened after it that was left open — ending
 	// a parent implicitly ends abandoned children).

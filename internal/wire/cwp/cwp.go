@@ -188,7 +188,16 @@ func metaFromCols(cols []xtra.Col) []tdf.ColumnMeta {
 // Client is a CWP connection (the driver the ODBC Server abstraction loads).
 type Client struct {
 	conn net.Conn
+	// broken marks the connection protocol-desynchronized: an abandoned
+	// stream or a partially written request left responses in flight that no
+	// reader will consume. Every subsequent request fails fast.
+	broken bool
 }
+
+// Broken reports whether the connection's request/response protocol has been
+// desynchronized (e.g. by abandoning a Stream mid-result). A broken client
+// must be discarded; it cannot serve further requests.
+func (c *Client) Broken() bool { return c.broken }
 
 // Dial connects and authenticates.
 func Dial(addr, user, password string) (*Client, error) {
@@ -274,6 +283,9 @@ func (c *Client) ExecContext(ctx context.Context, sql string) ([]*StatementResul
 }
 
 func (c *Client) exec(sql string) ([]*StatementResult, error) {
+	if c.broken {
+		return nil, fmt.Errorf("cwp: connection desynchronized by abandoned stream: %w", net.ErrClosed)
+	}
 	var b wire.Buffer
 	b.PutString(sql)
 	if err := wire.WriteMessage(c.conn, MsgQuery, b.Bytes()); err != nil {
@@ -288,22 +300,9 @@ func (c *Client) exec(sql string) ([]*StatementResult, error) {
 		}
 		switch kind {
 		case MsgMeta:
-			r := wire.NewReader(payload)
-			n := int(r.U32())
-			cols := make([]tdf.ColumnMeta, n)
-			for i := 0; i < n; i++ {
-				name := r.String()
-				kind := types.Kind(r.U8())
-				scale := int(r.U32())
-				elem := types.Kind(r.U8())
-				t := types.T{Kind: kind, Scale: scale, Elem: elem}
-				if kind == types.KindDecimal {
-					t.Precision = 18
-				}
-				cols[i] = tdf.ColumnMeta{Name: name, Type: t}
-			}
-			if r.Err() != nil {
-				return nil, r.Err()
+			cols, err := decodeMeta(payload)
+			if err != nil {
+				return nil, err
 			}
 			cur.Cols = cols
 		case MsgBatch:

@@ -1,0 +1,296 @@
+package cwp
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"hyperq/internal/tdf"
+	"hyperq/internal/wire"
+)
+
+// collect drains a stream into its event list, returning the terminal error.
+func collect(t *testing.T, s *Stream) ([]StreamEvent, error) {
+	t.Helper()
+	var evs []StreamEvent
+	for {
+		ev, err := s.Next(context.Background())
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.ExecStreamContext(context.Background(), "SELECT a, b FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := collect(t, st)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v, want io.EOF", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want meta+batch+complete", len(evs))
+	}
+	if evs[0].Kind != StreamMeta || len(evs[0].Cols) != 2 || evs[0].Cols[0].Name != "a" {
+		t.Fatalf("meta = %+v", evs[0])
+	}
+	if evs[1].Kind != StreamBatch || len(evs[1].Batch.Rows) != 2 {
+		t.Fatalf("batch = %+v", evs[1])
+	}
+	if evs[2].Kind != StreamComplete || evs[2].Command != "SELECT" {
+		t.Fatalf("complete = %+v", evs[2])
+	}
+	if c.Broken() {
+		t.Fatal("clean stream broke the client")
+	}
+	// The connection stays synchronized for buffered requests.
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("post-stream exec: %v", err)
+	}
+}
+
+func TestStreamMultiStatement(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.ExecStreamContext(context.Background(), "INSERT INTO t (a) VALUES (7); SELECT COUNT(*) FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := collect(t, st)
+	if err != io.EOF {
+		t.Fatalf("terminal error = %v", err)
+	}
+	// INSERT: complete only. SELECT: meta+batch+complete.
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	if evs[0].Kind != StreamComplete || evs[0].Command != "INSERT" || evs[0].Affected != 1 {
+		t.Fatalf("insert complete = %+v", evs[0])
+	}
+	if evs[1].Kind != StreamMeta || evs[2].Kind != StreamBatch || evs[3].Kind != StreamComplete {
+		t.Fatalf("select events = %+v", evs[1:])
+	}
+}
+
+func TestStreamMatchesBufferedExec(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const sql = "SELECT a, b, c, d FROM t ORDER BY a"
+	buffered, err := c.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ExecStreamContext(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := collect(t, st)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	var streamed []*tdf.Batch
+	for _, ev := range evs {
+		if ev.Kind == StreamBatch {
+			streamed = append(streamed, ev.Batch)
+		}
+	}
+	if len(streamed) != len(buffered[0].Batches) {
+		t.Fatalf("batches: streamed %d, buffered %d", len(streamed), len(buffered[0].Batches))
+	}
+	want := buffered[0].Rows()
+	var got int
+	for _, b := range streamed {
+		got += len(b.Rows)
+	}
+	if got != len(want) {
+		t.Fatalf("rows: streamed %d, buffered %d", got, len(want))
+	}
+}
+
+func TestStreamBackendErrorKeepsConnection(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A failed request surfaces as a terminal *BackendError and the
+	// connection must stay synchronized (MsgError is followed by MsgEnd,
+	// which the stream consumes).
+	st, err := c.ExecStreamContext(context.Background(), "SELECT a FROM no_such_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = collect(t, st)
+	var be *BackendError
+	if !errors.As(err, &be) {
+		t.Fatalf("terminal error = %v, want *BackendError", err)
+	}
+	if c.Broken() {
+		t.Fatal("backend error broke the connection")
+	}
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("post-error exec: %v", err)
+	}
+}
+
+func TestStreamAbandonBreaksClient(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.ExecStreamContext(context.Background(), "SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon mid-result: the request/response protocol cannot be
+	// re-synchronized, so the connection must be condemned.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Broken() {
+		t.Fatal("abandoned stream did not mark the client broken")
+	}
+	if _, err := c.Exec("SELECT 1"); err == nil {
+		t.Fatal("exec on a desynchronized connection succeeded")
+	}
+	// Close is idempotent.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := c.ExecStreamContext(ctx, "SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume what is buffered, then cancel: Next must return promptly with
+	// the context error even if the reader is blocked.
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		var ev StreamEvent
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			ev, err = st.Next(ctx)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				_ = ev
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("terminal error = %v, want context.Canceled", err)
+			}
+			if !c.Broken() {
+				t.Fatal("cancelled stream did not mark the client broken")
+			}
+			_ = st.Close()
+			return
+		case <-deadline:
+			t.Fatal("Next did not return after cancel")
+		}
+	}
+}
+
+// A backend process dying mid-request sends a socket EOF where protocol
+// messages should be. io.EOF is the stream's clean-end sentinel, so the
+// reader must rewrite it — otherwise a killed backend reads as a successful
+// empty result.
+func TestStreamBackendDeathIsNotCleanEOF(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Minimal logon handshake, then die on the first query.
+		if kind, _, err := wire.ReadMessage(conn); err != nil || kind != MsgLogon {
+			conn.Close()
+			return
+		}
+		var ok wire.Buffer
+		ok.PutU32(1)
+		_ = wire.WriteMessage(conn, MsgLogonOK, ok.Bytes())
+		_, _, _ = wire.ReadMessage(conn) // the query
+		conn.Close()                     // FIN mid-request: reader sees bare EOF
+	}()
+
+	c, err := Dial(ln.Addr().String(), "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.ExecStreamContext(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, serr := collect(t, st)
+	if serr == nil || serr == io.EOF {
+		t.Fatalf("terminal = %v — backend death read as a clean end of stream", serr)
+	}
+	if !errors.Is(serr, io.ErrUnexpectedEOF) {
+		t.Fatalf("terminal = %v, want an unexpected-EOF connection error", serr)
+	}
+}
+
+func TestStreamExpiredContext(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr, "user", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecStreamContext(ctx, "SELECT 1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The request was never sent: the connection is still usable.
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("exec after refused stream: %v", err)
+	}
+}

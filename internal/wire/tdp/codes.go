@@ -30,8 +30,22 @@ const (
 
 	// CodeGatewaySaturated (3134) aborts a request that could not obtain a
 	// pooled backend connection in time (admission control or acquire
-	// timeout).
+	// timeout), or whose result would push the gateway's in-flight result
+	// memory past its hard cap.
 	CodeGatewaySaturated = 3134
+
+	// CodeClientTooSlow (3136) evicts a session whose client stopped reading
+	// its result: a frontend write stalled past the configured write
+	// deadline, so the gateway aborts the request and drops the connection
+	// rather than let one reader pin result memory indefinitely.
+	CodeClientTooSlow = 3136
+
+	// CodeResultInterrupted (3610) aborts a request whose result delivery
+	// failed after rows already reached the client: the backend died
+	// mid-result. The partial result must be discarded and the request
+	// resubmitted — the gateway never re-executes it transparently because
+	// delivered rows cannot be retracted.
+	CodeResultInterrupted = 3610
 
 	// Statement-level failure codes (Teradata DBC numbering).
 

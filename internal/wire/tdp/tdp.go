@@ -202,11 +202,26 @@ type Handler interface {
 	Logon(user, password string) (SessionHandler, error)
 }
 
+// Options tunes the server's per-connection behaviour.
+type Options struct {
+	// WriteTimeout bounds every response write to the client socket. A
+	// client that stops reading its result stalls the gateway's write once
+	// the socket buffer fills; past this deadline the write fails with a
+	// timeout error, letting the session evict the slow client instead of
+	// pinning result memory indefinitely. 0 leaves writes unbounded.
+	WriteTimeout time.Duration
+}
+
 // Serve accepts and serves connections until the listener closes.
 // Transient Accept failures (aborted handshakes, fd exhaustion) back off
 // briefly and keep the loop alive; only a closed listener or another
 // permanent error exits.
 func Serve(ln net.Listener, h Handler) error {
+	return ServeOptions(ln, h, Options{})
+}
+
+// ServeOptions is Serve with per-connection options.
+func ServeOptions(ln net.Listener, h Handler, opts Options) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -216,11 +231,11 @@ func Serve(ln net.Listener, h Handler) error {
 			}
 			return err
 		}
-		go serveConn(conn, h)
+		go serveConn(conn, h, opts)
 	}
 }
 
-func serveConn(conn net.Conn, h Handler) {
+func serveConn(conn net.Conn, h Handler, opts Options) {
 	defer conn.Close()
 	// One client session's panic must not take down the other sessions.
 	defer func() {
@@ -233,6 +248,17 @@ func serveConn(conn net.Conn, h Handler) {
 	// row. The buffer is flushed at statement boundaries and before reading
 	// the next request.
 	out := bufio.NewWriterSize(conn, 32<<10)
+	// arm pushes the write deadline forward before a response write. The
+	// deadline is per-write, not per-request: a client draining a long
+	// result slowly but steadily is fine; only a reader that stalls
+	// completely for WriteTimeout fails the write (with a net timeout
+	// error) and gets evicted.
+	arm := func() error {
+		if opts.WriteTimeout <= 0 {
+			return nil
+		}
+		return conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+	}
 	kind, payload, err := wire.ReadMessage(conn)
 	if err != nil || kind != MsgLogon {
 		return
@@ -269,14 +295,20 @@ func serveConn(conn net.Conn, h Handler) {
 		case MsgRunRequest:
 			r := wire.NewReader(payload)
 			sql := r.String()
-			w := &respWriter{out: out}
+			w := &respWriter{out: out, arm: arm}
 			if err := sess.Request(sql, w); err != nil {
 				return
 			}
 			if !w.failed {
+				if err := arm(); err != nil {
+					return
+				}
 				if err := wire.WriteMessage(out, MsgEndRequest, nil); err != nil {
 					return
 				}
+			}
+			if err := arm(); err != nil {
+				return
 			}
 			if err := out.Flush(); err != nil {
 				return
@@ -291,18 +323,32 @@ func serveConn(conn net.Conn, h Handler) {
 
 type respWriter struct {
 	out    *bufio.Writer
+	arm    func() error // refresh the socket write deadline (nil-safe)
 	cols   []ColumnDef
 	failed bool
 }
 
+func (w *respWriter) armWrite() error {
+	if w.arm == nil {
+		return nil
+	}
+	return w.arm()
+}
+
 func (w *respWriter) BeginResultSet(cols []ColumnDef) error {
 	w.cols = cols
+	if err := w.armWrite(); err != nil {
+		return err
+	}
 	return wire.WriteMessage(w.out, MsgStmtInfo, encodeStmtInfo(cols))
 }
 
 func (w *respWriter) Row(row []types.Datum) error {
 	p, err := encodeRow(w.cols, row)
 	if err != nil {
+		return err
+	}
+	if err := w.armWrite(); err != nil {
 		return err
 	}
 	return wire.WriteMessage(w.out, MsgRecord, p)
@@ -313,6 +359,9 @@ func (w *respWriter) EndStatement(activity int64, name string) error {
 	var b wire.Buffer
 	b.PutI64(activity)
 	b.PutString(name)
+	if err := w.armWrite(); err != nil {
+		return err
+	}
 	if err := wire.WriteMessage(w.out, MsgSuccess, b.Bytes()); err != nil {
 		return err
 	}
@@ -324,6 +373,9 @@ func (w *respWriter) Failure(code int, msg string) error {
 	var b wire.Buffer
 	b.PutU32(uint32(code))
 	b.PutString(msg)
+	if err := w.armWrite(); err != nil {
+		return err
+	}
 	if err := wire.WriteMessage(w.out, MsgFailure, b.Bytes()); err != nil {
 		return err
 	}

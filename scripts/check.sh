@@ -51,6 +51,12 @@ echo "check.sh: translate alloc gate OK: ${allocs} allocs/op <= ${alloc_budget},
 # under the race detector with fresh state (no cached result).
 go test -race -count=1 -timeout 120s -run 'TestPoolStressRace' ./internal/odbc/pool/
 
+# Streaming acceptance: rerun the mid-stream fault suite and the streaming
+# e2e acceptance tests (backpressure bound, slow-client eviction, mid-stream
+# backend death, disconnect teardown, streamed-vs-buffered transcripts) under
+# the race detector with fresh state.
+go test -race -count=1 -timeout 300s -run 'TestResilientStream|TestStreamingBackpressureBoundsResultMemory|TestStreamingSlowClientEvicted|TestStreamingMidStreamBackendDeathFailsCleanly|TestStreamingClientDisconnectReleasesEverything|TestStreamingMatchesBufferedWireTranscripts|TestStreamingResultMemoryCapSheds|TestStreamingBackendProcessDeathSurfacesFailure' ./internal/odbc/ ./internal/hyperq/
+
 # End-to-end smoke: boot cloudsrv + hyperq (with the introspection endpoint),
 # run a statement through bteq, and assert /metrics shows pipeline activity.
 # A second phase restarts the gateway with -pool-size 2 and oversubscribes it
