@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"hyperq/internal/bench"
 	"hyperq/internal/dialect"
@@ -249,20 +250,29 @@ func BenchmarkTranslationCache(b *testing.B) {
 
 // --- observability overhead ---------------------------------------------------
 
-// BenchmarkTracedTranslate measures the cost of per-request span tracing on
+// BenchmarkTracedTranslate measures the cost of per-request observability on
 // the full gateway pipeline. Literal-variant queries defeat the raw result
 // cache so every iteration runs parse→bind→transform→serialize→execute→
-// convert; "traced" allocates the span tree and trace-ring entry per request,
-// "untraced" disables tracing (histograms record in both modes). The tracing
-// tax must stay under a few percent of request time.
+// convert; "traced" runs tracing plus the workload-statistics registry and
+// SLO tracking (the full observability tax), "nostats" runs tracing with the
+// registry disabled (isolating the wstats share), and "untraced" disables
+// tracing (histograms record in all modes). The observability tax must stay
+// under a few percent of request time, and steady-state registry recording
+// must not allocate — the literal variants all share one statement shape, so
+// after warm-up every iteration is a recording hit.
 func BenchmarkTracedTranslate(b *testing.B) {
 	const shape = "SEL L_RETURNFLAG, COUNT(*) FROM LINEITEM WHERE L_QUANTITY < %d GROUP BY L_RETURNFLAG"
-	for _, disabled := range []bool{false, true} {
-		name := "traced"
-		if disabled {
-			name = "untraced"
-		}
-		b.Run(name, func(b *testing.B) {
+	cases := []struct {
+		name           string
+		disableTracing bool
+		disableStats   bool
+	}{
+		{name: "traced"},
+		{name: "untraced", disableTracing: true, disableStats: true},
+		{name: "nostats", disableStats: true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
 			target := dialect.CloudA()
 			eng := engine.New(target)
 			if err := tpch.SetupEngine(eng.NewSession(), benchSF); err != nil {
@@ -273,7 +283,9 @@ func BenchmarkTracedTranslate(b *testing.B) {
 				Driver:                  &odbc.LocalDriver{Engine: eng},
 				Catalog:                 eng.Catalog().Clone(),
 				DisableTranslationCache: true, // full pipeline every request
-				DisableTracing:          disabled,
+				DisableTracing:          tc.disableTracing,
+				DisableStatStatements:   tc.disableStats,
+				SLO:                     100 * time.Millisecond,
 			})
 			if err != nil {
 				b.Fatal(err)

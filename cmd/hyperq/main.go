@@ -57,11 +57,15 @@ func main() {
 	streamDepth := flag.Int("stream-depth", 0, "per-session streaming pipeline depth in batches per stage (0 = default 4)")
 	clientWriteTimeout := flag.Duration("client-write-timeout", 30*time.Second, "evict sessions whose client stalls a result write longer than this (0 = never)")
 	noStreaming := flag.Bool("no-streaming", false, "disable the streaming result path; materialize every result through the TDF store")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions, /pool on this HTTP address (empty = off)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /traces/slow, /sessions, /statements, /pool on this HTTP address (empty = off)")
 	slowQueryMs := flag.Int("slow-query-ms", 200, "slow-query threshold for /traces/slow retention (0 = disable)")
 	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity")
 	queryLogPath := flag.String("query-log", "", "append one JSON line per request to this file (empty = off)")
 	queryLogRedact := flag.Bool("query-log-redact", false, "redact literal values in query-log SQL text")
+	statStatements := flag.Bool("stat-statements", true, "track per-fingerprint workload statistics (/statements)")
+	statStatementsMax := flag.Int("stat-statements-max", 0, "statement shapes tracked before folding into _other (0 = default 1024)")
+	sloMs := flag.Int("slo-ms", 0, "per-request latency SLO in milliseconds; slower requests count as breaches (0 = off)")
+	sloObjective := flag.Float64("slo-objective", 0.99, "target fraction of requests meeting the SLO (error budget = 1-objective)")
 	flag.Parse()
 
 	prof, err := dialect.ByName(*target)
@@ -133,6 +137,10 @@ func main() {
 		ResultMemoryCap:         *resultMemoryCap,
 		StreamDepth:             *streamDepth,
 		DisableStreaming:        *noStreaming,
+		DisableStatStatements:   !*statStatements,
+		StatStatementsMax:       *statStatementsMax,
+		SLO:                     time.Duration(*sloMs) * time.Millisecond,
+		SLOObjective:            *sloObjective,
 	})
 	if err != nil {
 		log.Fatalf("hyperq: %v", err)
@@ -172,9 +180,22 @@ func logStats(g *hyperq.Gateway, every time.Duration) {
 			time.Duration(req.Quantile(0.95)*float64(time.Second)).Round(time.Microsecond),
 			m.CacheHits, m.CacheMisses, m.CacheBypass, m.CacheEvict,
 			m.Retries, m.Reconnects, m.Replays, m.BreakerOpen, m.ReplicaQuarantined)
-		log.Printf("hyperq: results streamed=%d buffered=%d inflight=%dB peak=%dB shed=%d evicted=%d midstream_failures=%d",
-			m.StreamedResults, m.BufferedResults, m.ResultInflightBytes, m.ResultPeakBytes,
+		log.Printf("hyperq: results streamed=%d (%dB) buffered=%d (%dB) inflight=%dB peak=%dB shed=%d evicted=%d midstream_failures=%d",
+			m.StreamedResults, m.StreamedBytes, m.BufferedResults, m.BufferedBytes,
+			m.ResultInflightBytes, m.ResultPeakBytes,
 			m.ResultShed, m.ClientsEvicted, m.MidstreamFailures)
+		if reg := g.Statements(); reg != nil {
+			sum := reg.Snapshot("total", 0)
+			line := fmt.Sprintf("hyperq: statements shapes=%d/%d observed=%d", sum.Entries, sum.MaxEntries, sum.Observed)
+			if len(sum.Statements) > 0 {
+				top := sum.Statements[0]
+				line += fmt.Sprintf(" top=%s calls=%d p95=%s", top.Fingerprint, top.Calls, time.Duration(top.P95Ns).Round(time.Microsecond))
+			}
+			if sum.SLO != nil {
+				line += fmt.Sprintf(" slo=%dms breaches=%d burn=%.2f violating=%d", sum.SLO.SLOMs, sum.SLO.Breaches, sum.SLO.BurnRate, len(sum.SLO.Violating))
+			}
+			log.Print(line)
+		}
 		if ps, ok := g.PoolStats(); ok {
 			log.Printf("hyperq: pool size=%d in_use=%d idle=%d pinned=%d waiters=%d acquires=%d waits=%d wait p95=%s timeouts=%d rejected=%d shed=%d discarded=%d recycled=%d",
 				ps.Size, ps.InUse, ps.Idle, ps.Pinned, ps.Waiters,

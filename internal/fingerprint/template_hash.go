@@ -1,0 +1,164 @@
+package fingerprint
+
+// Lexical statement templates: the workload-statistics registry keys every
+// request on a redaction of its raw text — quoted strings and numeric
+// literals replaced by '?', identifiers and keywords kept — so literal
+// variants of one statement shape share a single /statements entry and no
+// customer data ever reaches an observability surface. Unlike the AST
+// fingerprint above (which requires a successful parse and is restricted to
+// cacheable statement kinds), the lexical template is total: it exists for
+// DDL, multi-statement requests, and even statements that fail to parse,
+// which is exactly what a per-shape error breakdown needs.
+//
+// TemplateHash is the streaming form: it folds the redacted byte stream into
+// an FNV-1a hash without materializing the template, so computing the
+// registry key costs zero allocations on the request hot path. TemplateText
+// materializes the same redaction (the two always agree: TemplateHash(s) is
+// the hash of TemplateText(s)); it runs only on first admission of a shape
+// and in the query log's redaction mode.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// redactor streams the redacted form of a statement: every emitted byte is
+// folded into the FNV-1a hash, and additionally appended to buf when text
+// output was requested. last tracks the previously emitted byte for the
+// identifier/number boundary check.
+type redactor struct {
+	h    uint64
+	buf  []byte
+	text bool
+	last byte
+}
+
+func (r *redactor) emit(c byte) {
+	r.h ^= uint64(c)
+	r.h *= fnvPrime64
+	if r.text {
+		r.buf = append(r.buf, c)
+	}
+	r.last = c
+}
+
+func (r *redactor) emitString(s string) {
+	for i := 0; i < len(s); i++ {
+		r.emit(s[i])
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '$' || c == '#' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// redact runs the lexical redaction over sql: quoted strings (with ”
+// escaping) and numeric literals (decimals, exponents) become '?'; quoted
+// identifiers are copied verbatim; identifiers — even ones containing
+// digits, like T1 or L_QUANTITY — keywords, and operators pass through.
+func (r *redactor) redact(sql string) {
+	r.h = fnvOffset64
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			// String literal; '' is an escaped quote, not a terminator.
+			i++
+			for i < n {
+				if sql[i] == '\'' {
+					if i+1 < n && sql[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			r.emit('\'')
+			r.emit('?')
+			r.emit('\'')
+		case c == '"':
+			// Quoted identifier: copy verbatim.
+			j := i + 1
+			for j < n && sql[j] != '"' {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			r.emitString(sql[i:j])
+			i = j
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && sql[i+1] >= '0' && sql[i+1] <= '9'):
+			// Numeric literal — but only at a non-identifier boundary.
+			if isIdentByte(r.last) {
+				r.emit(c)
+				i++
+				continue
+			}
+			j := i
+			for j < n && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			if j < n && (sql[j] == 'e' || sql[j] == 'E') {
+				k := j + 1
+				if k < n && (sql[k] == '+' || sql[k] == '-') {
+					k++
+				}
+				if k < n && sql[k] >= '0' && sql[k] <= '9' {
+					for k < n && sql[k] >= '0' && sql[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			r.emit('?')
+			i = j
+		default:
+			if isIdentByte(c) {
+				// Copy the whole identifier so trailing digits are not
+				// mistaken for literals on the next iteration.
+				j := i
+				for j < n && isIdentByte(sql[j]) {
+					j++
+				}
+				r.emitString(sql[i:j])
+				i = j
+				continue
+			}
+			r.emit(c)
+			i++
+		}
+	}
+}
+
+// TemplateHash returns the FNV-1a hash of the redacted statement template —
+// the workload-statistics registry key. Allocation-free.
+func TemplateHash(sql string) uint64 {
+	var r redactor
+	r.redact(sql)
+	return r.h
+}
+
+// TemplateText returns the redacted statement template. For any input,
+// TemplateHash(sql) is exactly the FNV-1a hash of TemplateText(sql).
+func TemplateText(sql string) string {
+	r := redactor{text: true, buf: make([]byte, 0, len(sql))}
+	r.redact(sql)
+	return string(r.buf)
+}
+
+// ShortID renders a template hash as the stable 16-hex-digit fingerprint id
+// used as the /statements join key and the Prometheus fp label.
+func ShortID(h uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}

@@ -1,0 +1,111 @@
+package fingerprint
+
+import "testing"
+
+// fnv1a64 is the reference implementation the streaming hash must match.
+func fnv1a64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func TestTemplateCollapsesLiteralVariants(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT a FROM t WHERE id = 42",
+			"SELECT a FROM t WHERE id = 99999",
+			"SELECT a FROM t WHERE id = 7",
+		},
+		{
+			"SELECT name FROM users WHERE city = 'Oakland'",
+			"SELECT name FROM users WHERE city = 'St. Paul'",
+			"SELECT name FROM users WHERE city = 'O''Brien'", // escaped quote
+		},
+		{
+			"UPDATE t SET x = 1.5 WHERE y < 2.25e-3",
+			"UPDATE t SET x = 100.0 WHERE y < 9E+9",
+		},
+	}
+	for _, g := range groups {
+		want := TemplateHash(g[0])
+		wantText := TemplateText(g[0])
+		for _, sql := range g[1:] {
+			if got := TemplateHash(sql); got != want {
+				t.Errorf("TemplateHash(%q) = %x, want %x (same shape as %q)", sql, got, want, g[0])
+			}
+			if got := TemplateText(sql); got != wantText {
+				t.Errorf("TemplateText(%q) = %q, want %q", sql, got, wantText)
+			}
+		}
+	}
+	// Different statement shapes must not collapse.
+	if TemplateHash("SELECT a FROM t") == TemplateHash("SELECT b FROM t") {
+		t.Error("distinct identifiers collapsed to one hash")
+	}
+}
+
+func TestTemplateTextRedaction(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT a FROM t WHERE id = 42", "SELECT a FROM t WHERE id = ?"},
+		{"SELECT 'it''s' FROM dual", "SELECT '?' FROM dual"},
+		// Identifiers with digits stay intact; only standalone numbers redact.
+		{"SELECT L_QUANTITY FROM T1 WHERE c2 > 10", "SELECT L_QUANTITY FROM T1 WHERE c2 > ?"},
+		// Quoted identifiers copy verbatim, digits and all.
+		{`SELECT "Col 42" FROM "T 1"`, `SELECT "Col 42" FROM "T 1"`},
+		{"WHERE x = .5 AND y = 1.5e-3", "WHERE x = ? AND y = ?"},
+		// Unparseable text still templates — the lexical form is total.
+		{"FROB 123 GRONK 'x'", "FROB ? GRONK '?'"},
+	}
+	for _, tc := range cases {
+		if got := TemplateText(tc.in); got != tc.want {
+			t.Errorf("TemplateText(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTemplateHashMatchesTemplateText pins the documented contract: the
+// streaming hash is exactly the FNV-1a of the materialized template.
+func TestTemplateHashMatchesTemplateText(t *testing.T) {
+	inputs := []string{
+		"",
+		"SELECT a FROM t WHERE id = 42 AND name = 'bob'",
+		"SEL * FROM T1 WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY",
+		`INSERT INTO "Weird ""Table""" VALUES (1, 'a', 2.5e10)`,
+		"BT; UPDATE t SET x = x + 1 WHERE k = 9; ET;",
+	}
+	for _, sql := range inputs {
+		if got, want := TemplateHash(sql), fnv1a64(TemplateText(sql)); got != want {
+			t.Errorf("TemplateHash(%q) = %x, want fnv(TemplateText) = %x", sql, got, want)
+		}
+	}
+}
+
+func TestShortID(t *testing.T) {
+	cases := []struct {
+		h    uint64
+		want string
+	}{
+		{0, "0000000000000000"},
+		{0xdeadbeef, "00000000deadbeef"},
+		{0x0123456789abcdef, "0123456789abcdef"},
+		{^uint64(0), "ffffffffffffffff"},
+	}
+	for _, tc := range cases {
+		if got := ShortID(tc.h); got != tc.want {
+			t.Errorf("ShortID(%#x) = %q, want %q", tc.h, got, tc.want)
+		}
+	}
+}
+
+// TemplateHash runs on the request hot path; it must not allocate.
+func TestTemplateHashAllocationFree(t *testing.T) {
+	const sql = "SELECT a, b, c FROM big_table WHERE id = 42 AND name = 'x' AND v > 1.5e3"
+	if avg := testing.AllocsPerRun(200, func() {
+		TemplateHash(sql)
+	}); avg != 0 {
+		t.Fatalf("TemplateHash allocates %.1f per call, want 0", avg)
+	}
+}

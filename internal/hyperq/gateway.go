@@ -9,6 +9,7 @@
 package hyperq
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"hyperq/internal/catalog"
 	"hyperq/internal/dialect"
 	"hyperq/internal/feature"
+	"hyperq/internal/fingerprint"
 	"hyperq/internal/metrics"
 	"hyperq/internal/odbc"
 	"hyperq/internal/odbc/pool"
@@ -26,6 +28,7 @@ import (
 	"hyperq/internal/trace"
 	"hyperq/internal/types"
 	"hyperq/internal/wire/tdp"
+	"hyperq/internal/wstats"
 )
 
 // Config configures a Gateway.
@@ -96,6 +99,22 @@ type Config struct {
 	// endpoints (/pool, pool gauges in /metrics). Set Driver to the same
 	// pool; the gateway never manages the pool's lifecycle.
 	Pool *pool.Pool
+	// DisableStatStatements turns the per-fingerprint workload-statistics
+	// registry off (/statements then returns 404 and per-request recording
+	// is skipped entirely).
+	DisableStatStatements bool
+	// StatStatementsMax bounds the registry's tracked-shape cardinality;
+	// colder shapes past the bound fold into the exact-total "_other"
+	// bucket. 0 selects 1024.
+	StatStatementsMax int
+	// SLO, when positive, is the per-request latency objective: the registry
+	// counts requests slower than it as SLO breaches, per shape and
+	// gateway-wide, and flags violating fingerprints.
+	SLO time.Duration
+	// SLOObjective is the target fraction of requests meeting the SLO
+	// (burn rate 1.0 = consuming exactly the 1-objective error budget).
+	// 0 selects 0.99.
+	SLOObjective float64
 }
 
 // Metrics aggregates the three timing components of Figure 9: query
@@ -113,6 +132,8 @@ type Metrics struct {
 
 	streamedResults   int64
 	bufferedResults   int64
+	streamedBytes     int64
+	bufferedBytes     int64
 	clientsEvicted    int64
 	midstreamFailures int64
 	resultShed        int64
@@ -146,8 +167,12 @@ type MetricsSnapshot struct {
 	// for stalling past the client write deadline, mid-stream backend
 	// failures surfaced to clients (never retried), and requests shed at the
 	// gateway-wide result memory cap.
-	StreamedResults   int64
-	BufferedResults   int64
+	StreamedResults int64
+	BufferedResults int64
+	// StreamedBytes/BufferedBytes count result payload bytes delivered
+	// through each path (TDF wire encoding).
+	StreamedBytes     int64
+	BufferedBytes     int64
 	ClientsEvicted    int64
 	MidstreamFailures int64
 	ResultShed        int64
@@ -184,6 +209,9 @@ type Gateway struct {
 	// traces. Both always exist (tracing only gates span allocation).
 	stages *metrics.Stages
 	ring   *trace.Ring
+	// wstats is the per-fingerprint workload-statistics registry; nil when
+	// disabled.
+	wstats *wstats.Registry
 	// live sessions, for the /sessions introspection endpoint.
 	sessMu   sync.Mutex
 	sessions map[uint64]*Session
@@ -232,6 +260,14 @@ func New(cfg Config) (*Gateway, error) {
 	if !cfg.DisableTranslationCache {
 		g.cache = newTranslationCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
+	if !cfg.DisableStatStatements {
+		g.wstats = wstats.New(wstats.Config{
+			MaxEntries: cfg.StatStatementsMax,
+			SLO:        cfg.SLO,
+			Objective:  cfg.SLOObjective,
+			Pinner:     g.ring,
+		})
+	}
 	return g, nil
 }
 
@@ -256,6 +292,8 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 
 		StreamedResults:     atomic.LoadInt64(&g.metrics.streamedResults),
 		BufferedResults:     atomic.LoadInt64(&g.metrics.bufferedResults),
+		StreamedBytes:       atomic.LoadInt64(&g.metrics.streamedBytes),
+		BufferedBytes:       atomic.LoadInt64(&g.metrics.bufferedBytes),
 		ClientsEvicted:      atomic.LoadInt64(&g.metrics.clientsEvicted),
 		MidstreamFailures:   atomic.LoadInt64(&g.metrics.midstreamFailures),
 		ResultShed:          atomic.LoadInt64(&g.metrics.resultShed),
@@ -291,6 +329,8 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.metrics.cacheEvict, 0)
 	atomic.StoreInt64(&g.metrics.streamedResults, 0)
 	atomic.StoreInt64(&g.metrics.bufferedResults, 0)
+	atomic.StoreInt64(&g.metrics.streamedBytes, 0)
+	atomic.StoreInt64(&g.metrics.bufferedBytes, 0)
 	atomic.StoreInt64(&g.metrics.clientsEvicted, 0)
 	atomic.StoreInt64(&g.metrics.midstreamFailures, 0)
 	atomic.StoreInt64(&g.metrics.resultShed, 0)
@@ -299,8 +339,15 @@ func (g *Gateway) ResetMetrics() {
 	atomic.StoreInt64(&g.resultPeak, atomic.LoadInt64(&g.resultInflight))
 	g.cfg.Resilience.Reset()
 	g.stages.Reset()
+	// The registry unpins its exemplars before the ring resets, so both
+	// orderings work; registry first keeps the pin accounting tidy.
+	g.wstats.Reset()
 	g.ring.Reset()
 }
+
+// Statements exposes the per-fingerprint workload-statistics registry (nil
+// when disabled).
+func (g *Gateway) Statements() *wstats.Registry { return g.wstats }
 
 // Stages exposes the per-stage latency histograms.
 func (g *Gateway) Stages() *metrics.Stages { return g.stages }
@@ -387,11 +434,6 @@ func (g *Gateway) finishTrace(s *Session, tr *trace.Trace, start time.Time, reqE
 	} else {
 		s.lastErr.Store("")
 	}
-	if tr == nil {
-		// Tracing is off; the request histogram still records.
-		g.stages.Request.ObserveDuration(time.Since(start))
-		return
-	}
 	outcome := "ok"
 	code := 0
 	class := ""
@@ -402,11 +444,50 @@ func (g *Gateway) finishTrace(s *Session, tr *trace.Trace, start time.Time, reqE
 		if re, ok := reqErr.(*RequestError); ok {
 			code = re.Code
 		}
+		// A client-write deadline failure surfaces here as the raw front-write
+		// error (the tdp server maps it to CodeClientTooSlow only after Run
+		// returns); attribute it now so statistics see the real code.
+		var fwe *frontWriteError
+		if code == 0 && errors.As(reqErr, &fwe) && fwe.Timeout() {
+			code = tdp.CodeClientTooSlow
+		}
 		class = classifyCode(code)
 	}
-	tr.Finish(outcome, code, class, msg)
-	total := tr.Duration()
+	var total time.Duration
+	if tr != nil {
+		tr.SetStreamed(s.ro.streamed)
+		if s.ro.hash != 0 {
+			tr.SetFingerprint(fingerprint.ShortID(s.ro.hash))
+		}
+		tr.Finish(outcome, code, class, msg)
+		total = tr.Duration()
+	} else {
+		total = time.Since(start)
+	}
 	g.stages.Request.ObserveDuration(total)
+	if g.wstats != nil {
+		o := wstats.Obs{
+			DurNs:    int64(total),
+			StageNs:  s.ro.stageNs,
+			Tier:     s.ro.tier,
+			Failed:   reqErr != nil,
+			ErrCode:  code,
+			RowsOut:  s.ro.rowsOut,
+			BytesOut: s.ro.bytesOut,
+			BytesIn:  int64(len(s.ro.sql)),
+			Streamed: s.ro.streamed,
+			Feats:    s.ro.feats,
+			Trace:    tr,
+		}
+		if tr != nil {
+			o.Retries = int64(tr.CountSpans("retry"))
+			o.Reconnects = int64(tr.CountSpans("reconnect"))
+		}
+		g.wstats.Observe(s.ro.hash, s.ro.sql, &o)
+	}
+	if tr == nil {
+		return
+	}
 	if exec := tr.Stage("execute"); total > 0 && tr.BackendRequests > 0 {
 		overhead := 1 - float64(exec)/float64(total)
 		if overhead < 0 {
@@ -468,6 +549,11 @@ type SessionInfo struct {
 	LastSQL    string    `json:"last_sql,omitempty"`
 	LastError  string    `json:"last_error,omitempty"`
 	LastActive time.Time `json:"last_active,omitempty"`
+	// Fingerprint is the statement-shape id of the current (state "active")
+	// or most recent request; Streaming marks a session currently delivering
+	// a streamed result mid-flight.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Streaming   bool   `json:"streaming,omitempty"`
 }
 
 // Sessions snapshots the live session table, ordered by session id.
@@ -502,6 +588,10 @@ func (g *Gateway) Sessions() []SessionInfo {
 		if ns := atomic.LoadInt64(&s.lastActive); ns != 0 {
 			info.LastActive = time.Unix(0, ns)
 		}
+		if fp := atomic.LoadUint64(&s.curFP); fp != 0 {
+			info.Fingerprint = fingerprint.ShortID(fp)
+		}
+		info.Streaming = atomic.LoadInt32(&s.midStream) != 0
 		out = append(out, info)
 	}
 	return out

@@ -2,7 +2,9 @@ package hyperq
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
+	"strconv"
 
 	"hyperq/internal/metrics"
 )
@@ -11,22 +13,31 @@ import (
 // Manager's operator surface, §4):
 //
 //	/metrics      Prometheus text format: per-stage latency histograms,
-//	              whole-request latency, gateway-overhead ratio, and the
-//	              cumulative counters of MetricsSnapshot
-//	/traces       recent finished traces (JSON, newest first)
+//	              whole-request latency, gateway-overhead ratio, the
+//	              cumulative counters of MetricsSnapshot, and the top-N
+//	              per-fingerprint statement series (stable fp label,
+//	              cardinality-bounded)
+//	/traces       recent finished traces (JSON, newest first); ?id= fetches
+//	              one retained trace (pinned exemplars included)
 //	/traces/slow  the slowest retained traces at/above the slow threshold
-//	/sessions     live session table (user, statements, cache hits, state)
+//	/sessions     live session table (user, statements, cache hits, state,
+//	              current fingerprint, mid-stream flag)
+//	/statements   per-fingerprint workload statistics (404 when disabled);
+//	              ?sort=calls|total|p99|bytes, ?limit=N,
+//	              ?view=features for the live Figure 8 breakdown
 //	/pool         backend connection pool state (404 when no pool is
 //	              configured): gauges, counters, wait-time distribution
 //
-// Mount it on a loopback or otherwise access-controlled listener: traces and
-// the session table contain SQL text.
+// Mount it on a loopback or otherwise access-controlled listener: traces,
+// the session table, and statement templates contain SQL text (statement
+// templates are literal-redacted, but identifiers still name real objects).
 func (g *Gateway) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", g.serveMetrics)
 	mux.HandleFunc("/traces", g.serveTraces)
 	mux.HandleFunc("/traces/slow", g.serveSlowTraces)
 	mux.HandleFunc("/sessions", g.serveSessions)
+	mux.HandleFunc("/statements", g.serveStatements)
 	mux.HandleFunc("/pool", g.servePool)
 	return mux
 }
@@ -62,6 +73,8 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"hyperq_replicas_quarantined_total", "Replicas quarantined from reads.", m.ReplicaQuarantined},
 		{"hyperq_results_streamed_total", "Result sets delivered through the streaming pipeline.", m.StreamedResults},
 		{"hyperq_results_buffered_total", "Result sets materialized through the TDF-store path.", m.BufferedResults},
+		{"hyperq_result_streamed_bytes_total", "Result payload bytes delivered through the streaming pipeline.", m.StreamedBytes},
+		{"hyperq_result_buffered_bytes_total", "Result payload bytes materialized through the TDF-store path.", m.BufferedBytes},
 		{"hyperq_clients_evicted_total", "Sessions evicted for stalling past the client write deadline.", m.ClientsEvicted},
 		{"hyperq_midstream_failures_total", "Requests failed after rows had already reached the client.", m.MidstreamFailures},
 		{"hyperq_results_shed_total", "Requests shed at the gateway result-memory cap.", m.ResultShed},
@@ -75,6 +88,8 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	metrics.WriteCounter(w, "hyperq_sessions_active", "Live frontend sessions.", "gauge", active)
 	metrics.WriteCounter(w, "hyperq_result_inflight_bytes", "Result bytes fetched from the backend and not yet delivered to clients.", "gauge", m.ResultInflightBytes)
 	metrics.WriteCounter(w, "hyperq_result_inflight_peak_bytes", "High-water mark of in-flight result bytes.", "gauge", m.ResultPeakBytes)
+
+	g.writeStatementMetrics(w)
 
 	if ps, ok := g.PoolStats(); ok {
 		gauges := []struct {
@@ -114,6 +129,52 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// promStatementTopN bounds the per-fingerprint series count on /metrics:
+// only the top N shapes by calls are exposed, so scrape cardinality stays
+// fixed no matter how large the registry bound is. The fp label is the
+// stable statement-shape id (a hash of the redacted template), so series
+// identity survives restarts and gateway failovers.
+const promStatementTopN = 20
+
+// writeStatementMetrics renders the bounded-cardinality per-fingerprint
+// families and the SLO burn counters.
+func (g *Gateway) writeStatementMetrics(w io.Writer) {
+	if g.wstats == nil {
+		return
+	}
+	sum := g.wstats.Snapshot("calls", promStatementTopN)
+	metrics.WriteCounter(w, "hyperq_statement_shapes", "Statement shapes tracked by the workload registry.", "gauge", int64(sum.Entries))
+	metrics.WriteCounter(w, "hyperq_statement_observed_total", "Requests recorded by the workload registry (evicted shapes included).", "counter", sum.Observed)
+	metrics.WriteHeader(w, "hyperq_statement_calls_total", "Calls per statement fingerprint (top shapes by calls).", "counter")
+	for i := range sum.Statements {
+		metrics.WriteLabeledValue(w, "hyperq_statement_calls_total", "fp", sum.Statements[i].Fingerprint, float64(sum.Statements[i].Calls))
+	}
+	metrics.WriteHeader(w, "hyperq_statement_errors_total", "Errors per statement fingerprint.", "counter")
+	for i := range sum.Statements {
+		if sum.Statements[i].Errors != 0 {
+			metrics.WriteLabeledValue(w, "hyperq_statement_errors_total", "fp", sum.Statements[i].Fingerprint, float64(sum.Statements[i].Errors))
+		}
+	}
+	metrics.WriteHeader(w, "hyperq_statement_seconds_total", "Total request time per statement fingerprint.", "counter")
+	for i := range sum.Statements {
+		metrics.WriteLabeledValue(w, "hyperq_statement_seconds_total", "fp", sum.Statements[i].Fingerprint, float64(sum.Statements[i].TotalNs)/1e9)
+	}
+	metrics.WriteHeader(w, "hyperq_statement_bytes_out_total", "Result payload bytes per statement fingerprint.", "counter")
+	for i := range sum.Statements {
+		metrics.WriteLabeledValue(w, "hyperq_statement_bytes_out_total", "fp", sum.Statements[i].Fingerprint, float64(sum.Statements[i].BytesOut))
+	}
+	if slo := sum.SLO; slo != nil {
+		metrics.WriteCounter(w, "hyperq_slo_calls_total", "Requests measured against the latency SLO.", "counter", slo.Calls)
+		metrics.WriteCounter(w, "hyperq_slo_breaches_total", "Requests slower than the latency SLO.", "counter", slo.Breaches)
+		metrics.WriteHeader(w, "hyperq_statement_slo_breaches_total", "SLO breaches per statement fingerprint.", "counter")
+		for i := range sum.Statements {
+			if sum.Statements[i].SLOBreaches != 0 {
+				metrics.WriteLabeledValue(w, "hyperq_statement_slo_breaches_total", "fp", sum.Statements[i].Fingerprint, float64(sum.Statements[i].SLOBreaches))
+			}
+		}
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -121,8 +182,39 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-func (g *Gateway) serveTraces(w http.ResponseWriter, _ *http.Request) {
+func (g *Gateway) serveTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		t := g.ring.Get(id)
+		if t == nil {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, t)
+		return
+	}
 	writeJSON(w, map[string]any{"traces": g.ring.Recent()})
+}
+
+// serveStatements is the /statements endpoint: the per-fingerprint workload
+// registry as sortable JSON, or the Figure 8 feature breakdown with
+// ?view=features.
+func (g *Gateway) serveStatements(w http.ResponseWriter, r *http.Request) {
+	if g.wstats == nil {
+		http.Error(w, "statement statistics disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("view") == "features" {
+		writeJSON(w, g.wstats.Features())
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	writeJSON(w, g.wstats.Snapshot(q.Get("sort"), limit))
 }
 
 func (g *Gateway) serveSlowTraces(w http.ResponseWriter, _ *http.Request) {

@@ -23,6 +23,7 @@ import (
 	"hyperq/internal/transform"
 	"hyperq/internal/types"
 	"hyperq/internal/wire/tdp"
+	"hyperq/internal/wstats"
 	"hyperq/internal/xtra"
 
 	"hyperq/internal/binder"
@@ -86,6 +87,15 @@ type Session struct {
 	lastActive    int64        // unix nanos of the last request completion
 	lastSQL       atomic.Value // string
 	lastErr       atomic.Value // string
+	// curFP is the current (or most recent) request's statement-shape hash,
+	// and midStream flags a streamed result delivery in flight — both read by
+	// /sessions from other goroutines.
+	curFP     uint64
+	midStream int32
+	// ro accumulates the current request's workload-statistics observation
+	// (written only by the session goroutine; folded into the registry by
+	// finishTrace).
+	ro reqObs
 	// replayLog records the backend DDL that established session-scoped
 	// backend state (volatile tables, global-temporary instances, emulation
 	// work tables), in execution order. A reconnecting backend driver
@@ -103,6 +113,20 @@ type Session struct {
 	// request's AST past its Run. Nested parses during a request (macro
 	// bodies, view definitions) deliberately bypass it.
 	psc parser.Scratch
+}
+
+// reqObs is the per-request accumulator behind one wstats observation. It
+// lives by value in the Session and is re-zeroed at each request start, so
+// steady-state recording allocates nothing.
+type reqObs struct {
+	hash     uint64
+	sql      string
+	stageNs  [wstats.NumStages]int64
+	tier     wstats.Tier
+	feats    feature.Set
+	rowsOut  int64
+	bytesOut int64
+	streamed bool
 }
 
 type replayEntry struct {
@@ -264,6 +288,11 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	s.tr = tr
 	atomic.AddInt32(&s.inFlight, 1)
 	s.lastSQL.Store(sql)
+	s.ro = reqObs{sql: sql}
+	if s.g.wstats != nil || tr != nil {
+		s.ro.hash = fingerprint.TemplateHash(sql)
+		atomic.StoreUint64(&s.curFP, s.ro.hash)
+	}
 	//hyperqlint:ignore ctxexec Run is the request root: the per-request context is minted here
 	ctx := context.Background()
 	cancel := func() {}
@@ -299,6 +328,7 @@ func (s *Session) Run(sql string) (out []*FrontResult, err error) {
 	d := time.Since(t0)
 	atomic.AddInt64(&s.g.metrics.translateNs, int64(d))
 	s.g.stages.Observe("parse", d)
+	s.ro.stageNs[wstats.StageParse] += int64(d)
 	sp.End()
 	if perr != nil {
 		return nil, failf(tdp.CodeSyntaxError, "%v", perr) // 3706: syntax error
@@ -356,6 +386,7 @@ func (s *Session) runCachedRaw(sql string, rec *feature.Recorder) (out []*FrontR
 	d := time.Since(t0)
 	atomic.AddInt64(&s.g.metrics.translateNs, int64(d))
 	s.g.stages.Observe("cache", d)
+	s.ro.stageNs[wstats.StageCache] += int64(d)
 	if e == nil {
 		sp.Set("outcome", "raw-miss")
 		sp.End()
@@ -364,6 +395,7 @@ func (s *Session) runCachedRaw(sql string, rec *feature.Recorder) (out []*FrontR
 	sp.Set("outcome", "raw-hit")
 	sp.End()
 	s.tr.SetCache("raw-hit")
+	s.ro.tier = wstats.TierExactHit
 	atomic.AddInt64(&s.g.metrics.cacheHits, 1)
 	atomic.AddInt64(&s.obsCacheHits, 1)
 	rec.Merge(e.feats)
@@ -420,8 +452,9 @@ func (s *Session) cacheKey(tier, body string) string {
 
 func (s *Session) finishRequest(rec *feature.Recorder) {
 	atomic.AddInt64(&s.g.metrics.requests, 1)
+	s.ro.feats = rec.Set()
 	if s.g.cfg.Stats != nil {
-		s.g.cfg.Stats.Observe(rec.Set())
+		s.g.cfg.Stats.Observe(s.ro.feats)
 	}
 }
 
@@ -538,6 +571,7 @@ func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorde
 		// Macro scope: statement text contains :params bound per EXEC.
 		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
 		s.tr.SetCache("bypass")
+		s.ro.tier = wstats.TierBypass
 		return s.bindTransformSerialize(stmt, rec, false)
 	}
 	csp := s.tr.Start("cache")
@@ -545,10 +579,13 @@ func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorde
 	fp := fingerprint.Statement(stmt)
 	if !fp.Cacheable || s.refsSessionObject(fp.Tables) {
 		atomic.AddInt64(&s.g.metrics.cacheBypass, 1)
-		s.g.stages.Observe("cache", time.Since(tc))
+		dc := time.Since(tc)
+		s.g.stages.Observe("cache", dc)
+		s.ro.stageNs[wstats.StageCache] += int64(dc)
 		csp.Set("outcome", "bypass")
 		csp.End()
 		s.tr.SetCache("bypass")
+		s.ro.tier = wstats.TierBypass
 		return s.bindTransformSerialize(stmt, rec, false)
 	}
 	key := s.cacheKey("F", fp.Key)
@@ -557,18 +594,24 @@ func (s *Session) translateStatement(stmt sqlast.Statement, rec *feature.Recorde
 		atomic.AddInt64(&s.obsCacheHits, 1)
 		rec.Merge(e.feats)
 		sql := e.tpl.Instantiate(fp.Literals)
-		s.g.stages.Observe("cache", time.Since(tc))
+		dc := time.Since(tc)
+		s.g.stages.Observe("cache", dc)
+		s.ro.stageNs[wstats.StageCache] += int64(dc)
 		csp.Set("outcome", "hit")
 		csp.End()
 		s.tr.SetCache("hit")
+		s.ro.tier = wstats.TierFingerprintHit
 		s.noteRawCandidate(sql, e.cols, commandName(stmt, ""), e.feats)
 		return sql, e.cols, nil
 	}
 	atomic.AddInt64(&s.g.metrics.cacheMisses, 1)
-	s.g.stages.Observe("cache", time.Since(tc))
+	dc := time.Since(tc)
+	s.g.stages.Observe("cache", dc)
+	s.ro.stageNs[wstats.StageCache] += int64(dc)
 	csp.Set("outcome", "miss")
 	csp.End()
 	s.tr.SetCache("miss")
+	s.ro.tier = wstats.TierMiss
 	// Translate with an inner recorder so the cache entry can replay the
 	// statement's features on later hits.
 	inner := &feature.Recorder{}
@@ -627,7 +670,9 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 		b.SetParams(s.macroParams)
 	}
 	bound, err := b.Bind(stmt)
-	s.g.stages.Observe("bind", time.Since(tb))
+	db := time.Since(tb)
+	s.g.stages.Observe("bind", db)
+	s.ro.stageNs[wstats.StageBind] += int64(db)
 	spb.End()
 	if err != nil {
 		return "", nil, failf(tdp.CodeSemanticError, "%v", err) // semantic error
@@ -636,7 +681,14 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 	tt := time.Now()
 	ctx := transform.NewContext(nil, rec, b.MaxColumnID())
 	mid, err := transform.BindingStage().Statement(bound, ctx)
-	s.g.stages.Observe("transform", time.Since(tt))
+	dt := time.Since(tt)
+	s.g.stages.Observe("transform", dt)
+	s.ro.stageNs[wstats.StageTransform] += int64(dt)
+	if spt != nil {
+		for _, id := range ctx.Fired().IDs() {
+			spt.Set("feature", feature.Lookup(id).Name)
+		}
+	}
 	spt.End()
 	if err != nil {
 		return "", nil, failf(tdp.CodeSemanticError, "%v", err)
@@ -648,7 +700,9 @@ func (s *Session) bindTransformSerialize(stmt sqlast.Statement, rec *feature.Rec
 		ser.LiftLiterals()
 	}
 	sql, err := ser.Serialize(mid)
-	s.g.stages.Observe("serialize", time.Since(ts))
+	ds := time.Since(ts)
+	s.g.stages.Observe("serialize", ds)
+	s.ro.stageNs[wstats.StageSerialize] += int64(ds)
 	sps.End()
 	if err != nil {
 		return "", nil, failf(tdp.CodeSemanticError, "%v", err)
@@ -680,6 +734,7 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 	d := time.Since(t1)
 	atomic.AddInt64(&s.g.metrics.executeNs, int64(d))
 	s.g.stages.Observe("execute", d)
+	s.ro.stageNs[wstats.StageExecute] += int64(d)
 	sp.End()
 	if err != nil {
 		return nil, mapBackendError(err)
@@ -691,6 +746,7 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 		dc := time.Since(t2)
 		atomic.AddInt64(&s.g.metrics.convertNs, int64(dc))
 		s.g.stages.Observe("convert", dc)
+		s.ro.stageNs[wstats.StageConvert] += int64(dc)
 		csp.End()
 	}()
 	var out []*FrontResult
@@ -700,11 +756,18 @@ func (s *Session) execTranslated(sql string, frontCols []xtra.Col, cmd func(stri
 			if frontCols == nil {
 				return nil, failf(tdp.CodeObjectNotFound, "unexpected result set from backend")
 			}
+			var bb int64
+			for _, b := range br.Batches {
+				bb += int64(b.EncodedSize())
+			}
 			cols, rows, err := s.convertResult(frontCols, br)
 			if err != nil {
 				return nil, failf(tdp.CodeObjectNotFound, "result conversion: %v", err)
 			}
 			atomic.AddInt64(&s.g.metrics.bufferedResults, 1)
+			atomic.AddInt64(&s.g.metrics.bufferedBytes, bb)
+			s.ro.rowsOut += int64(len(rows))
+			s.ro.bytesOut += bb
 			fr.Cols = cols
 			fr.Rows = rows
 			fr.Activity = int64(len(rows))

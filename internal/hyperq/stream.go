@@ -149,6 +149,7 @@ type streamItem struct {
 func (s *Session) execStreamed(se odbc.StreamExecutor, sql string, frontCols []xtra.Col, cmd func(string) string) ([]*FrontResult, error) {
 	g := s.g
 	fw := s.fw
+	defer atomic.StoreInt32(&s.midStream, 0)
 	s.tr.AddTranslated(sql)
 	sp := s.tr.Start("execute")
 	sp.Set("sql", sql)
@@ -338,6 +339,8 @@ writeLoop:
 			inResultSet = true
 			rowCount = 0
 			atomic.AddInt64(&g.metrics.streamedResults, 1)
+			s.ro.streamed = true
+			atomic.StoreInt32(&s.midStream, 1)
 		case item.complete:
 			activity := item.affected
 			name := cmd(item.command)
@@ -357,6 +360,9 @@ writeLoop:
 				}
 			}
 			rowCount += int64(len(item.rows))
+			s.ro.rowsOut += int64(len(item.rows))
+			s.ro.bytesOut += item.bytes
+			atomic.AddInt64(&g.metrics.streamedBytes, item.bytes)
 			release(item.bytes)
 		}
 	}

@@ -36,6 +36,8 @@ var registryCodes = map[string]string{
 	strconv.Itoa(tdp.CodeGatewaySaturated):   "CodeGatewaySaturated",
 	strconv.Itoa(tdp.CodeLogonDenied):        "CodeLogonDenied",
 	strconv.Itoa(tdp.CodeLogonInvalid):       "CodeLogonInvalid",
+	strconv.Itoa(tdp.CodeClientTooSlow):      "CodeClientTooSlow",
+	strconv.Itoa(tdp.CodeResultInterrupted):  "CodeResultInterrupted",
 }
 
 func runFrontCode(pass *analysis.Pass) error {

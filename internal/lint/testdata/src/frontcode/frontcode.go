@@ -16,6 +16,8 @@ func bare() []failure {
 		{code: 3134, msg: "gateway saturated"},   // want `frontend code 3134 must be the registry constant tdp\.CodeGatewaySaturated`
 		{code: 3002, msg: "logon denied"},        // want `frontend code 3002 must be the registry constant tdp\.CodeLogonDenied`
 		{code: 3004, msg: "logon invalid"},       // want `frontend code 3004 must be the registry constant tdp\.CodeLogonInvalid`
+		{code: 3136, msg: "client too slow"},     // want `frontend code 3136 must be the registry constant tdp\.CodeClientTooSlow`
+		{code: 3610, msg: "result interrupted"},  // want `frontend code 3610 must be the registry constant tdp\.CodeResultInterrupted`
 	}
 }
 
@@ -37,6 +39,8 @@ func registryOK() []int {
 		tdp.CodeGatewaySaturated,
 		tdp.CodeLogonDenied,
 		tdp.CodeLogonInvalid,
+		tdp.CodeClientTooSlow,
+		tdp.CodeResultInterrupted,
 		3807,
 	}
 }

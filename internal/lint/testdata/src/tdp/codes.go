@@ -8,4 +8,6 @@ const (
 	CodeGatewaySaturated   = 3134
 	CodeLogonDenied        = 3002
 	CodeLogonInvalid       = 3004
+	CodeClientTooSlow      = 3136
+	CodeResultInterrupted  = 3610
 )

@@ -57,3 +57,17 @@ func WriteCounter(w io.Writer, name, help, typ string, value int64) {
 	}
 	fmt.Fprintf(w, "%s %d\n", name, value)
 }
+
+// WriteHeader renders the HELP/TYPE preamble of a series whose samples are
+// emitted separately (labeled families with one sample per label value, like
+// the per-fingerprint statement counters).
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// WriteLabeledValue renders one sample of a labeled series. Pair with
+// WriteHeader, emitted once per family.
+func WriteLabeledValue(w io.Writer, name, labelKey, labelVal string, value float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelSuffix(labelKey, labelVal), formatFloat(value))
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperq/internal/fingerprint"
 	"hyperq/internal/trace"
 )
 
@@ -32,6 +33,26 @@ type Entry struct {
 	ErrClass        string           `json:"error_class,omitempty"`
 	Cache           string           `json:"cache,omitempty"`
 	BackendRequests int              `json:"backend_requests"`
+	// Fingerprint is the statement-shape id joining the entry to the
+	// /statements workload registry; CacheTier the registry's normalized
+	// cache-outcome name ("exact-hit", "fingerprint-hit", "miss", "bypass");
+	// Streamed marks results delivered through the streaming pipeline.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	CacheTier   string `json:"cache_tier,omitempty"`
+	Streamed    bool   `json:"streamed,omitempty"`
+}
+
+// cacheTier maps a trace's cache outcome to the workload registry's tier
+// vocabulary (the trace keeps its historical names for compatibility).
+func cacheTier(cache string) string {
+	switch cache {
+	case "raw-hit":
+		return "exact-hit"
+	case "hit":
+		return "fingerprint-hit"
+	default:
+		return cache
+	}
 }
 
 // Writer is a rotation-safe JSON-lines appender. Safe for concurrent use.
@@ -94,6 +115,9 @@ func (w *Writer) LogTrace(t *trace.Trace) error {
 		ErrClass:        t.ErrClass,
 		Cache:           t.Cache,
 		BackendRequests: t.BackendRequests,
+		Fingerprint:     t.Fingerprint,
+		CacheTier:       cacheTier(t.Cache),
+		Streamed:        t.Streamed,
 	}
 	if w.redact {
 		e.SQL = Redact(e.SQL)
@@ -143,84 +167,9 @@ func (w *Writer) Close() error {
 // strings (with '' escaping) and numeric literals, including decimals and
 // exponents. Identifiers — even ones containing digits, like T1 or
 // L_QUANTITY — and quoted identifiers are left intact, as are keywords and
-// operators, so the statement shape stays readable.
+// operators, so the statement shape stays readable. The output is exactly
+// the statement's fingerprint template, so a redacted log line joins against
+// the /statements registry by text as well as by id.
 func Redact(sql string) string {
-	out := make([]byte, 0, len(sql))
-	i := 0
-	n := len(sql)
-	isIdent := func(c byte) bool {
-		return c == '_' || c == '$' || c == '#' ||
-			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-	}
-	for i < n {
-		c := sql[i]
-		switch {
-		case c == '\'':
-			// String literal; '' is an escaped quote, not a terminator.
-			i++
-			for i < n {
-				if sql[i] == '\'' {
-					if i+1 < n && sql[i+1] == '\'' {
-						i += 2
-						continue
-					}
-					i++
-					break
-				}
-				i++
-			}
-			out = append(out, '\'', '?', '\'')
-		case c == '"':
-			// Quoted identifier: copy verbatim.
-			j := i + 1
-			for j < n && sql[j] != '"' {
-				j++
-			}
-			if j < n {
-				j++
-			}
-			out = append(out, sql[i:j]...)
-			i = j
-		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && sql[i+1] >= '0' && sql[i+1] <= '9'):
-			// Numeric literal — but only at a non-identifier boundary.
-			if len(out) > 0 && isIdent(out[len(out)-1]) {
-				out = append(out, c)
-				i++
-				continue
-			}
-			j := i
-			for j < n && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
-				j++
-			}
-			if j < n && (sql[j] == 'e' || sql[j] == 'E') {
-				k := j + 1
-				if k < n && (sql[k] == '+' || sql[k] == '-') {
-					k++
-				}
-				if k < n && sql[k] >= '0' && sql[k] <= '9' {
-					for k < n && sql[k] >= '0' && sql[k] <= '9' {
-						k++
-					}
-					j = k
-				}
-			}
-			out = append(out, '?')
-			i = j
-		default:
-			if isIdent(c) {
-				// Copy the whole identifier so trailing digits are not
-				// mistaken for literals on the next iteration.
-				j := i
-				for j < n && isIdent(sql[j]) {
-					j++
-				}
-				out = append(out, sql[i:j]...)
-				i = j
-				continue
-			}
-			out = append(out, c)
-			i++
-		}
-	}
-	return string(out)
+	return fingerprint.TemplateText(sql)
 }

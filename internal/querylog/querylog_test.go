@@ -47,6 +47,8 @@ func mkTrace(sql string) *trace.Trace {
 	sp.End()
 	tr.AddTranslated("SELECT * FROM T WHERE A = 5")
 	tr.SetCache("miss")
+	tr.SetFingerprint("00000000deadbeef")
+	tr.SetStreamed(true)
 	tr.Finish("ok", 0, "", "")
 	return tr
 }
@@ -100,6 +102,30 @@ func TestWriterAppendAndRedact(t *testing.T) {
 	if _, ok := e.StageNs["parse"]; !ok {
 		t.Fatalf("stage timings missing: %v", e.StageNs)
 	}
+	// The /statements join keys: fingerprint, normalized cache tier, streamed.
+	if e.Fingerprint != "00000000deadbeef" {
+		t.Errorf("fingerprint = %q", e.Fingerprint)
+	}
+	if e.CacheTier != "miss" || !e.Streamed {
+		t.Errorf("cacheTier/streamed = %q/%v", e.CacheTier, e.Streamed)
+	}
+}
+
+// TestCacheTierNormalization pins the mapping from trace cache labels to the
+// /statements tier vocabulary, so log analysis joins cleanly.
+func TestCacheTierNormalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"raw-hit", "exact-hit"},
+		{"hit", "fingerprint-hit"},
+		{"miss", "miss"},
+		{"bypass", "bypass"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := cacheTier(c.in); got != c.want {
+			t.Errorf("cacheTier(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
 }
 
 func TestWriterRotationSafe(t *testing.T) {
@@ -131,6 +157,12 @@ func TestWriterRotationSafe(t *testing.T) {
 	// Unredacted writer keeps literals.
 	if fresh[0].SQL != "SELECT 2" {
 		t.Fatalf("unexpected redaction: %q", fresh[0].SQL)
+	}
+	// The join fields survive rotation on both sides of the rename.
+	for _, e := range []Entry{readLines(t, rotated)[0], fresh[0]} {
+		if e.Fingerprint != "00000000deadbeef" || e.CacheTier != "miss" || !e.Streamed {
+			t.Fatalf("join fields lost across rotation: %+v", e)
+		}
 	}
 }
 

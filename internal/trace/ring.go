@@ -20,6 +20,11 @@ type Ring struct {
 	recent  []*Trace // circular; next is the write position
 	next    int
 	slowest []*Trace // sorted by DurNs descending, len <= slowCap
+	// pinned holds traces retained by id regardless of ring churn — the
+	// workload-statistics registry pins each fingerprint's slowest trace as
+	// an exemplar, so cardinality is bounded by the registry's entry bound
+	// (one pin per tracked fingerprint, unpinned on eviction and reset).
+	pinned map[string]*Trace
 }
 
 // NewRing creates a ring retaining up to capacity recent traces and the
@@ -94,7 +99,66 @@ func (r *Ring) Slow() []*Trace {
 	return out
 }
 
-// Reset drops every retained trace.
+// Pin retains a finished trace by id until Unpin (or Reset): ring churn
+// cannot rotate it out. Idempotent; safe on a nil ring or trace.
+func (r *Ring) Pin(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pinned == nil {
+		r.pinned = make(map[string]*Trace)
+	}
+	r.pinned[t.ID] = t
+}
+
+// Unpin releases a pinned trace. Safe on a nil ring and unknown ids.
+func (r *Ring) Unpin(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pinned, id)
+}
+
+// Get returns the retained trace with the given id — pinned exemplars first,
+// then the slow list, then the recent ring — or nil when the trace has been
+// rotated out everywhere.
+func (r *Ring) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.pinned[id]; ok {
+		return t
+	}
+	for _, t := range r.slowest {
+		if t.ID == id {
+			return t
+		}
+	}
+	for _, t := range r.recent {
+		if t != nil && t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// PinnedCount reports how many traces are currently pinned.
+func (r *Ring) PinnedCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pinned)
+}
+
+// Reset drops every retained trace, pinned exemplars included.
 func (r *Ring) Reset() {
 	if r == nil {
 		return
@@ -104,4 +168,5 @@ func (r *Ring) Reset() {
 	r.recent = r.recent[:0]
 	r.next = 0
 	r.slowest = nil
+	r.pinned = nil
 }

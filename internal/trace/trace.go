@@ -60,6 +60,13 @@ type Trace struct {
 	// "bypass", "raw-hit" (request-tier byte-identical replay), or "" when
 	// the statement never consulted the cache.
 	Cache string `json:"cache,omitempty"`
+	// Fingerprint is the statement-shape fingerprint id of the request — the
+	// join key against the /statements workload registry. Empty when
+	// fingerprinting is off.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Streamed marks a request whose result rows were delivered through the
+	// streaming pipeline rather than materialized.
+	Streamed bool `json:"streamed,omitempty"`
 	// Translated is the rewritten SQL-B text sent to the backend, one entry
 	// per backend request. Emulated statements (recursive queries, MERGE)
 	// fan out into several entries.
@@ -196,6 +203,52 @@ func (t *Trace) SetCache(outcome string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Cache = outcome
+}
+
+// SetFingerprint stamps the statement-shape fingerprint id.
+func (t *Trace) SetFingerprint(fp string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Fingerprint = fp
+}
+
+// SetStreamed marks the request as having streamed its result rows.
+func (t *Trace) SetStreamed(streamed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Streamed = streamed
+}
+
+// CountSpans returns how many spans (including events) in the tree carry the
+// given name — e.g. the per-request "retry" / "reconnect" counts the
+// resilient driver recorded. Safe on a nil trace.
+func (t *Trace) CountSpans(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return countSpans(t.Root, name)
+}
+
+func countSpans(sp *Span, name string) int {
+	if sp == nil {
+		return 0
+	}
+	n := 0
+	if sp.Name == name {
+		n++
+	}
+	for _, c := range sp.Children {
+		n += countSpans(c, name)
+	}
+	return n
 }
 
 // Finish closes the root span and stamps the outcome. After Finish the trace

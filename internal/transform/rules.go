@@ -31,10 +31,10 @@ func (r *DateIntCompareRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar
 	lt, rt := cmp.L.Type(), cmp.R.Type()
 	switch {
 	case lt.Kind == types.KindDate && rt.IsNumeric():
-		c.Rec.Record(feature.DateIntCompare)
+		c.Record(feature.DateIntCompare)
 		return &xtra.CompExpr{Op: cmp.Op, L: dateToIntExpr(cmp.L), R: cmp.R}, true, nil
 	case rt.Kind == types.KindDate && lt.IsNumeric():
-		c.Rec.Record(feature.DateIntCompare)
+		c.Record(feature.DateIntCompare)
 		return &xtra.CompExpr{Op: cmp.Op, L: cmp.L, R: dateToIntExpr(cmp.R)}, true, nil
 	}
 	return s, false, nil
@@ -93,7 +93,7 @@ func (r *VectorSubqueryRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar
 	if !ok || len(q.Left) <= 1 {
 		return s, false, nil
 	}
-	c.Rec.Record(feature.VectorSubquery)
+	c.Record(feature.VectorSubquery)
 	cols := q.Input.Columns()
 	if len(cols) != len(q.Left) {
 		return nil, false, fmt.Errorf("transform: vector arity mismatch")
@@ -168,7 +168,7 @@ func (r *GroupingSetsRule) ApplyOp(op xtra.Op, c *Context) (xtra.Op, bool, error
 	if !ok || agg.GroupingSets == nil {
 		return op, false, nil
 	}
-	c.Rec.Record(feature.GroupingSets)
+	c.Record(feature.GroupingSets)
 	outCols := agg.Columns()
 	var result xtra.Op
 	for _, set := range agg.GroupingSets {
@@ -249,7 +249,7 @@ func (r *DateArithRule) ApplyScalar(s xtra.Scalar, c *Context) (xtra.Scalar, boo
 	if (lk == types.KindDate) == (rk == types.KindDate) {
 		return s, false, nil // date-date or already rewritten
 	}
-	c.Rec.Record(feature.DateArith)
+	c.Record(feature.DateArith)
 	date, n := a.L, a.R
 	if rk == types.KindDate {
 		date, n = a.R, a.L

@@ -48,6 +48,7 @@ type OpRule interface {
 type Context struct {
 	Target  *dialect.Profile
 	Rec     *feature.Recorder
+	fired   feature.Set
 	nextCol xtra.ColumnID
 }
 
@@ -56,6 +57,19 @@ type Context struct {
 func NewContext(target *dialect.Profile, rec *feature.Recorder, nextCol xtra.ColumnID) *Context {
 	return &Context{Target: target, Rec: rec, nextCol: nextCol}
 }
+
+// Record notes that a rule rewrote for the given feature: it feeds the
+// request-wide recorder and the context's own fired set, so callers can
+// surface exactly which features THIS transform run exercised (the trace
+// span annotation and the workload-statistics bit-set) without tangling
+// them with features recorded by earlier pipeline stages.
+func (c *Context) Record(id feature.ID) {
+	c.Rec.Record(id)
+	c.fired.Add(id)
+}
+
+// Fired returns the features recorded through this context.
+func (c *Context) Fired() feature.Set { return c.fired }
 
 // NewCol mints a fresh column.
 func (c *Context) NewCol(name string, t types.T) xtra.Col {

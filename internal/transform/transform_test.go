@@ -282,3 +282,29 @@ func TestContextNewCol(t *testing.T) {
 		t.Errorf("IDs not monotonic: %+v", col2)
 	}
 }
+
+// Context.Record must feed both the request-wide recorder and the context's
+// own fired set — the latter is what the session surfaces on the transform
+// trace span and in the per-fingerprint statistics.
+func TestContextRecordSurfacesFired(t *testing.T) {
+	rec := &feature.Recorder{}
+	rec.Record(feature.SelAbbrev) // recorded before the transform stage
+	c := NewContext(nil, rec, 0)
+	if !c.Fired().Empty() {
+		t.Fatal("fresh context already has fired features")
+	}
+	c.Record(feature.DateIntCompare)
+	c.Record(feature.DateArith)
+	for _, id := range []feature.ID{feature.DateIntCompare, feature.DateArith} {
+		if !c.Fired().Has(id) {
+			t.Errorf("Fired() missing %v", feature.Lookup(id).Name)
+		}
+		if !rec.Set().Has(id) {
+			t.Errorf("recorder missing %v", feature.Lookup(id).Name)
+		}
+	}
+	// Features recorded outside the context do not leak into Fired().
+	if c.Fired().Has(feature.SelAbbrev) {
+		t.Error("pre-stage feature leaked into the context's fired set")
+	}
+}

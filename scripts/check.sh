@@ -29,23 +29,30 @@ fi
 
 go test -race -timeout 120s ./...
 
-# Allocation-regression gate: the traced full-pipeline benchmark must stay
-# within the budgets checked in with BENCH_translate.json (DESIGN.md §11).
-# Regenerate the artifact with `go run ./cmd/benchmark -run translate`.
+# Allocation-regression gate: the full-pipeline benchmark must stay within
+# the budgets checked in with BENCH_translate.json (DESIGN.md §11), both with
+# the workload-statistics registry enabled ("traced" = tracing + wstats +
+# SLO tracking) and without it ("nostats" = tracing only) — the stats tax
+# must fit inside the same budget, proving steady-state recording is
+# allocation-free. Regenerate the artifact with
+# `go run ./cmd/benchmark -run translate`.
 alloc_budget="$(sed -n 's/.*"allocs_budget": \([0-9]*\).*/\1/p' BENCH_translate.json)"
 bytes_budget="$(sed -n 's/.*"bytes_budget": \([0-9]*\).*/\1/p' BENCH_translate.json)"
-bench_out="$(go test -run='^$' -bench='BenchmarkTracedTranslate/traced' -benchmem -benchtime=100x .)"
+bench_out="$(go test -run='^$' -bench='BenchmarkTracedTranslate/(^traced$|^nostats$)' -benchmem -benchtime=100x .)"
 echo "$bench_out"
-read -r allocs bytes <<<"$(echo "$bench_out" | awk '/^BenchmarkTracedTranslate\/traced/ {print $7, $5}')"
-if [[ -z "${allocs:-}" || -z "${bytes:-}" ]]; then
-    echo "check.sh: could not parse BenchmarkTracedTranslate output" >&2
-    exit 1
-fi
-if (( allocs > alloc_budget || bytes > bytes_budget )); then
-    echo "check.sh: translate allocation regression: ${allocs} allocs/op (budget ${alloc_budget}), ${bytes} B/op (budget ${bytes_budget})" >&2
-    exit 1
-fi
-echo "check.sh: translate alloc gate OK: ${allocs} allocs/op <= ${alloc_budget}, ${bytes} B/op <= ${bytes_budget}"
+for variant in traced nostats; do
+    # The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so match both.
+    read -r allocs bytes <<<"$(echo "$bench_out" | awk -v v="$variant" '$1 ~ ("^BenchmarkTracedTranslate/" v "(-[0-9]+)?$") {print $7, $5}')"
+    if [[ -z "${allocs:-}" || -z "${bytes:-}" ]]; then
+        echo "check.sh: could not parse BenchmarkTracedTranslate/${variant} output" >&2
+        exit 1
+    fi
+    if (( allocs > alloc_budget || bytes > bytes_budget )); then
+        echo "check.sh: translate allocation regression (${variant}): ${allocs} allocs/op (budget ${alloc_budget}), ${bytes} B/op (budget ${bytes_budget})" >&2
+        exit 1
+    fi
+    echo "check.sh: translate alloc gate OK (${variant}): ${allocs} allocs/op <= ${alloc_budget}, ${bytes} B/op <= ${bytes_budget}"
+done
 
 # Connection-pool stress: rerun the 100-goroutine multiplex/pin/unpin storm
 # under the race detector with fresh state (no cached result).
