@@ -12,6 +12,7 @@
 //	benchmark -run pool -clients 16 -pool-size 4   # pool concurrency
 //	benchmark -run stream -rows 27000  # streamed vs buffered result path
 //	benchmark -run translate -sf 0.002 # translate-path allocation proof
+//	benchmark -run replay              # shadow-replay harness throughput
 //
 // Flags -sf, -target, -clients, -iterations and -scale tune experiment size;
 // the defaults finish in a few minutes on a laptop.
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool|stream|translate")
+	run := flag.String("run", "all", "experiment: all|fig2|table1|fig8|fig9a|fig9b|compare|pool|stream|translate|replay")
 	target := flag.String("target", "CloudA", "target profile for Figure 9")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for Figure 9")
 	reps := flag.Int("reps", 1, "Figure 9(a) repetitions of the 22-query stream")
@@ -41,6 +42,7 @@ func main() {
 	poolSize := flag.Int("pool-size", 4, "pool experiment: backend connection pool capacity")
 	backendLatency := flag.Duration("backend-latency", 2*time.Millisecond, "pool experiment: injected per-request backend latency")
 	streamRows := flag.Int("rows", 27000, "stream experiment: result rows (~300 B each)")
+	replayStatements := flag.Int("replay-statements", 150, "replay experiment: captured statements per customer workload")
 	resultBudget := flag.Int("result-budget", 1<<20, "stream experiment: per-session in-flight result byte budget")
 	streamDepth := flag.Int("stream-depth", 4, "stream experiment: pipeline stage depth in batches")
 	out := flag.String("out", "", "write the experiment result as JSON to this file (pool, translate)")
@@ -131,6 +133,18 @@ func main() {
 		}
 		if _, err := bench.TranslateBench(os.Stdout, prof, *sf, path); err != nil {
 			log.Fatalf("benchmark: translate: %v", err)
+		}
+	}
+	if selected == "replay" {
+		// Not part of "all": regenerates the checked-in shadow-replay
+		// artifact (capture + four replay passes over the customer workloads).
+		did = true
+		path := *out
+		if path == "" {
+			path = "BENCH_replay.json"
+		}
+		if _, err := bench.ReplayBench(os.Stdout, prof, *replayStatements, path); err != nil {
+			log.Fatalf("benchmark: replay: %v", err)
 		}
 	}
 	if !did {

@@ -17,21 +17,16 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"os"
 	"time"
 
+	"hyperq/internal/catalog"
 	"hyperq/internal/dialect"
+	"hyperq/internal/hyperq"
 	"hyperq/internal/odbc"
 	"hyperq/internal/odbc/pool"
-	"hyperq/internal/parser"
 	"hyperq/internal/querylog"
-	"hyperq/internal/sqlast"
+	"hyperq/internal/schemaload"
 	"hyperq/internal/wire/tdp"
-
-	"hyperq/internal/binder"
-	"hyperq/internal/catalog"
-	"hyperq/internal/hyperq"
-	"hyperq/internal/xtra"
 )
 
 func main() {
@@ -62,6 +57,7 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "recent-trace ring capacity")
 	queryLogPath := flag.String("query-log", "", "append one JSON line per request to this file (empty = off)")
 	queryLogRedact := flag.Bool("query-log-redact", false, "redact literal values in query-log SQL text")
+	queryLogCapture := flag.Bool("query-log-capture", false, "record replay capture detail in the query log: per-session sequence numbers, inter-statement timing, and (with -query-log-redact) the pre-redaction SQL; capture logs contain literal values")
 	statStatements := flag.Bool("stat-statements", true, "track per-fingerprint workload statistics (/statements)")
 	statStatementsMax := flag.Int("stat-statements-max", 0, "statement shapes tracked before folding into _other (0 = default 1024)")
 	sloMs := flag.Int("slo-ms", 0, "per-request latency SLO in milliseconds; slower requests count as breaches (0 = off)")
@@ -74,7 +70,7 @@ func main() {
 	}
 	cat := catalog.New()
 	if *schema != "" {
-		if err := importSchema(cat, *schema); err != nil {
+		if err := schemaload.ImportFile(cat, *schema); err != nil {
 			log.Fatalf("hyperq: %v", err)
 		}
 		log.Printf("hyperq: imported catalog from %s (%d tables)", *schema, len(cat.Tables()))
@@ -110,11 +106,16 @@ func main() {
 	}
 	var qlog *querylog.Writer
 	if *queryLogPath != "" {
-		qlog, err = querylog.Open(*queryLogPath, *queryLogRedact)
+		qlog, err = querylog.OpenOptions(*queryLogPath, querylog.Options{
+			Redact:  *queryLogRedact,
+			Capture: *queryLogCapture,
+		})
 		if err != nil {
 			log.Fatalf("hyperq: query log: %v", err)
 		}
 		defer qlog.Close()
+	} else if *queryLogCapture {
+		log.Fatalf("hyperq: -query-log-capture requires -query-log")
 	}
 	slowQuery := time.Duration(*slowQueryMs) * time.Millisecond
 	if *slowQueryMs <= 0 {
@@ -206,46 +207,3 @@ func logStats(g *hyperq.Gateway, every time.Duration) {
 	}
 }
 
-// importSchema parses a Teradata DDL script and registers the table and view
-// definitions in the gateway catalog (metadata only; no backend requests).
-func importSchema(cat *catalog.Catalog, path string) error {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	stmts, err := parser.Parse(string(src), parser.Teradata, nil)
-	if err != nil {
-		return fmt.Errorf("schema %s: %w", path, err)
-	}
-	b := binder.New(cat, parser.Teradata, nil)
-	for _, stmt := range stmts {
-		switch stmt.(type) {
-		case *sqlast.CreateTableStmt, *sqlast.CreateViewStmt, *sqlast.CreateMacroStmt:
-		default:
-			continue // non-DDL statements in schema files are skipped
-		}
-		bound, err := b.Bind(stmt)
-		if err != nil {
-			// Macros are gateway objects and bind specially.
-			if cm, ok := stmt.(*sqlast.CreateMacroStmt); ok {
-				m := &catalog.Macro{Name: cm.Name, Body: cm.Body}
-				if err := cat.CreateMacro(m, cm.Replace); err != nil {
-					return err
-				}
-				continue
-			}
-			return fmt.Errorf("schema %s: %w", path, err)
-		}
-		switch t := bound.(type) {
-		case *xtra.CreateTable:
-			if err := cat.CreateTable(t.Def); err != nil {
-				return err
-			}
-		case *xtra.CreateView:
-			if err := cat.CreateView(t.Def); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}

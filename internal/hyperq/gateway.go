@@ -315,6 +315,12 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 // stats so setup statements stay out of the measurement.
 func (g *Gateway) SetStats(st *feature.Stats) { g.cfg.Stats = st }
 
+// SetQueryLog attaches (or detaches, with nil) the query-log writer. Like
+// SetStats, this lets a capture run provision schema and shared objects
+// first and attach the capture log after, so setup statements stay out of
+// the captured workload. Call only while no requests are in flight.
+func (g *Gateway) SetQueryLog(w *querylog.Writer) { g.cfg.QueryLog = w }
+
 // ResetMetrics zeroes the counters, the stage histograms, and the trace ring
 // (between benchmark phases).
 func (g *Gateway) ResetMetrics() {

@@ -1,0 +1,18 @@
+package hyperq
+
+import "hyperq/internal/odbc"
+
+// TakeDivergences drains the per-statement divergence records the session's
+// backend executor accumulated since the last call. Non-empty only when the
+// gateway executes through an odbc.ReplicatedDriver in compare mode — the
+// shadow-migration replay configuration, where every statement fans out to a
+// baseline and a candidate backend and their answers are diffed. A session
+// serves one request at a time, so draining after each Run attributes every
+// record to the statement that produced it. Returns nil for ordinary
+// backends.
+func (s *Session) TakeDivergences() []*odbc.Divergence {
+	if ds, ok := s.be.(odbc.DivergenceSource); ok {
+		return ds.TakeDivergences()
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package odbc
+
+import (
+	"fmt"
+	"strconv"
+
+	"hyperq/internal/fingerprint"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/cwp"
+)
+
+// Divergence kinds, ordered roughly by how early in result comparison each
+// is detected. A divergence record always carries the earliest difference
+// found: comparing stops at the first differing cell so the report can cite
+// it precisely.
+const (
+	// DivStatementCount: the replicas answered a request with different
+	// numbers of statement results.
+	DivStatementCount = "statement-count"
+	// DivError: one replica failed the statement while the other succeeded,
+	// or both failed with different errors.
+	DivError = "error"
+	// DivCommand: the command tags differ (e.g. SELECT vs INSERT).
+	DivCommand = "command"
+	// DivAffected: the affected-row counts of a non-result statement differ.
+	DivAffected = "affected"
+	// DivColumnCount: the result sets have different column counts.
+	DivColumnCount = "column-count"
+	// DivColumnMeta: a column's name or type differs.
+	DivColumnMeta = "column-meta"
+	// DivRowCount: the result sets have different row counts.
+	DivRowCount = "row-count"
+	// DivCell: a cell value differs; Row and Col locate it.
+	DivCell = "cell"
+	// DivWritePartial: a fanned-out write landed on some replicas but not
+	// others — the replicas' contents have truly diverged and the executor
+	// is poisoned (ErrReplicaDivergent) after this record is taken.
+	DivWritePartial = "write-partial"
+)
+
+// Divergence is one detected difference between two replicas' answers to the
+// same statement: the shadow-migration evidence record. Replica identifies
+// the disagreeing replica (the baseline is always the lowest-indexed healthy
+// replica); Stmt the statement index within the request; Row/Col the first
+// differing cell (-1 when the difference is not row- or column-specific).
+// Baseline and Observed are rendered values — a cell's SQL literal, an error
+// text, a count — chosen by Kind.
+type Divergence struct {
+	// SQL is the backend statement text both replicas executed.
+	SQL string `json:"sql"`
+	// Fingerprint is the statement-shape id of SQL (the redacted template
+	// hash), the join key against query logs and the /statements registry.
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Replica     int    `json:"replica"`
+	Stmt        int    `json:"stmt"`
+	Row         int    `json:"row"`
+	Col         int    `json:"col"`
+	Baseline    string `json:"baseline"`
+	Observed    string `json:"observed"`
+}
+
+// String renders the divergence as one human-readable line.
+func (d *Divergence) String() string {
+	loc := fmt.Sprintf("replica %d stmt %d", d.Replica, d.Stmt)
+	if d.Row >= 0 {
+		loc += fmt.Sprintf(" row %d", d.Row)
+	}
+	if d.Col >= 0 {
+		loc += fmt.Sprintf(" col %d", d.Col)
+	}
+	return fmt.Sprintf("%s at %s: baseline %s, observed %s [%s]", d.Kind, loc, d.Baseline, d.Observed, d.Fingerprint)
+}
+
+// CompareFunc diffs two replicas' results for one statement, returning the
+// first difference or nil when they are equivalent. The replay harness
+// installs a tolerance-aware comparator here; the default is StrictCompare.
+// Implementations fill SQL/Kind/Stmt/Row/Col/Baseline/Observed; the
+// replicated executor stamps Replica and Fingerprint.
+type CompareFunc func(sql string, baseline, observed []*cwp.StatementResult) *Divergence
+
+// DivergenceSource is implemented by executors that record result
+// divergences (the replicated executor in compare mode). TakeDivergences
+// drains the records accumulated since the last call; because an executor
+// serves one request at a time, draining after each request attributes every
+// record to the statement that produced it.
+type DivergenceSource interface {
+	TakeDivergences() []*Divergence
+}
+
+// StrictCompare is the default comparator: exact equality on statement
+// count, command tags, affected counts, column metadata, row order, and cell
+// values. The replay differ relaxes it with type-aware tolerances and
+// unordered-set semantics.
+func StrictCompare(sql string, baseline, observed []*cwp.StatementResult) *Divergence {
+	if len(baseline) != len(observed) {
+		return &Divergence{SQL: sql, Kind: DivStatementCount, Stmt: -1, Row: -1, Col: -1,
+			Baseline: strconv.Itoa(len(baseline)) + " statements", Observed: strconv.Itoa(len(observed)) + " statements"}
+	}
+	for si := range baseline {
+		b, o := baseline[si], observed[si]
+		if d := strictCompareStatement(b, o); d != nil {
+			d.SQL = sql
+			d.Stmt = si
+			return d
+		}
+	}
+	return nil
+}
+
+func strictCompareStatement(b, o *cwp.StatementResult) *Divergence {
+	if b.Command != o.Command {
+		return &Divergence{Kind: DivCommand, Row: -1, Col: -1, Baseline: b.Command, Observed: o.Command}
+	}
+	if b.Cols == nil && o.Cols == nil {
+		if b.Affected != o.Affected {
+			return &Divergence{Kind: DivAffected, Row: -1, Col: -1,
+				Baseline: strconv.FormatInt(b.Affected, 10) + " rows", Observed: strconv.FormatInt(o.Affected, 10) + " rows"}
+		}
+		return nil
+	}
+	if (b.Cols == nil) != (o.Cols == nil) {
+		return &Divergence{Kind: DivColumnCount, Row: -1, Col: -1,
+			Baseline: colCountText(b), Observed: colCountText(o)}
+	}
+	if len(b.Cols) != len(o.Cols) {
+		return &Divergence{Kind: DivColumnCount, Row: -1, Col: -1,
+			Baseline: colCountText(b), Observed: colCountText(o)}
+	}
+	for ci := range b.Cols {
+		if b.Cols[ci] != o.Cols[ci] {
+			return &Divergence{Kind: DivColumnMeta, Row: -1, Col: ci,
+				Baseline: b.Cols[ci].Name + " " + b.Cols[ci].Type.String(),
+				Observed: o.Cols[ci].Name + " " + o.Cols[ci].Type.String()}
+		}
+	}
+	brows, orows := b.Rows(), o.Rows()
+	if len(brows) != len(orows) {
+		return &Divergence{Kind: DivRowCount, Row: -1, Col: -1,
+			Baseline: strconv.Itoa(len(brows)) + " rows", Observed: strconv.Itoa(len(orows)) + " rows"}
+	}
+	for ri := range brows {
+		for ci := range brows[ri] {
+			if ci >= len(orows[ri]) {
+				return &Divergence{Kind: DivColumnCount, Row: ri, Col: ci,
+					Baseline: strconv.Itoa(len(brows[ri])) + " cells", Observed: strconv.Itoa(len(orows[ri])) + " cells"}
+			}
+			if !datumEqual(brows[ri][ci], orows[ri][ci]) {
+				return &Divergence{Kind: DivCell, Row: ri, Col: ci,
+					Baseline: brows[ri][ci].SQLLiteral(), Observed: orows[ri][ci].SQLLiteral()}
+			}
+		}
+	}
+	return nil
+}
+
+func colCountText(r *cwp.StatementResult) string {
+	if r.Cols == nil {
+		return "no result set"
+	}
+	return strconv.Itoa(len(r.Cols)) + " columns"
+}
+
+// datumEqual is exact value equality: same kind, same null-ness, same value.
+// Two NULLs of the same kind are equal regardless of payload residue.
+func datumEqual(a, b types.Datum) bool {
+	if a.Null || b.Null {
+		return a.Null == b.Null && a.K == b.K
+	}
+	return a == b
+}
+
+// stampDivergence fills the fields the comparator leaves to the executor.
+func stampDivergence(d *Divergence, sql string, replica int) *Divergence {
+	if d.SQL == "" {
+		d.SQL = sql
+	}
+	d.Replica = replica
+	d.Fingerprint = fingerprint.ShortID(fingerprint.TemplateHash(d.SQL))
+	return d
+}

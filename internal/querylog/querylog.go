@@ -6,6 +6,13 @@
 // external rotation moved or truncated the file away. With redaction on,
 // literal values in the SQL text are replaced lexically with '?' so lifted
 // customer data never reaches the log.
+//
+// Capture mode (opt-in) additionally records what a shadow-migration replay
+// needs to re-execute the workload faithfully: a monotonic per-session
+// sequence number, the wall-clock delta to the session's previous statement,
+// and — when redaction is on — the pre-redaction statement text. ReadFiles
+// and Streams reconstruct per-session statement streams from one or more
+// rotated capture files.
 package querylog
 
 import (
@@ -40,6 +47,23 @@ type Entry struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	CacheTier   string `json:"cache_tier,omitempty"`
 	Streamed    bool   `json:"streamed,omitempty"`
+	// Capture-mode fields. Seq is the 1-based per-session statement sequence
+	// number; DeltaNs the start-to-start wall-clock distance from the
+	// session's previous statement (0 for the first); CaptureSQL the
+	// pre-redaction statement text, recorded only when redaction would
+	// otherwise erase the literals a replay needs.
+	Seq        uint64 `json:"seq,omitempty"`
+	DeltaNs    int64  `json:"delta_ns,omitempty"`
+	CaptureSQL string `json:"capture_sql,omitempty"`
+}
+
+// ReplaySQL returns the statement text a replay should re-execute: the
+// pre-redaction capture text when present, the logged SQL otherwise.
+func (e *Entry) ReplaySQL() string {
+	if e.CaptureSQL != "" {
+		return e.CaptureSQL
+	}
+	return e.SQL
 }
 
 // cacheTier maps a trace's cache outcome to the workload registry's tier
@@ -57,16 +81,47 @@ func cacheTier(cache string) string {
 
 // Writer is a rotation-safe JSON-lines appender. Safe for concurrent use.
 type Writer struct {
-	mu     sync.Mutex
-	path   string
-	redact bool
-	f      *os.File
-	fi     os.FileInfo
+	mu      sync.Mutex
+	path    string
+	redact  bool
+	capture bool
+	f       *os.File
+	fi      os.FileInfo
+
+	// capMu guards the per-session capture state. A session's statements
+	// are logged in order (a session serves one request at a time), so the
+	// sequence numbers and deltas here reconstruct each stream faithfully.
+	capMu    sync.Mutex
+	sessions map[uint64]*captureState
+}
+
+type captureState struct {
+	seq       uint64
+	lastStart time.Time
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Redact replaces literal values with '?' in logged SQL.
+	Redact bool
+	// Capture records replay-grade detail on every entry: per-session
+	// sequence numbers, inter-statement wall-clock deltas, and (when Redact
+	// is also on) the pre-redaction statement text in capture_sql. Capture
+	// logs contain lifted literal values; the flag is opt-in.
+	Capture bool
 }
 
 // Open creates (or appends to) the log at path.
 func Open(path string, redact bool) (*Writer, error) {
-	w := &Writer{path: path, redact: redact}
+	return OpenOptions(path, Options{Redact: redact})
+}
+
+// OpenOptions creates (or appends to) the log at path with full options.
+func OpenOptions(path string, o Options) (*Writer, error) {
+	w := &Writer{path: path, redact: o.Redact, capture: o.Capture}
+	if o.Capture {
+		w.sessions = make(map[uint64]*captureState)
+	}
 	if err := w.reopen(); err != nil {
 		return nil, err
 	}
@@ -75,6 +130,9 @@ func Open(path string, redact bool) (*Writer, error) {
 
 // Redacting reports whether literal redaction is on.
 func (w *Writer) Redacting() bool { return w != nil && w.redact }
+
+// Capturing reports whether replay capture is on.
+func (w *Writer) Capturing() bool { return w != nil && w.capture }
 
 func (w *Writer) reopen() error {
 	if w.f != nil {
@@ -118,6 +176,27 @@ func (w *Writer) LogTrace(t *trace.Trace) error {
 		Fingerprint:     t.Fingerprint,
 		CacheTier:       cacheTier(t.Cache),
 		Streamed:        t.Streamed,
+	}
+	if w.capture {
+		w.capMu.Lock()
+		st := w.sessions[t.Session]
+		if st == nil {
+			st = &captureState{}
+			w.sessions[t.Session] = st
+		}
+		st.seq++
+		e.Seq = st.seq
+		if st.seq > 1 {
+			e.DeltaNs = t.StartedAt.Sub(st.lastStart).Nanoseconds()
+			if e.DeltaNs < 0 {
+				e.DeltaNs = 0
+			}
+		}
+		st.lastStart = t.StartedAt
+		w.capMu.Unlock()
+		if w.redact {
+			e.CaptureSQL = t.SQL
+		}
 	}
 	if w.redact {
 		e.SQL = Redact(e.SQL)

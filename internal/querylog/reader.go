@@ -1,0 +1,93 @@
+package querylog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReadFiles parses one or more query-log files, given oldest rotation first,
+// and returns their entries in file order. A torn final line — a write cut
+// short by a crash or an in-flight rotation — is tolerated and skipped; a
+// malformed line anywhere else marks the log corrupt and fails the read.
+func ReadFiles(paths ...string) ([]Entry, error) {
+	var out []Entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		lines := bytes.Split(data, []byte{'\n'})
+		for i, ln := range lines {
+			ln = bytes.TrimSpace(ln)
+			if len(ln) == 0 {
+				continue
+			}
+			var e Entry
+			if err := json.Unmarshal(ln, &e); err != nil {
+				if i == len(lines)-1 {
+					// No trailing newline: the line never finished.
+					continue
+				}
+				return nil, fmt.Errorf("%s:%d: %w", p, i+1, err)
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Stream is one session's captured statement sequence, stitched across
+// rotated files and ordered by sequence number.
+type Stream struct {
+	Session uint64
+	User    string
+	Entries []Entry
+	// Gaps counts missing sequence numbers within the stream — statements
+	// lost to torn lines or discarded rotations. A replay can proceed past
+	// gaps but the report should disclose them.
+	Gaps int
+}
+
+// Streams groups entries by session id and orders each session's statements
+// by capture sequence number, stitching streams that a rotation split across
+// files. Entries without sequence numbers (plain logging mode) keep their
+// file order within the session. Streams are returned in ascending session
+// order.
+func Streams(entries []Entry) []Stream {
+	byID := make(map[uint64]*Stream)
+	for _, e := range entries {
+		s := byID[e.Session]
+		if s == nil {
+			s = &Stream{Session: e.Session, User: e.User}
+			byID[e.Session] = s
+		}
+		if s.User == "" {
+			s.User = e.User
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	out := make([]Stream, 0, len(byID))
+	for _, s := range byID {
+		sort.SliceStable(s.Entries, func(i, j int) bool {
+			return s.Entries[i].Seq < s.Entries[j].Seq
+		})
+		for i := range s.Entries {
+			if i == 0 {
+				if q := s.Entries[0].Seq; q > 1 {
+					s.Gaps += int(q - 1)
+				}
+				continue
+			}
+			a, b := s.Entries[i-1].Seq, s.Entries[i].Seq
+			if a != 0 && b > a+1 {
+				s.Gaps += int(b - a - 1)
+			}
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}

@@ -1,0 +1,328 @@
+// Package replay is the shadow-migration replay harness: it reconstructs
+// per-session statement streams from a capture-mode query log, re-executes
+// them through the full gateway pipeline against a baseline and a candidate
+// backend simultaneously (reusing odbc.ReplicatedDriver's dual dispatch),
+// and emits an equivalence report that joins every divergent statement back
+// to its workload fingerprint and exemplar trace. This is the tool that
+// closes the paper's risk-free-adoption loop: the workload keeps running on
+// the trusted system while the gateway proves, statement by statement, that
+// the cloud target answers identically.
+package replay
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyperq/internal/odbc"
+	"hyperq/internal/types"
+	"hyperq/internal/wire/cwp"
+)
+
+// Tolerance configures how far two backends' answers may drift and still
+// count as equivalent. Every knob works by canonicalization — values are
+// mapped onto a tolerance grid before comparing — so equivalence stays
+// transitive, which the unordered (multiset) comparison requires.
+type Tolerance struct {
+	// FloatEps buckets FLOAT values into FloatEps-wide cells: two floats are
+	// equal when they round to the same cell. 0 compares exactly.
+	FloatEps float64
+	// TimestampTruncate truncates TIMESTAMP values to this precision before
+	// comparing (e.g. time.Millisecond forgives sub-millisecond drift
+	// between engines). 0 compares exactly.
+	TimestampTruncate time.Duration
+	// TrimCharPad compares CHAR values with trailing blanks stripped, so
+	// engines that return declared-length padding and engines that return
+	// trimmed values agree.
+	TrimCharPad bool
+}
+
+// Differ is a tolerance-aware result-set comparator. Compare implements
+// odbc.CompareFunc, so a Differ plugs directly into a ReplicatedDriver.
+//
+// Comparison semantics: statements without a top-level ORDER BY compare as
+// multisets of rows — both results are canonicalized and sorted before the
+// row-by-row diff, because SQL leaves their order unspecified and two
+// engines may legitimately disagree on it. Statements with ORDER BY compare
+// positionally. Column metadata compares by name and kind only: declared
+// lengths and precisions vary across target profiles without changing the
+// values.
+type Differ struct {
+	Tol Tolerance
+}
+
+// Compare diffs two backends' answers to one statement, returning the first
+// difference found or nil when equivalent under the configured tolerances.
+// For unordered comparisons the reported row index refers to the baseline's
+// original row order.
+func (df *Differ) Compare(sql string, baseline, observed []*cwp.StatementResult) *odbc.Divergence {
+	if len(baseline) != len(observed) {
+		return &odbc.Divergence{SQL: sql, Kind: odbc.DivStatementCount, Stmt: -1, Row: -1, Col: -1,
+			Baseline: strconv.Itoa(len(baseline)) + " statements", Observed: strconv.Itoa(len(observed)) + " statements"}
+	}
+	ordered := hasTopLevelOrderBy(sql)
+	for si := range baseline {
+		if d := df.compareStatement(baseline[si], observed[si], ordered); d != nil {
+			d.SQL = sql
+			d.Stmt = si
+			return d
+		}
+	}
+	return nil
+}
+
+func (df *Differ) compareStatement(b, o *cwp.StatementResult, ordered bool) *odbc.Divergence {
+	if b.Command != o.Command {
+		return &odbc.Divergence{Kind: odbc.DivCommand, Row: -1, Col: -1, Baseline: b.Command, Observed: o.Command}
+	}
+	if b.Cols == nil && o.Cols == nil {
+		if b.Affected != o.Affected {
+			return &odbc.Divergence{Kind: odbc.DivAffected, Row: -1, Col: -1,
+				Baseline: strconv.FormatInt(b.Affected, 10) + " rows", Observed: strconv.FormatInt(o.Affected, 10) + " rows"}
+		}
+		return nil
+	}
+	if (b.Cols == nil) != (o.Cols == nil) || len(b.Cols) != len(o.Cols) {
+		return &odbc.Divergence{Kind: odbc.DivColumnCount, Row: -1, Col: -1,
+			Baseline: colText(b), Observed: colText(o)}
+	}
+	for ci := range b.Cols {
+		if !strings.EqualFold(b.Cols[ci].Name, o.Cols[ci].Name) || b.Cols[ci].Type.Kind != o.Cols[ci].Type.Kind {
+			return &odbc.Divergence{Kind: odbc.DivColumnMeta, Row: -1, Col: ci,
+				Baseline: b.Cols[ci].Name + " " + b.Cols[ci].Type.String(),
+				Observed: o.Cols[ci].Name + " " + o.Cols[ci].Type.String()}
+		}
+	}
+	brows, orows := df.canonRows(b.Rows()), df.canonRows(o.Rows())
+	if len(brows) != len(orows) {
+		return &odbc.Divergence{Kind: odbc.DivRowCount, Row: -1, Col: -1,
+			Baseline: strconv.Itoa(len(brows)) + " rows", Observed: strconv.Itoa(len(orows)) + " rows"}
+	}
+	if !ordered {
+		sortCanonRows(brows)
+		sortCanonRows(orows)
+	}
+	for ri := range brows {
+		br, or := brows[ri], orows[ri]
+		for ci := range br.canon {
+			if ci >= len(or.canon) {
+				return &odbc.Divergence{Kind: odbc.DivColumnCount, Row: br.idx, Col: ci,
+					Baseline: strconv.Itoa(len(br.canon)) + " cells", Observed: strconv.Itoa(len(or.canon)) + " cells"}
+			}
+			if br.canon[ci] != or.canon[ci] {
+				return &odbc.Divergence{Kind: odbc.DivCell, Row: br.idx, Col: ci,
+					Baseline: br.orig[ci].SQLLiteral(), Observed: or.orig[ci].SQLLiteral()}
+			}
+		}
+	}
+	return nil
+}
+
+// canonRow pairs a row's canonical (tolerance-gridded) form, used for
+// comparison and sorting, with the original datums for reporting and the
+// original row index for citation.
+type canonRow struct {
+	canon []types.Datum
+	orig  []types.Datum
+	idx   int
+}
+
+func (df *Differ) canonRows(rows [][]types.Datum) []canonRow {
+	out := make([]canonRow, len(rows))
+	for i, row := range rows {
+		c := make([]types.Datum, len(row))
+		for j, d := range row {
+			c[j] = df.canon(d)
+		}
+		out[i] = canonRow{canon: c, orig: row, idx: i}
+	}
+	return out
+}
+
+// canon maps a datum onto the tolerance grid. NULLs lose any payload residue
+// so two NULLs of the same kind always compare equal.
+func (df *Differ) canon(d types.Datum) types.Datum {
+	if d.Null {
+		return types.Datum{K: d.K, Null: true}
+	}
+	switch d.K {
+	case types.KindFloat:
+		if eps := df.Tol.FloatEps; eps > 0 && !math.IsNaN(d.F) && !math.IsInf(d.F, 0) {
+			d.F = math.Round(d.F/eps) * eps
+		}
+	case types.KindChar:
+		if df.Tol.TrimCharPad {
+			d.S = strings.TrimRight(d.S, " ")
+		}
+	case types.KindTimestamp:
+		if us := df.Tol.TimestampTruncate.Microseconds(); us > 0 {
+			d.I -= floorMod(d.I, us)
+		}
+	}
+	return d
+}
+
+// floorMod is the non-negative remainder (truncation toward minus infinity),
+// so pre-epoch timestamps truncate to the grid cell below them, not above.
+func floorMod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func sortCanonRows(rows []canonRow) {
+	sort.SliceStable(rows, func(i, j int) bool { return lessCanon(rows[i].canon, rows[j].canon) })
+}
+
+// lessCanon orders canonical rows deterministically: NULLs first, then by
+// value within kind. The specific order is arbitrary — it only has to be the
+// same for both result sets.
+func lessCanon(a, b []types.Datum) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := compareDatum(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+func compareDatum(a, b types.Datum) int {
+	if a.K != b.K {
+		return int(a.K) - int(b.K)
+	}
+	if a.Null || b.Null {
+		switch {
+		case a.Null && b.Null:
+			return 0
+		case a.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch a.K {
+	case types.KindFloat:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case types.KindChar, types.KindVarChar, types.KindBytes:
+		return strings.Compare(a.S, b.S)
+	case types.KindPeriod:
+		if a.PStart != b.PStart {
+			return cmp64(a.PStart, b.PStart)
+		}
+		return cmp64(a.PEnd, b.PEnd)
+	case types.KindDecimal:
+		if a.Scale != b.Scale {
+			return int(a.Scale) - int(b.Scale)
+		}
+		return cmp64(a.I, b.I)
+	}
+	return cmp64(a.I, b.I)
+}
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func colText(r *cwp.StatementResult) string {
+	if r.Cols == nil {
+		return "no result set"
+	}
+	return strconv.Itoa(len(r.Cols)) + " columns"
+}
+
+// hasTopLevelOrderBy reports whether the statement text contains an ORDER BY
+// outside any parenthesized subexpression — the lexical signal that the
+// application relies on row order, switching the differ to positional
+// comparison. The scan skips string literals ('…' with '' escaping), quoted
+// identifiers ("…"), and comments (-- … and /* … */).
+func hasTopLevelOrderBy(sql string) bool {
+	depth := 0
+	sawOrder := false
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == '\'' || c == '"':
+			q := c
+			i++
+			for i < n {
+				if sql[i] == q {
+					if q == '\'' && i+1 < n && sql[i+1] == q {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			sawOrder = false
+		case c == '-' && i+1 < n && sql[i+1] == '-':
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && sql[i+1] == '*':
+			i += 2
+			for i+1 < n && !(sql[i] == '*' && sql[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == '(':
+			depth++
+			i++
+			sawOrder = false
+		case c == ')':
+			if depth > 0 {
+				depth--
+			}
+			i++
+			sawOrder = false
+		case isWordByte(c):
+			start := i
+			for i < n && isWordByte(sql[i]) {
+				i++
+			}
+			word := sql[start:i]
+			if depth == 0 {
+				switch {
+				case strings.EqualFold(word, "ORDER"):
+					sawOrder = true
+					continue
+				case sawOrder && strings.EqualFold(word, "BY"):
+					return true
+				}
+			}
+			sawOrder = false
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		default:
+			i++
+			sawOrder = false
+		}
+	}
+	return false
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || ('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}

@@ -1,0 +1,68 @@
+// Package schemaload imports Teradata-dialect DDL scripts into a gateway
+// catalog — the stand-in for Hyper-Q's automated schema discovery, shared by
+// the gateway and replay commands.
+package schemaload
+
+import (
+	"fmt"
+	"os"
+
+	"hyperq/internal/binder"
+	"hyperq/internal/catalog"
+	"hyperq/internal/parser"
+	"hyperq/internal/sqlast"
+	"hyperq/internal/xtra"
+)
+
+// ImportFile parses a Teradata DDL script file and registers its table,
+// view, and macro definitions in the catalog (metadata only; no backend
+// requests).
+func ImportFile(cat *catalog.Catalog, path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := Import(cat, string(src)); err != nil {
+		return fmt.Errorf("schema %s: %w", path, err)
+	}
+	return nil
+}
+
+// Import parses Teradata DDL text and registers the definitions.
+func Import(cat *catalog.Catalog, src string) error {
+	stmts, err := parser.Parse(src, parser.Teradata, nil)
+	if err != nil {
+		return err
+	}
+	b := binder.New(cat, parser.Teradata, nil)
+	for _, stmt := range stmts {
+		switch stmt.(type) {
+		case *sqlast.CreateTableStmt, *sqlast.CreateViewStmt, *sqlast.CreateMacroStmt:
+		default:
+			continue // non-DDL statements in schema files are skipped
+		}
+		bound, err := b.Bind(stmt)
+		if err != nil {
+			// Macros are gateway objects and bind specially.
+			if cm, ok := stmt.(*sqlast.CreateMacroStmt); ok {
+				m := &catalog.Macro{Name: cm.Name, Body: cm.Body}
+				if err := cat.CreateMacro(m, cm.Replace); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		switch t := bound.(type) {
+		case *xtra.CreateTable:
+			if err := cat.CreateTable(t.Def); err != nil {
+				return err
+			}
+		case *xtra.CreateView:
+			if err := cat.CreateView(t.Def); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -64,6 +64,15 @@ go test -race -count=1 -timeout 120s -run 'TestPoolStressRace' ./internal/odbc/p
 # the race detector with fresh state.
 go test -race -count=1 -timeout 300s -run 'TestResilientStream|TestStreamingBackpressureBoundsResultMemory|TestStreamingSlowClientEvicted|TestStreamingMidStreamBackendDeathFailsCleanly|TestStreamingClientDisconnectReleasesEverything|TestStreamingMatchesBufferedWireTranscripts|TestStreamingResultMemoryCapSheds|TestStreamingBackendProcessDeathSurfacesFailure' ./internal/odbc/ ./internal/hyperq/
 
+# Shadow-replay soak: capture a few hundred statements from both customer
+# workloads through a live wire gateway, replay them at 10x against two
+# backend profiles served over real sockets — once against identical
+# profiles (the equivalence report must be clean) and once against a
+# perturbed candidate (the report must pinpoint the drifted statement and
+# cell) — and require zero leaked goroutines, all under the race detector
+# with fresh state.
+HYPERQ_REPLAY_SOAK=150 go test -race -count=1 -timeout 300s -run 'TestShadowReplayEndToEnd' ./internal/replay/
+
 # End-to-end smoke: boot cloudsrv + hyperq (with the introspection endpoint),
 # run a statement through bteq, and assert /metrics shows pipeline activity.
 # A second phase restarts the gateway with -pool-size 2 and oversubscribes it
