@@ -49,6 +49,114 @@ func TestBinaryCleanOnRepo(t *testing.T) {
 	}
 }
 
+// TestVetToolCatchesInjected proves the go vet integration end to end: a
+// scratch module carries one violation per data-flow analyzer, and
+// `go vet -vettool=hyperqlint` must fail naming each of them. This guards
+// the unitchecker protocol plumbing (handshake, export-data importing,
+// diagnostics exit code), not just the analyzers — a regression that made
+// the vettool silently pass everything would show up here and nowhere else.
+func TestVetToolCatchesInjected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet; skipped in -short mode")
+	}
+	modRoot := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "hyperqlint")
+	build := exec.Command("go", "build", "-o", bin, "hyperq/cmd/hyperqlint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hyperqlint: %v\n%s", err, out)
+	}
+
+	probe := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(probe, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module probe\n\ngo 1.22\n")
+	// Stub resource provider matching leakpair's pool registry by name.
+	write("pool/pool.go", `package pool
+
+type Conn struct{}
+
+type Pool struct{}
+
+func (p *Pool) acquire() (*Conn, error) { return &Conn{}, nil }
+
+func (p *Pool) release(c *Conn) {}
+
+func LeakOnEarlyReturn(p *Pool, bail bool) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	if bail {
+		return nil // leakpair: c never released on this path
+	}
+	p.release(c)
+	return nil
+}
+`)
+	// Stub capture surface matching sqltaint's querylog registry by name.
+	write("querylog/querylog.go", `package querylog
+
+type Entry struct {
+	SQL        string
+	CaptureSQL string
+}
+
+func (e *Entry) ReplaySQL() string {
+	if e.CaptureSQL != "" {
+		return e.CaptureSQL
+	}
+	return e.SQL
+}
+`)
+	// One violation per data-flow analyzer.
+	write("use/use.go", `package use
+
+import (
+	"io"
+	"log"
+	"sync/atomic"
+
+	"probe/querylog"
+)
+
+func CompareSentinel(err error) bool {
+	return err == io.EOF // errsentinel: identity comparison
+}
+
+type stats struct{ n int64 }
+
+func Bump(s *stats) { atomic.AddInt64(&s.n, 1) }
+
+func Read(s *stats) int64 { return s.n } // atomicfield: plain read
+
+func LogRaw(e *querylog.Entry) {
+	log.Printf("replaying %s", e.ReplaySQL()) // sqltaint: unsanitized sink
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = probe
+	vet.Env = append(os.Environ(), "GOWORK=off")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a module with injected violations:\n%s", out)
+	}
+	for _, analyzer := range []string{"[leakpair]", "[errsentinel]", "[atomicfield]", "[sqltaint]"} {
+		if !strings.Contains(string(out), analyzer) {
+			t.Errorf("go vet output does not name %s:\n%s", analyzer, out)
+		}
+	}
+}
+
 func moduleRoot(t *testing.T) string {
 	t.Helper()
 	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()

@@ -209,10 +209,10 @@ func (s *Session) execStreamed(se odbc.StreamExecutor, sql string, frontCols []x
 		for {
 			ev, err := st.Next(pctx)
 			if err != nil {
-				if err == io.EOF && sawComplete && !statementOpen {
+				if errors.Is(err, io.EOF) && sawComplete && !statementOpen {
 					return
 				}
-				if err == io.EOF {
+				if errors.Is(err, io.EOF) {
 					err = fmt.Errorf("backend stream ended without statement completion: %w", io.ErrUnexpectedEOF)
 				}
 				select {

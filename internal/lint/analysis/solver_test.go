@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkFunc type-checks src (a full file) and returns the named function's
+// body CFG plus the type info, for solver tests that need real objects.
+func checkFunc(t *testing.T, src, name string) (*CFG, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body), info, fd
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil, nil, nil
+}
+
+// objByName resolves a local object by identifier name within the checked
+// function.
+func objByName(t *testing.T, info *types.Info, fd *ast.FuncDecl, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := info.Defs[id]; o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("object %q not found", name)
+	}
+	return obj
+}
+
+const taintSrc = `package x
+
+func source() string { return "raw" }
+func clean(s string) string { return "ok" }
+
+func f(c bool) string {
+	a := source()
+	b := "lit"
+	if c {
+		b = a
+	} else {
+		b = clean(a)
+	}
+	return b
+}
+`
+
+// taintTransfer propagates taint through assignments: lhs tainted iff rhs
+// mentions a tainted object or calls source(); calls to clean() sanitize.
+func taintTransfer(info *types.Info) Transfer {
+	tainted := func(e ast.Expr, in Fact) bool {
+		bad := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if id.Name == "clean" {
+						return false // sanitizer: do not descend
+					}
+					if id.Name == "source" {
+						bad = true
+					}
+				}
+			case *ast.Ident:
+				if o := info.Uses[n]; o != nil && in.Has(o) {
+					bad = true
+				}
+			}
+			return true
+		})
+		return bad
+	}
+	return func(n ast.Node, in Fact) Fact {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return in
+		}
+		out := in
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			o := info.Defs[id]
+			if o == nil {
+				o = info.Uses[id]
+			}
+			if o == nil {
+				continue
+			}
+			if tainted(as.Rhs[i], in) {
+				out = out.Clone()
+				out[o] = struct{}{}
+			} else if out.Has(o) {
+				out = out.Clone()
+				delete(out, o)
+			}
+		}
+		return out
+	}
+}
+
+func TestForwardTaintJoinsBranches(t *testing.T) {
+	g, info, fd := checkFunc(t, taintSrc, "f")
+	bObj := objByName(t, info, fd, "b")
+	in := g.Forward(Fact{}, taintTransfer(info))
+	// At the return block, b may be tainted (then-branch assigned b = a):
+	// the may-union over both branches must include b.
+	var retIn Fact
+	for _, blk := range g.Blocks {
+		if blk.Return != nil {
+			retIn = in[blk]
+		}
+	}
+	if retIn == nil {
+		t.Fatal("no return block")
+	}
+	if !retIn.Has(bObj) {
+		t.Fatal("forward may-analysis lost the tainted branch at the join")
+	}
+}
+
+func TestForwardSanitizerKills(t *testing.T) {
+	// With the tainting branch removed, b must be clean at the return.
+	src := strings.Replace(taintSrc, "b = a\n", "b = clean(a)\n", 1)
+	g, info, fd := checkFunc(t, src, "f")
+	bObj := objByName(t, info, fd, "b")
+	in := g.Forward(Fact{}, taintTransfer(info))
+	for _, blk := range g.Blocks {
+		if blk.Return != nil && in[blk].Has(bObj) {
+			t.Fatal("sanitized value still tainted at return")
+		}
+	}
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	const src = `package x
+func g(c bool) int {
+	x := 1
+	y := 2
+	if c {
+		return x
+	}
+	return y
+}
+`
+	g, info, fd := checkFunc(t, src, "g")
+	xObj := objByName(t, info, fd, "x")
+	yObj := objByName(t, info, fd, "y")
+	// Backward liveness: a use makes the object live; a (re)definition
+	// kills it.
+	tr := func(n ast.Node, out Fact) Fact {
+		res := out
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if id, ok := e.(*ast.Ident); ok {
+					if o := info.Uses[id]; o != nil && !res.Has(o) {
+						res = res.Clone()
+						res[o] = struct{}{}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					if o := info.Defs[id]; o != nil && res.Has(o) {
+						res = res.Clone()
+						delete(res, o)
+					}
+				}
+			}
+		}
+		return res
+	}
+	out := g.Backward(Fact{}, tr)
+	// Backward OUT sets are the facts at each block's end. The entry block
+	// ends at the if dispatch, where both x (live into the then-return) and
+	// y (live into the else-return) must be live — the union join must have
+	// propagated both uses back across the branch.
+	entryOut := out[g.Entry]
+	if !entryOut.Has(xObj) || !entryOut.Has(yObj) {
+		t.Fatalf("liveness missing at the branch point: %v", entryOut)
+	}
+	// Return blocks end after their use, so nothing is live there.
+	for _, blk := range g.Blocks {
+		if blk.Return != nil && (out[blk].Has(xObj) || out[blk].Has(yObj)) {
+			t.Fatalf("liveness past the final use: %v", out[blk])
+		}
+	}
+}
+
+func TestFactOps(t *testing.T) {
+	a := Fact{}
+	if a.Has(nil) {
+		t.Fatal("empty fact has nil")
+	}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+}

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hyperq/internal/lint/analysis"
+)
+
+// AtomicField reports mixed atomic/plain access to the same struct field.
+//
+// A field accessed through sync/atomic anywhere must be accessed atomically
+// everywhere: one plain read racing one atomic write is a data race the
+// race detector only catches when the interleaving actually happens, and on
+// weakly-ordered hardware the plain read can observe torn or stale values.
+// The gateway's metrics blocks, workload-statistics counters, and stream
+// accounting all lean on lock-free counters, which makes the
+// "atomic.AddInt64 in the hot path, c.hits in the snapshot" slip easy to
+// write and hard to spot in review.
+//
+// The analyzer collects every field whose address is passed to a sync/atomic
+// function, then flags plain selector reads and writes of those fields.
+// Exempt shapes:
+//
+//   - &x.f passed anywhere: the callee decides how to access it;
+//   - composite-literal initialization (entry{admit: 1}): no other
+//     goroutine can hold the value yet;
+//   - accesses on a freshly allocated, not-yet-published value: a
+//     flow-sensitive pass tracks locals bound to &T{}/new(T) until they
+//     escape (stored, passed, returned, sent), so constructor-style plain
+//     writes stay legal.
+//
+// Test files are skipped: tests own their goroutines and routinely read
+// counters after everything has joined.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "checks that struct fields accessed via sync/atomic are accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	fields := atomicFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, fn := range functionsIn(file) {
+			checkAtomicAccess(pass, fn.body, fields)
+		}
+	}
+	return nil
+}
+
+// atomicFields collects every struct field whose address reaches a
+// sync/atomic call anywhere in the package (test files excluded — a
+// test-only atomic does not impose the discipline on production code).
+func atomicFields(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.Info, call)
+			if callee == nil || analysis.FuncPkgName(callee) != "atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// freshTransfer tracks locals bound to freshly allocated values: fresh until
+// the value appears anywhere other than as a selector base (stored, passed,
+// returned, sent — published to code that may spawn concurrent access).
+func freshTransfer(pass *analysis.Pass) analysis.Transfer {
+	objOf := func(id *ast.Ident) types.Object {
+		if o := pass.Info.Defs[id]; o != nil {
+			return o
+		}
+		return pass.Info.Uses[id]
+	}
+	return func(n ast.Node, in analysis.Fact) analysis.Fact {
+		out := in
+		set := func(o types.Object, fresh bool) {
+			if o == nil {
+				return
+			}
+			if fresh && !out.Has(o) {
+				out = out.Clone()
+				out[o] = struct{}{}
+			} else if !fresh && out.Has(o) {
+				out = out.Clone()
+				delete(out, o)
+			}
+		}
+		// (Re)bindings first: x := &T{} makes x fresh, any other RHS kills it.
+		bind := func(lhs ast.Expr, rhs ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			set(objOf(id), isFreshAlloc(rhs))
+		}
+		for _, scope := range cfgNodeScope(n) {
+			ast.Inspect(scope, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				switch st := m.(type) {
+				case *ast.AssignStmt:
+					if len(st.Lhs) == len(st.Rhs) {
+						for i := range st.Lhs {
+							bind(st.Lhs[i], st.Rhs[i])
+						}
+					}
+				case *ast.ValueSpec:
+					if len(st.Names) == len(st.Values) {
+						for i, nm := range st.Names {
+							bind(nm, st.Values[i])
+						}
+					}
+				}
+				return true
+			})
+		}
+		// Publishes: a fresh object used outside a selector base position
+		// escapes this function's exclusive ownership.
+		for _, scope := range cfgNodeScope(n) {
+			var stack []ast.Node
+			ast.Inspect(scope, func(m ast.Node) bool {
+				if m == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				stack = append(stack, m)
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				o := pass.Info.Uses[id]
+				if o == nil || !out.Has(o) {
+					return true
+				}
+				if len(stack) >= 2 {
+					switch p := stack[len(stack)-2].(type) {
+					case *ast.SelectorExpr:
+						if p.X == id {
+							return true // x.f access: still private
+						}
+					case *ast.AssignStmt:
+						for _, l := range p.Lhs {
+							if l == id {
+								return true // rebinding target, handled above
+							}
+						}
+					}
+				}
+				set(o, false)
+				return true
+			})
+		}
+		return out
+	}
+}
+
+// isFreshAlloc reports whether e allocates a value no other goroutine can
+// reference yet.
+func isFreshAlloc(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// checkAtomicAccess flags plain accesses to atomic fields in one function,
+// using the freshness dataflow to exempt pre-publication constructors.
+func checkAtomicAccess(pass *analysis.Pass, body *ast.BlockStmt, fields map[types.Object]bool) {
+	g := analysis.New(body)
+	tr := freshTransfer(pass)
+	// Freshness is a must-property: a value is private only when it is
+	// unpublished on every path reaching the access.
+	in := g.ForwardMust(analysis.Fact{}, tr)
+	for _, b := range g.Blocks {
+		fact := in[b]
+		for _, n := range b.Nodes {
+			reportPlainAccesses(pass, n, fields, fact)
+			fact = tr(n, fact)
+		}
+	}
+}
+
+func reportPlainAccesses(pass *analysis.Pass, n ast.Node, fields map[types.Object]bool, fresh analysis.Fact) {
+	for _, scope := range cfgNodeScope(n) {
+		reportPlainAccessesIn(pass, scope, fields, fresh)
+	}
+}
+
+func reportPlainAccessesIn(pass *analysis.Pass, n ast.Node, fields map[types.Object]bool, fresh analysis.Fact) {
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, m)
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fields[v] {
+			return true
+		}
+		// &x.f is delegation, not access.
+		if len(stack) >= 2 {
+			if ue, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && ue.Op == token.AND && ast.Unparen(ue.X) == sel {
+				return true
+			}
+		}
+		// Freshly allocated, unpublished receiver: constructor writes are
+		// race-free.
+		if base := baseIdent(sel.X); base != nil {
+			if o := pass.Info.Uses[base]; o != nil && fresh.Has(o) {
+				return true
+			}
+		}
+		if isWriteTarget(stack, sel) {
+			pass.Reportf(sel.Pos(),
+				"plain write to field %s, which is accessed with sync/atomic elsewhere; use atomic.Store%s/Add%s",
+				v.Name(), atomicSuffix(v.Type()), atomicSuffix(v.Type()))
+		} else {
+			pass.Reportf(sel.Pos(),
+				"plain read of field %s, which is accessed with sync/atomic elsewhere; use atomic.Load%s",
+				v.Name(), atomicSuffix(v.Type()))
+		}
+		return true
+	})
+}
+
+// baseIdent unwraps a selector/index chain to its leftmost identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isWriteTarget reports whether the selector at the top of the stack is
+// being assigned to (=, +=, ++).
+func isWriteTarget(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+// atomicSuffix maps a field type to the sync/atomic function suffix.
+func atomicSuffix(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Pointer"
+	}
+	name := b.Name()
+	if len(name) == 0 {
+		return "Int64"
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}

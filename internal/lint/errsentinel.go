@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyperq/internal/lint/analysis"
+)
+
+// ErrSentinel reports error-identity checks that break under wrapping.
+//
+// Two rules, both grounded in shipped bugs:
+//
+//  1. Direct ==/!= comparison (or a value switch) against a sentinel error
+//     declared in another package. Every layer boundary in the gateway wraps
+//     errors with %w for context — the moment any intermediate does, an
+//     identity comparison silently stops matching. errors.Is follows the
+//     wrap chain; == does not. Same-package comparisons are left alone: the
+//     declaring package controls both ends and often compares unwrapped
+//     sentinels it just produced.
+//
+//  2. Bare io.EOF crossing a connection-API boundary (the PR 7 bug). In a
+//     function that uses bare io.EOF as a value — the clean-end sentinel of
+//     a result stream — an error coming back from a raw transport read
+//     (ReadMessage, io.ReadFull, ...) may itself be bare io.EOF, meaning the
+//     peer died mid-request. Letting it escape (returned, stored into a
+//     message struct, sent on a channel) makes a killed backend
+//     indistinguishable from a successful empty result. The error must pass
+//     an EOF classification (errors.Is / an EOF comparison / a rewrite)
+//     on every path before it escapes.
+//
+// Test files are skipped: tests legitimately compare the exact sentinel
+// they just injected.
+var ErrSentinel = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "checks that sentinel errors are matched with errors.Is and bare io.EOF never crosses a connection-API boundary",
+	Run:  runErrSentinel,
+}
+
+func runErrSentinel(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		checkSentinelComparisons(pass, file)
+		for _, fn := range functionsIn(file) {
+			checkBareEOF(pass, fn.body)
+		}
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// sentinelVar resolves e to a package-level error-typed variable declared
+// outside the package under analysis — a foreign sentinel whose identity an
+// intermediate wrap would destroy.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg() == pass.Pkg {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.AssignableTo(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+// checkSentinelComparisons flags ==/!= and switch-case identity tests
+// against foreign sentinels.
+func checkSentinelComparisons(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			v := sentinelVar(pass, n.X)
+			if v == nil {
+				v = sentinelVar(pass, n.Y)
+			}
+			if v != nil {
+				pass.Reportf(n.Pos(),
+					"%s comparison against sentinel %s.%s fails once the error is wrapped; use errors.Is",
+					n.Op, v.Pkg().Name(), v.Name())
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[n.Tag]
+			if !ok || tv.Type == nil || !types.AssignableTo(tv.Type, errorType) {
+				return true
+			}
+			for _, cs := range n.Body.List {
+				cc, ok := cs.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if v := sentinelVar(pass, e); v != nil {
+						pass.Reportf(e.Pos(),
+							"switch case matches sentinel %s.%s by identity and fails once the error is wrapped; use errors.Is",
+							v.Pkg().Name(), v.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// readCallees are the raw transport-read shapes whose errors may be bare
+// io.EOF straight off the socket.
+var readCallees = map[string]bool{
+	"Read":        true,
+	"ReadFull":    true,
+	"ReadAtLeast": true,
+	"ReadMessage": true,
+	"ReadByte":    true,
+	"ReadBytes":   true,
+	"ReadString":  true,
+}
+
+// checkBareEOF implements rule 2: in a clean-end-sentinel producer, every
+// escape of a raw read error must be preceded by an EOF classification on
+// all paths.
+func checkBareEOF(pass *analysis.Pass, body *ast.BlockStmt) {
+	if !producesBareEOF(pass, body) {
+		return
+	}
+	type readSite struct {
+		stmt   ast.Node
+		errObj types.Object
+		callee string
+	}
+	var sites []readSite
+	inspectSkipFuncLits(body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		var rhs ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			lhs, rhs = st.Lhs, st.Rhs[0]
+		default:
+			return true
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.Info, call)
+		if callee == nil || !readCallees[callee.Name()] {
+			return true
+		}
+		// The error is by convention the last result.
+		id, ok := lhs[len(lhs)-1].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || !types.AssignableTo(obj.Type(), errorType) {
+			return true
+		}
+		sites = append(sites, readSite{stmt: n, errObj: obj, callee: callee.Name()})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	g := analysis.New(body)
+	for _, site := range sites {
+		classified := func(n ast.Node) bool {
+			return containsEOFClassification(pass, n, site.errObj)
+		}
+		for _, esc := range escapesOf(pass, body, site.errObj) {
+			if g.ReachesWithout(site.stmt, esc, classified) {
+				pass.Reportf(esc.Pos(),
+					"error from %s may be bare io.EOF here — a dead peer would read as a clean end; classify with errors.Is(err, io.EOF) and rewrap before propagating",
+					site.callee)
+			}
+		}
+	}
+}
+
+// producesBareEOF reports whether the function uses bare io.EOF as a value
+// (returned, stored into a struct field, assigned, sent) — the signature of
+// a clean-end-sentinel producer. Comparisons and call arguments (errors.Is,
+// fmt.Errorf wrapping) do not count.
+func producesBareEOF(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isIOEOF(pass, sel) {
+			return true
+		}
+		if len(stack) < 2 {
+			return true
+		}
+		switch p := stack[len(stack)-2].(type) {
+		case *ast.KeyValueExpr:
+			found = p.Value == sel
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if r == sel {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			found = p.Value == sel
+		}
+		return true
+	})
+	return found
+}
+
+func isIOEOF(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.Info.Uses[sel.Sel]
+	return obj != nil && obj.Name() == "EOF" && obj.Pkg() != nil && obj.Pkg().Name() == "io"
+}
+
+// escapesOf collects the nodes where the error object leaves the function:
+// returned, used as a struct-literal value, or sent on a channel.
+func escapesOf(pass *analysis.Pass, body *ast.BlockStmt, errObj types.Object) []ast.Node {
+	var out []ast.Node
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != errObj {
+			return true
+		}
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.KeyValueExpr:
+				if exprContains(p.Value, id) {
+					out = append(out, p)
+					return true
+				}
+			case *ast.ReturnStmt:
+				out = append(out, p)
+				return true
+			case *ast.SendStmt:
+				if exprContains(p.Value, id) {
+					out = append(out, p)
+					return true
+				}
+			case *ast.BinaryExpr, *ast.IfStmt, *ast.CallExpr, *ast.AssignStmt,
+				*ast.SwitchStmt, *ast.CaseClause, *ast.TypeSwitchStmt:
+				return true
+			case ast.Stmt:
+				return true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsEOFClassification reports whether n classifies errObj against EOF:
+// a comparison with io.EOF, an errors.Is/errors.As call on it, or a
+// reassignment (the rewrite itself).
+func containsEOFClassification(pass *analysis.Pass, n ast.Node, errObj types.Object) bool {
+	usesErr := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == errObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.BinaryExpr:
+			if m.Op != token.EQL && m.Op != token.NEQ {
+				return true
+			}
+			xEOF := isEOFExpr(pass, m.X)
+			yEOF := isEOFExpr(pass, m.Y)
+			if (xEOF && usesErr(m.Y)) || (yEOF && usesErr(m.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callee := analysis.CalleeFunc(pass.Info, m); callee != nil &&
+				(callee.Name() == "Is" || callee.Name() == "As") &&
+				analysis.FuncPkgName(callee) == "errors" &&
+				len(m.Args) >= 1 && usesErr(m.Args[0]) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range m.Lhs {
+				if id, ok := l.(*ast.Ident); ok && pass.Info.Uses[id] == errObj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isEOFExpr(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && isIOEOF(pass, sel)
+}

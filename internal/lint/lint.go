@@ -30,6 +30,10 @@ func All() []*analysis.Analyzer {
 		FrontCode,
 		CtxExec,
 		WireErr,
+		LeakPair,
+		ErrSentinel,
+		AtomicField,
+		SQLTaint,
 	}
 }
 
@@ -70,6 +74,26 @@ func functionsIn(file *ast.File) []funcBody {
 		}
 		return true
 	})
+	return out
+}
+
+// cfgNodeScope returns the subtrees a per-CFG-node walk should visit. A
+// RangeStmt appears in the CFG as a loop-head dispatch node while its body
+// lives in separate blocks, so walking the whole statement would visit the
+// body twice; the head covers only the range binding (X, Key, Value).
+// Every other construct is already decomposed by the builder.
+func cfgNodeScope(n ast.Node) []ast.Node {
+	s, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return []ast.Node{n}
+	}
+	out := []ast.Node{s.X}
+	if s.Key != nil {
+		out = append(out, s.Key)
+	}
+	if s.Value != nil {
+		out = append(out, s.Value)
+	}
 	return out
 }
 

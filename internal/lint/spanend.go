@@ -28,12 +28,13 @@ var SpanEnd = &analysis.Analyzer{
 
 // spanUse aggregates everything one function does with one span object.
 type spanUse struct {
-	obj       types.Object
-	name      string    // variable name, for diagnostics
-	createPos token.Pos // position of the Start(...) call
-	endPos    []token.Pos
-	deferred  bool // an End runs via defer/go, covering every path
-	escaped   bool // the span leaves the function; caller no longer owns End
+	obj        types.Object
+	name       string    // variable name, for diagnostics
+	createPos  token.Pos // position of the Start(...) call
+	createCall ast.Node  // the Start(...) call node, anchoring the CFG walk
+	endPos     []token.Pos
+	deferred   bool // an End runs via defer/go, covering every path
+	escaped    bool // the span leaves the function; caller no longer owns End
 }
 
 func runSpanEnd(pass *analysis.Pass) error {
@@ -45,12 +46,18 @@ func runSpanEnd(pass *analysis.Pass) error {
 	return nil
 }
 
+// checkSpansIn verifies every span started in body is ended on all paths to
+// every exit. Path coverage comes from the analysis-package CFG: from each
+// Start call, LeakWitnesses reports the returns (or the fall-off end)
+// reachable without passing an End — so an End inside one branch, a continue
+// that skips it, or a switch without a default are all judged by the paths
+// that actually execute, not by source positions.
 func checkSpansIn(pass *analysis.Pass, body *ast.BlockStmt) {
 	creations := spanCreations(pass, body)
 	if len(creations) == 0 {
 		return
 	}
-	returns := returnPositions(body)
+	g := analysis.New(body)
 	for _, c := range creations {
 		collectSpanUses(pass, body, c)
 		switch {
@@ -60,17 +67,26 @@ func checkSpansIn(pass *analysis.Pass, body *ast.BlockStmt) {
 			pass.Reportf(c.createPos,
 				"span %q is never ended; call %s.End() on every return path or defer it", c.name, c.name)
 		default:
-			for _, ret := range returns {
-				if ret <= c.createPos {
-					continue
-				}
-				if !anyBetween(c.endPos, c.createPos, ret) {
-					pass.Reportf(ret,
-						"return leaves span %q unended; end it before returning or use defer %s.End()", c.name, c.name)
-				}
+			ends := c.endPos
+			for _, ret := range g.LeakWitnesses(c.createCall, func(n ast.Node) bool {
+				return anyWithin(ends, n)
+			}) {
+				pass.Reportf(ret,
+					"return leaves span %q unended; end it before returning or use defer %s.End()", c.name, c.name)
 			}
 		}
 	}
+}
+
+// anyWithin reports whether any recorded position falls inside the node's
+// source range — i.e. the node performs one of the collected End calls.
+func anyWithin(ps []token.Pos, n ast.Node) bool {
+	for _, p := range ps {
+		if p >= n.Pos() && p < n.End() {
+			return true
+		}
+	}
+	return false
 }
 
 // spanCreations finds assignments of freshly started spans in body, skipping
@@ -99,7 +115,7 @@ func spanCreations(pass *analysis.Pass, body *ast.BlockStmt) []*spanUse {
 		if obj == nil {
 			return false
 		}
-		out = append(out, &spanUse{obj: obj, name: id.Name, createPos: call.Pos()})
+		out = append(out, &spanUse{obj: obj, name: id.Name, createPos: call.Pos(), createCall: call})
 		return true
 	}
 	inspectSkipFuncLits(body, func(n ast.Node) bool {
@@ -233,36 +249,6 @@ func underDefer(stack []ast.Node) bool {
 	for _, n := range stack {
 		switch n.(type) {
 		case *ast.DeferStmt, *ast.GoStmt:
-			return true
-		}
-	}
-	return false
-}
-
-// returnPositions lists the function's return statements in source order,
-// plus a virtual return at the closing brace when execution can fall off the
-// end of the body. Returns inside nested closures belong to the closure.
-func returnPositions(body *ast.BlockStmt) []token.Pos {
-	var out []token.Pos
-	inspectSkipFuncLits(body, func(n ast.Node) bool {
-		if r, ok := n.(*ast.ReturnStmt); ok {
-			out = append(out, r.Pos())
-		}
-		return true
-	})
-	if n := len(body.List); n == 0 {
-		out = append(out, body.Rbrace)
-	} else if _, ok := body.List[n-1].(*ast.ReturnStmt); !ok {
-		out = append(out, body.Rbrace)
-	}
-	return out
-}
-
-// anyBetween reports whether any position in ps lies strictly between lo and
-// hi.
-func anyBetween(ps []token.Pos, lo, hi token.Pos) bool {
-	for _, p := range ps {
-		if p > lo && p < hi {
 			return true
 		}
 	}

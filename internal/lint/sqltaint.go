@@ -1,0 +1,451 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hyperq/internal/lint/analysis"
+)
+
+// SQLTaint reports pre-redaction SQL text flowing into logging, tracing, or
+// debug output.
+//
+// The query log is the one place raw statement text is allowed to persist,
+// and only in capture mode, only in the CaptureSQL field, precisely because
+// replay needs the literals redaction would erase. Entry.CaptureSQL and
+// Entry.ReplaySQL() are therefore the suite's taint sources: any value
+// derived from them carries customer data (predicates, inserted rows,
+// credentials inlined into DDL) and must not reach an observability sink —
+// trace span attributes, trace events, the process log, or debug writers —
+// without passing through a sanitizer first. querylog.Redact and the
+// fingerprint functions (TemplateText, TemplateHash, ShortID) are the
+// sanitizers: their outputs are shape, not data.
+//
+// Taint is tracked flow-sensitively within a function on the CFG (a
+// reassignment `sql = querylog.Redact(sql)` clears the variable), and
+// across function boundaries within a package via summaries: a helper that
+// returns source-derived text acts as a source at its call sites, and a
+// helper that forwards a parameter to a sink acts as a sink for that
+// argument. Propagation is deliberately shallow through unknown calls —
+// fmt and strings results stay tainted when an argument is, everything
+// else launders — so error values threaded through executor calls do not
+// light up every log line; DESIGN.md §15 records the trade.
+//
+// Test files are skipped: fixtures and assertions print SQL on purpose.
+var SQLTaint = &analysis.Analyzer{
+	Name: "sqltaint",
+	Doc:  "checks that pre-redaction SQL from the query log never reaches logging, tracing, or debug sinks unsanitized",
+	Run:  runSQLTaint,
+}
+
+func runSQLTaint(pass *analysis.Pass) error {
+	// Cheap gate: taint can only originate at the querylog capture surface.
+	if !mentionsCaptureAPI(pass) {
+		return nil
+	}
+	sums := buildTaintSummaries(pass)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, fn := range functionsIn(file) {
+			tr := &taintRun{pass: pass, sums: sums, genSources: true, report: true}
+			tr.run(fn.body, analysis.Fact{})
+		}
+	}
+	return nil
+}
+
+// mentionsCaptureAPI reports whether any non-test file in the package
+// names the capture surface at all; packages that never touch it cannot be
+// tainted and skip the summary fixpoint entirely.
+func mentionsCaptureAPI(pass *analysis.Pass) bool {
+	found := false
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && (id.Name == "ReplaySQL" || id.Name == "CaptureSQL") {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// taintSummary is one function's cross-call behavior: whether its results
+// carry source taint, and which parameters it forwards to a sink.
+type taintSummary struct {
+	returnsTaint bool
+	sinkParams   map[int]bool
+}
+
+func (s *taintSummary) equal(t *taintSummary) bool {
+	if s.returnsTaint != t.returnsTaint || len(s.sinkParams) != len(t.sinkParams) {
+		return false
+	}
+	for i := range s.sinkParams {
+		if !t.sinkParams[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTaintSummaries computes per-function summaries for the package to
+// fixpoint, so helper-through-helper chains resolve (a wrapper around a
+// wrapper around log.Printf is still a sink).
+func buildTaintSummaries(pass *analysis.Pass) map[*types.Func]*taintSummary {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	sums := make(map[*types.Func]*taintSummary, len(decls))
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			s := summarize(pass, fd, sums)
+			if prev, ok := sums[fn]; !ok || !prev.equal(s) {
+				sums[fn] = s
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// summarize computes one function's summary under the current summary map.
+func summarize(pass *analysis.Pass, fd *ast.FuncDecl, sums map[*types.Func]*taintSummary) *taintSummary {
+	out := &taintSummary{sinkParams: map[int]bool{}}
+	// Does any return statement yield source-derived text?
+	tr := &taintRun{pass: pass, sums: sums, genSources: true}
+	tr.run(fd.Body, analysis.Fact{})
+	out.returnsTaint = tr.returnTainted
+	// Which parameters reach a sink? One seeded run per parameter keeps the
+	// attribution exact.
+	params := paramObjects(pass, fd)
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		seed := analysis.Fact{p: struct{}{}}
+		ptr := &taintRun{pass: pass, sums: sums}
+		ptr.run(fd.Body, seed)
+		if ptr.sinkHit {
+			out.sinkParams[i] = true
+		}
+	}
+	return out
+}
+
+// paramObjects returns the declared parameter objects in order (nil for
+// unnamed/blank parameters).
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// taintRun is one flow-sensitive pass over a function body.
+type taintRun struct {
+	pass *analysis.Pass
+	sums map[*types.Func]*taintSummary
+
+	genSources bool // treat ReplaySQL/CaptureSQL as taint origins
+	report     bool // emit diagnostics at sinks
+
+	sinkHit       bool // some sink received taint
+	returnTainted bool // some return expression was tainted
+}
+
+func (tr *taintRun) run(body *ast.BlockStmt, entry analysis.Fact) {
+	g := analysis.New(body)
+	in := g.Forward(entry, tr.transfer)
+	for _, b := range g.Blocks {
+		fact := in[b]
+		for _, n := range b.Nodes {
+			tr.checkNode(n, fact)
+			fact = tr.transfer(n, fact)
+		}
+	}
+}
+
+// transfer applies one CFG node's gen/kill effect on the tainted-variable
+// set.
+func (tr *taintRun) transfer(n ast.Node, in analysis.Fact) analysis.Fact {
+	out := in
+	set := func(o types.Object, tainted bool) {
+		if o == nil {
+			return
+		}
+		if tainted && !out.Has(o) {
+			out = out.Clone()
+			out[o] = struct{}{}
+		} else if !tainted && out.Has(o) {
+			out = out.Clone()
+			delete(out, o)
+		}
+	}
+	bindIdent := func(e ast.Expr, tainted bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if o := tr.pass.Info.Defs[id]; o != nil {
+			set(o, tainted)
+			return
+		}
+		set(tr.pass.Info.Uses[id], tainted)
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// Iterating source-derived text (lines, fields) stays tainted.
+		t := tr.exprTainted(rs.X, out)
+		bindIdent(rs.Key, t)
+		if rs.Value != nil {
+			bindIdent(rs.Value, t)
+		}
+		return out
+	}
+	for _, scope := range cfgNodeScope(n) {
+		ast.Inspect(scope, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			switch st := m.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						bindIdent(st.Lhs[i], tr.exprTainted(st.Rhs[i], out))
+					}
+				} else if len(st.Rhs) == 1 {
+					t := tr.exprTainted(st.Rhs[0], out)
+					for _, l := range st.Lhs {
+						bindIdent(l, t)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i, nm := range st.Names {
+						bindIdent(nm, tr.exprTainted(st.Values[i], out))
+					}
+				} else if len(st.Values) == 1 {
+					t := tr.exprTainted(st.Values[0], out)
+					for _, nm := range st.Names {
+						bindIdent(nm, t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkNode reports sink calls receiving tainted arguments and records
+// tainted returns (for summaries).
+func (tr *taintRun) checkNode(n ast.Node, fact analysis.Fact) {
+	for _, scope := range cfgNodeScope(n) {
+		ast.Inspect(scope, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if ret, ok := m.(*ast.ReturnStmt); ok {
+				for _, e := range ret.Results {
+					if tr.exprTainted(e, fact) {
+						tr.returnTainted = true
+					}
+				}
+				return true
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			desc, args := tr.sinkArgs(call)
+			if desc == "" {
+				return true
+			}
+			for _, a := range args {
+				if tr.exprTainted(a, fact) {
+					tr.sinkHit = true
+					if tr.report {
+						tr.pass.Reportf(a.Pos(),
+							"pre-redaction SQL reaches %s; sanitize with querylog.Redact or fingerprint.TemplateText first",
+							desc)
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sinkArgs classifies call as a sink, returning a description and the
+// arguments that must be clean ("" when not a sink).
+func (tr *taintRun) sinkArgs(call *ast.CallExpr) (string, []ast.Expr) {
+	fn := analysis.CalleeFunc(tr.pass.Info, call)
+	if fn == nil {
+		return "", nil
+	}
+	pkg := analysis.FuncPkgName(fn)
+	name := fn.Name()
+	switch pkg {
+	case "log":
+		switch name {
+		case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln", "Output":
+			return "the process log", call.Args
+		}
+	case "trace":
+		switch name {
+		case "Set":
+			return "a trace span attribute", call.Args
+		case "Event":
+			return "a trace event", call.Args
+		}
+	case "fmt":
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 1 {
+				return "debug output", call.Args[1:]
+			}
+		case "Print", "Printf", "Println":
+			return "debug output", call.Args
+		}
+	}
+	// Same-package helpers that forward to a sink, via summaries.
+	if sum := tr.sums[fn]; sum != nil && len(sum.sinkParams) > 0 {
+		var args []ast.Expr
+		for i := range sum.sinkParams {
+			if i < len(call.Args) {
+				args = append(args, call.Args[i])
+			}
+		}
+		if len(args) > 0 {
+			return name + " (which forwards it to a logging sink)", args
+		}
+	}
+	return "", nil
+}
+
+// exprTainted reports whether e's value carries source taint under fact.
+// Sanitizer calls launder their whole subtree; fmt/strings calls propagate
+// argument taint to their result; other calls launder their result (their
+// arguments are still checked at the call site itself by checkNode).
+func (tr *taintRun) exprTainted(e ast.Expr, fact analysis.Fact) bool {
+	if e == nil {
+		return false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return fact.Has(tr.pass.Info.Uses[x])
+	case *ast.SelectorExpr:
+		if tr.isSourceField(x) {
+			return tr.genSources
+		}
+		// A field of a tainted value (finding.SQL) is tainted.
+		if base := baseIdent(x.X); base != nil {
+			return fact.Has(tr.pass.Info.Uses[base])
+		}
+		return false
+	case *ast.CallExpr:
+		fn := analysis.CalleeFunc(tr.pass.Info, x)
+		if fn != nil {
+			pkg := analysis.FuncPkgName(fn)
+			if isTaintSanitizer(pkg, fn.Name()) {
+				return false
+			}
+			if tr.genSources && pkg == "querylog" && fn.Name() == "ReplaySQL" {
+				return true
+			}
+			if sum := tr.sums[fn]; sum != nil && sum.returnsTaint && tr.genSources {
+				return true
+			}
+			if pkg == "fmt" || pkg == "strings" || pkg == "bytes" {
+				for _, a := range x.Args {
+					if tr.exprTainted(a, fact) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return tr.exprTainted(x.X, fact) || tr.exprTainted(x.Y, fact)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if tr.exprTainted(kv.Value, fact) {
+					return true
+				}
+				continue
+			}
+			if tr.exprTainted(el, fact) {
+				return true
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		return tr.exprTainted(x.Value, fact)
+	case *ast.UnaryExpr:
+		return tr.exprTainted(x.X, fact)
+	case *ast.StarExpr:
+		return tr.exprTainted(x.X, fact)
+	case *ast.IndexExpr:
+		return tr.exprTainted(x.X, fact)
+	case *ast.SliceExpr:
+		return tr.exprTainted(x.X, fact)
+	case *ast.TypeAssertExpr:
+		return tr.exprTainted(x.X, fact)
+	}
+	return false
+}
+
+// isSourceField reports a read of querylog's pre-redaction capture field.
+func (tr *taintRun) isSourceField(sel *ast.SelectorExpr) bool {
+	v, ok := tr.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Name() != "CaptureSQL" {
+		return false
+	}
+	return v.Pkg() != nil && v.Pkg().Name() == "querylog"
+}
+
+// isTaintSanitizer reports the shape-preserving, literal-erasing functions
+// whose results are safe to log.
+func isTaintSanitizer(pkg, name string) bool {
+	switch pkg {
+	case "querylog":
+		return name == "Redact"
+	case "fingerprint":
+		switch name {
+		case "TemplateText", "TemplateHash", "ShortID":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+// Fixtures for the atomicfield analyzer: fields touched through sync/atomic
+// anywhere must be touched atomically everywhere, except on freshly
+// allocated values no other goroutine can see yet.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // atomic (bump)
+	total int64 // never atomic: plain access is fine
+	gen   int32 // atomic (advance)
+}
+
+var sink *counter
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) advance() {
+	atomic.StoreInt32(&c.gen, atomic.LoadInt32(&c.gen)+1)
+}
+
+// Atomic access and address delegation are fine.
+func (c *counter) atomicOK() int64 {
+	p := &c.hits
+	return atomic.LoadInt64(p)
+}
+
+// Plain access to the never-atomic field is fine.
+func (c *counter) plainFieldOK() int64 {
+	return c.total
+}
+
+func (c *counter) readRace() int64 {
+	return c.hits // want `plain read of field hits, which is accessed with sync/atomic elsewhere; use atomic.LoadInt64`
+}
+
+func (c *counter) writeRace(v int64) {
+	c.hits = v // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+func (c *counter) incRace() {
+	c.hits++ // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+func (c *counter) mixedExpr(limit int64) bool {
+	return c.hits > limit // want `plain read of field hits, which is accessed with sync/atomic elsewhere; use atomic.LoadInt64`
+}
+
+func (c *counter) int32Suffix() int32 {
+	return c.gen // want `plain read of field gen, which is accessed with sync/atomic elsewhere; use atomic.LoadInt32`
+}
+
+// Composite-literal initialization never races: the value has no aliases.
+func newCounter() *counter {
+	return &counter{hits: 1}
+}
+
+// A fresh, unpublished allocation may be initialized with plain writes
+// (constructor idiom; mirrors wstats admit()).
+func freshInit(seed int64) *counter {
+	c := &counter{total: seed}
+	c.hits = seed // fresh: not yet published
+	c.hits++      // still fresh
+	return c
+}
+
+// new(T) counts as fresh too.
+func freshNew() *counter {
+	c := new(counter)
+	c.hits = 7 // fresh
+	return c
+}
+
+// Publication ends freshness: once the value is stored somewhere shared,
+// plain access races with whoever picked it up.
+func freshThenPublished(ch chan *counter) {
+	c := &counter{}
+	c.hits = 1 // fresh
+	ch <- c
+	c.hits = 2 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+// Storing into a shared map publishes as well.
+func freshThenMapped(m map[string]*counter) {
+	c := &counter{}
+	c.hits = 1 // fresh
+	m["k"] = c
+	_ = c.hits // want `plain read of field hits, which is accessed with sync/atomic elsewhere; use atomic.LoadInt64`
+}
+
+// Assigning to a global publishes.
+func freshThenGlobal() {
+	c := &counter{}
+	c.hits = 1 // fresh
+	sink = c
+	c.hits = 2 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+// A value received from elsewhere is never fresh.
+func notFresh(c *counter) {
+	c.hits = 1 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+// Rebinding to a non-fresh value kills freshness.
+func rebound(old *counter) {
+	c := &counter{}
+	c.hits = 1 // fresh
+	c = old
+	c.hits = 2 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}
+
+// A plain access inside a range body is reported exactly once (the range
+// head and the body are distinct CFG nodes over overlapping syntax).
+func rangeBody(cs []*counter) {
+	for _, c := range cs {
+		c.hits = 1 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+	}
+}
+
+// Freshness joins over branches: published on one path means published at
+// the join.
+func freshBranchJoin(publish bool, ch chan *counter) {
+	c := &counter{}
+	if publish {
+		ch <- c
+	}
+	c.hits = 1 // want `plain write to field hits, which is accessed with sync/atomic elsewhere; use atomic.StoreInt64/AddInt64`
+}

@@ -1,0 +1,13 @@
+// Package errors is a hermetic stub of the standard library's errors
+// package for analyzer fixtures.
+package errors
+
+func New(text string) error { return &errorString{text} }
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func Is(err, target error) bool { return false }
+
+func As(err error, target any) bool { return false }

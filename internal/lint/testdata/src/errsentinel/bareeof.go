@@ -1,0 +1,69 @@
+package errsentinel
+
+import (
+	"errors"
+	"io"
+	"wire"
+)
+
+type msg struct {
+	err error
+}
+
+func deliver(m msg) {}
+
+// readLoopLeaky mirrors the pre-PR 7 reader: the transport error escapes
+// into the same struct field the clean end uses for bare io.EOF, so a dead
+// peer reads as a successful empty result.
+func readLoopLeaky(done bool) {
+	for {
+		_, _, err := wire.ReadMessage()
+		if err != nil {
+			deliver(msg{err: err}) // want `error from ReadMessage may be bare io.EOF here`
+			return
+		}
+		if done {
+			deliver(msg{err: io.EOF})
+			return
+		}
+	}
+}
+
+// readLoopFixed is the post-PR 7 shape: the error is classified and
+// rewritten before it escapes.
+func readLoopFixed(done bool) {
+	for {
+		_, _, err := wire.ReadMessage()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			deliver(msg{err: err})
+			return
+		}
+		if done {
+			deliver(msg{err: io.EOF})
+			return
+		}
+	}
+}
+
+// readReturnLeaky escapes via return rather than a struct store.
+func readReturnLeaky(ch chan error) error {
+	_, _, err := wire.ReadMessage()
+	if err != nil {
+		return err // want `error from ReadMessage may be bare io.EOF here`
+	}
+	ch <- io.EOF
+	return nil
+}
+
+// readNoSentinel never uses bare io.EOF as a value, so its raw read errors
+// propagate freely — the caller can still tell a clean end apart.
+func readNoSentinel() error {
+	_, _, err := wire.ReadMessage()
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package errsentinel exercises both rules: identity comparisons against
+// foreign sentinels, and bare io.EOF escaping a clean-end-sentinel producer.
+package errsentinel
+
+import (
+	"errors"
+	"io"
+	"sentinels"
+)
+
+var errLocal = errors.New("local")
+
+func cmpEq(err error) bool {
+	return err == io.EOF // want `== comparison against sentinel io.EOF fails once the error is wrapped; use errors.Is`
+}
+
+func cmpNeq(err error) bool {
+	if err != io.EOF { // want `!= comparison against sentinel io.EOF fails once the error is wrapped`
+		return false
+	}
+	return true
+}
+
+func cmpReversed(err error) bool {
+	return io.EOF == err // want `== comparison against sentinel io.EOF fails once the error is wrapped`
+}
+
+func cmpForeign(err error) bool {
+	return err == sentinels.ErrClosed // want `== comparison against sentinel sentinels.ErrClosed fails once the error is wrapped`
+}
+
+// cmpNil and cmpIs are the sanctioned shapes.
+func cmpNil(err error) bool { return err == nil }
+
+func cmpIs(err error) bool { return errors.Is(err, io.EOF) }
+
+// cmpOwn compares a sentinel the package itself declares: the declaring
+// package controls both ends, so identity is fine.
+func cmpOwn(err error) bool { return err == errLocal }
+
+func switchSentinel(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case io.EOF: // want `switch case matches sentinel io.EOF by identity and fails once the error is wrapped`
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,55 @@
+// Package hyperq is a hermetic stub of the gateway's result-memory
+// accountant for leakpair fixtures: a bool acquire whose obligation exists
+// only on the success branch.
+package hyperq
+
+type Gateway struct{}
+
+func (g *Gateway) acquireResultBytes(n int64) bool { return true }
+func (g *Gateway) releaseResultBytes(n int64)      {}
+
+type item struct {
+	bytes int64
+}
+
+func work() {}
+
+// fetchLeaky sheds on the failure branch (no obligation there) but loses
+// the reservation when shipping fails.
+func (g *Gateway) fetchLeaky(size int64, ship func(item) bool) {
+	if !g.acquireResultBytes(size) {
+		return
+	}
+	if !ship(item{}) {
+		return // want `result-memory reservation from acquireResultBytes is unbalanced on this path`
+	}
+	g.releaseResultBytes(size)
+}
+
+// fetchHandoff stores the reserved size into the in-flight item — the
+// pipeline stage that drains the item releases the bytes, so the store is
+// the handoff.
+func (g *Gateway) fetchHandoff(size int64, out chan item) {
+	if !g.acquireResultBytes(size) {
+		return
+	}
+	it := item{bytes: size}
+	out <- it
+}
+
+// fetchPositive consumes the bool without negation: the obligation lives in
+// the then-branch only.
+func (g *Gateway) fetchPositive(size int64) {
+	if g.acquireResultBytes(size) {
+		g.releaseResultBytes(size)
+	}
+}
+
+// fetchDeferred releases via defer, covering every path.
+func (g *Gateway) fetchDeferred(size int64) {
+	if !g.acquireResultBytes(size) {
+		return
+	}
+	defer g.releaseResultBytes(size)
+	work()
+}

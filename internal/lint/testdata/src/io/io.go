@@ -1,0 +1,9 @@
+// Package io is a hermetic stub of the standard library's io package for
+// analyzer fixtures: errsentinel matches the EOF sentinel by package name.
+package io
+
+import "errors"
+
+var EOF = errors.New("EOF")
+
+var ErrUnexpectedEOF = errors.New("unexpected EOF")

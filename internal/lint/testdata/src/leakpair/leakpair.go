@@ -1,0 +1,44 @@
+// Package leakpair exercises cross-package value pairs: streams opened from
+// another package must be closed, deferred, or handed to an owner.
+package leakpair
+
+import "odbc"
+
+func openLeaky(e *odbc.Executor, cond bool) error {
+	st, err := odbc.OpenStream(e, "SELECT 1")
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // want `result stream from OpenStream is not released on this path`
+	}
+	return st.Close()
+}
+
+// openOwned returns the stream directly: the caller owns it.
+func openOwned(e *odbc.Executor) (*odbc.ResultStream, error) {
+	return odbc.OpenStream(e, "SELECT 1")
+}
+
+func openDeferred(e *odbc.Executor) error {
+	st, err := odbc.OpenStream(e, "SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return nil
+}
+
+// openComposite parks the stream inside a wrapper (the leasedStream shape):
+// the wrapper's Close releases it later.
+type lease struct {
+	inner *odbc.ResultStream
+}
+
+func openComposite(e *odbc.Executor) (*lease, error) {
+	st, err := odbc.OpenStream(e, "SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return &lease{inner: st}, nil
+}

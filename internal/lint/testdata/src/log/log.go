@@ -1,0 +1,8 @@
+// Package log is a hermetic stub of the standard library's log package for
+// analyzer fixtures: sqltaint matches the print family as sinks by package
+// name.
+package log
+
+func Print(v ...any)                 {}
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}

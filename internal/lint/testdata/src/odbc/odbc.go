@@ -6,3 +6,9 @@ type Executor struct{}
 
 func (e *Executor) Exec(query string) error { return nil }
 func (e *Executor) Close() error            { return nil }
+
+type ResultStream struct{}
+
+func (s *ResultStream) Close() error { return nil }
+
+func OpenStream(e *Executor, sql string) (*ResultStream, error) { return &ResultStream{}, nil }

@@ -1,0 +1,128 @@
+package pool
+
+// maintainLeaky reproduces the PR 4 warm-up leak in single-slot essence: the
+// maintainer reserves a slot, and the dial error path returns without
+// un-reserving it — starving the pool for the rest of the process. (The
+// shipped bug leaked a whole batch of reservations via arithmetic; the
+// analyzer checks release reachability, which catches the same return.)
+func (p *Pool) maintainLeaky(target int) {
+	for i := 0; i < target; i++ {
+		reserveSlot()
+		c, err := p.dial()
+		if err != nil {
+			return // want `pool slot reservation from reserveSlot is unbalanced on this path`
+		}
+		p.handbackLocked(c)
+		unreserveSlot()
+	}
+}
+
+// maintainFixed is the post-PR 4 shape: every path out of the loop body
+// balances the reservation.
+func (p *Pool) maintainFixed(target int) {
+	for i := 0; i < target; i++ {
+		reserveSlot()
+		c, err := p.dial()
+		if err != nil {
+			unreserveSlot()
+			return
+		}
+		p.handbackLocked(c)
+		unreserveSlot()
+	}
+}
+
+// useLeaky releases on the main path but leaks on the early return.
+func (p *Pool) useLeaky(cond bool) {
+	c, err := p.acquire()
+	if err != nil {
+		return
+	}
+	if cond {
+		return // want `pool connection from acquire is not released on this path`
+	}
+	p.release(c, false)
+}
+
+// useNever acquires and never releases: the leak surfaces at the fall-off
+// end of the function.
+func (p *Pool) useNever() {
+	c, err := p.acquire()
+	if err != nil {
+		return
+	}
+	c.ping()
+} // want `pool connection from acquire is not released on this path`
+
+// useDeferred is the idiomatic shape: a deferred release covers every path.
+func (p *Pool) useDeferred() error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	defer p.release(c, false)
+	c.ping()
+	return nil
+}
+
+// useDeferredClosure releases inside a deferred closure (the ExecContext
+// shape, where the broken flag is decided at defer time).
+func (p *Pool) useDeferredClosure() error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	broken := false
+	defer func() { p.release(c, broken) }()
+	c.ping()
+	return nil
+}
+
+// useEscape returns the connection: ownership moves to the caller.
+func (p *Pool) useEscape() (*conn, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// useFieldEscape parks the connection in a struct (the Pin shape): the
+// stored owner releases it later.
+type pinHolder struct {
+	pinned *conn
+}
+
+func (p *Pool) useFieldEscape(h *pinHolder) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	h.pinned = c
+	return nil
+}
+
+// streamLeaky closes on the main path but leaks the lease on the early
+// return.
+func (sc *SessionConn) streamLeaky(cond bool) error {
+	st, err := sc.ExecStream("SELECT 1")
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // want `result stream from ExecStream is not released on this path`
+	}
+	return st.Close()
+}
+
+// streamDeferred is the streaming hot path: deferred Close, reads in
+// between.
+func (sc *SessionConn) streamDeferred() error {
+	st, err := sc.ExecStream("SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	_, err = st.Next()
+	return err
+}

@@ -1,0 +1,30 @@
+// Package pool is a hermetic stub mirroring internal/odbc/pool for leakpair
+// fixtures: the analyzer matches acquire/release callees by declaring-package
+// name, so this tiny package stands in for the real pool.
+package pool
+
+type conn struct{}
+
+func (c *conn) ping() {}
+
+type Pool struct{}
+
+func (p *Pool) acquire() (*conn, error)      { return &conn{}, nil }
+func (p *Pool) dial() (*conn, error)         { return &conn{}, nil }
+func (p *Pool) release(c *conn, broken bool) {}
+func (p *Pool) handback(c *conn)             {}
+func (p *Pool) handbackLocked(c *conn)       {}
+
+func reserveSlot()   {}
+func unreserveSlot() {}
+
+type ResultStream struct{}
+
+func (s *ResultStream) Close() error       { return nil }
+func (s *ResultStream) Next() (int, error) { return 0, nil }
+
+type SessionConn struct {
+	p *Pool
+}
+
+func (sc *SessionConn) ExecStream(sql string) (*ResultStream, error) { return &ResultStream{}, nil }

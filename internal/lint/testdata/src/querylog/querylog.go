@@ -1,0 +1,24 @@
+// Package querylog is a hermetic stub of hyperq/internal/querylog for
+// analyzer fixtures: sqltaint matches the capture surface (CaptureSQL,
+// ReplaySQL) and the Redact sanitizer by package name.
+package querylog
+
+import "fingerprint"
+
+// Entry mirrors the real query-log entry's capture surface.
+type Entry struct {
+	SQL        string // redacted at capture time: safe to log
+	Fingerprint string
+	CaptureSQL string // pre-redaction capture text: tainted
+}
+
+// ReplaySQL returns the statement text a replay should re-execute.
+func (e *Entry) ReplaySQL() string {
+	if e.CaptureSQL != "" {
+		return e.CaptureSQL
+	}
+	return e.SQL
+}
+
+// Redact erases literals, keeping only the statement shape.
+func Redact(sql string) string { return fingerprint.TemplateText(sql) }

@@ -1,0 +1,7 @@
+// Package sentinels declares cross-package sentinel errors for errsentinel
+// fixtures.
+package sentinels
+
+import "errors"
+
+var ErrClosed = errors.New("closed")

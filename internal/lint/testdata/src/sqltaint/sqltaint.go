@@ -1,0 +1,101 @@
+// Fixtures for the sqltaint analyzer: pre-redaction SQL (querylog's
+// CaptureSQL field and ReplaySQL method) must be sanitized before reaching
+// logging, tracing, or debug sinks.
+package sqltaint
+
+import (
+	"fingerprint"
+	"log"
+	"querylog"
+	"strings"
+	"trace"
+)
+
+type finding struct {
+	SQL string
+	ID  string
+}
+
+// Direct source-to-sink flows.
+func direct(e *querylog.Entry) {
+	log.Printf("replaying %s", e.ReplaySQL()) // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+	log.Println(e.CaptureSQL)                 // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+}
+
+// Taint follows variables, concatenation, and strings massaging.
+func viaVariable(t *trace.Trace, e *querylog.Entry) {
+	sql := e.ReplaySQL()
+	sp := t.Start("replay")
+	defer sp.End()
+	sp.Set("sql", sql)                       // want `pre-redaction SQL reaches a trace span attribute; sanitize with querylog.Redact or fingerprint.TemplateText first`
+	log.Printf("q: " + sql)                  // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+	log.Println(strings.ToUpper(sql))        // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+	for _, line := range strings.Split(sql, "\n") {
+		log.Println(line) // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+	}
+}
+
+// Sanitizers launder: fingerprints and redacted text are shape, not data.
+func sanitized(t *trace.Trace, e *querylog.Entry) {
+	sql := e.ReplaySQL()
+	sp := t.Start("replay")
+	defer sp.End()
+	sp.Set("sql", querylog.Redact(sql))
+	sp.Set("fp", fingerprint.ShortID(fingerprint.TemplateHash(sql)))
+	log.Println(fingerprint.TemplateText(sql))
+	log.Println(e.SQL) // the redacted log field is safe
+}
+
+// Reassignment through a sanitizer clears the variable (flow-sensitive).
+func redactedInPlace(e *querylog.Entry) {
+	sql := e.ReplaySQL()
+	sql = querylog.Redact(sql)
+	log.Println(sql)
+}
+
+// Sanitizing on only one path is not enough: the other path still leaks.
+func redactedOnOnePath(e *querylog.Entry, debug bool) {
+	sql := e.ReplaySQL()
+	if debug {
+		sql = querylog.Redact(sql)
+	}
+	log.Println(sql) // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+}
+
+// Taint survives struct literals and field reads of tainted values.
+func viaStruct(t *trace.Trace, e *querylog.Entry) {
+	f := finding{SQL: e.ReplaySQL(), ID: "x"}
+	sp := t.Start("replay")
+	defer sp.End()
+	sp.Event(f.SQL) // want `pre-redaction SQL reaches a trace event; sanitize with querylog.Redact or fingerprint.TemplateText first`
+}
+
+// rawSQL is a same-package helper whose result carries taint: callers are
+// checked via its summary.
+func rawSQL(e *querylog.Entry) string {
+	return e.ReplaySQL()
+}
+
+func viaHelperSource(e *querylog.Entry) {
+	log.Println(rawSQL(e)) // want `pre-redaction SQL reaches the process log; sanitize with querylog.Redact or fingerprint.TemplateText first`
+}
+
+// logStmt forwards its parameter to a sink: call sites with tainted
+// arguments are flagged via its summary.
+func logStmt(prefix, stmt string) {
+	log.Printf("%s: %s", prefix, stmt)
+}
+
+func viaHelperSink(e *querylog.Entry) {
+	logStmt("replay", e.ReplaySQL()) // want `pre-redaction SQL reaches logStmt \(which forwards it to a logging sink\); sanitize with querylog.Redact or fingerprint.TemplateText first`
+	logStmt("replay", querylog.Redact(e.ReplaySQL()))
+}
+
+// A helper that sanitizes before sinking is clean, and so are its callers.
+func logShape(stmt string) {
+	log.Printf("shape: %s", querylog.Redact(stmt))
+}
+
+func viaSanitizingHelper(e *querylog.Entry) {
+	logShape(e.ReplaySQL())
+}

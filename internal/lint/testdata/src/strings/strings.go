@@ -1,0 +1,10 @@
+// Package strings is a hermetic stub of the standard library's strings
+// package for analyzer fixtures: sqltaint propagates taint through string
+// massaging by package name.
+package strings
+
+func ToUpper(s string) string { return s }
+
+func TrimSpace(s string) string { return s }
+
+func Split(s, sep string) []string { return []string{s} }

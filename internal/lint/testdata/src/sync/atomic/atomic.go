@@ -1,0 +1,29 @@
+// Package atomic is a hermetic stand-in for sync/atomic, just enough surface
+// for the atomicfield fixtures to type-check.
+package atomic
+
+func AddInt32(addr *int32, delta int32) int32 { *addr += delta; return *addr }
+
+func AddInt64(addr *int64, delta int64) int64 { *addr += delta; return *addr }
+
+func AddUint64(addr *uint64, delta uint64) uint64 { *addr += delta; return *addr }
+
+func LoadInt32(addr *int32) int32 { return *addr }
+
+func LoadInt64(addr *int64) int64 { return *addr }
+
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+func StoreInt32(addr *int32, val int32) { *addr = val }
+
+func StoreInt64(addr *int64, val int64) { *addr = val }
+
+func StoreUint64(addr *uint64, val uint64) { *addr = val }
+
+func CompareAndSwapInt64(addr *int64, old, new int64) bool {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}

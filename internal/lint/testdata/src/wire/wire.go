@@ -1,0 +1,6 @@
+// Package wire is a hermetic stub of the frame layer for errsentinel
+// fixtures: ReadMessage is a raw transport read whose error may be bare
+// io.EOF straight off the socket.
+package wire
+
+func ReadMessage() (byte, []byte, error) { return 0, nil, nil }

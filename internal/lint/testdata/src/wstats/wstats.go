@@ -1,0 +1,37 @@
+// Package wstats is a hermetic stub of the workload-statistics exemplar
+// pinning for leakpair fixtures: a counter pair whose release is often a
+// handoff — the pinned id stored for a later Unpin.
+package wstats
+
+type Trace struct {
+	ID string
+}
+
+type Pinner struct{}
+
+func (p *Pinner) Pin(t *Trace)    {}
+func (p *Pinner) Unpin(id string) {}
+
+type entry struct {
+	exID string
+}
+
+// noteLeaky pins the trace but forgets it on the fast-exit path: nothing
+// can ever unpin it.
+func noteLeaky(p *Pinner, e *entry, t *Trace, slower bool) {
+	p.Pin(t)
+	if !slower {
+		return // want `exemplar trace pin from Pin is unbalanced on this path`
+	}
+	e.exID = t.ID
+}
+
+// noteHandoff mirrors the real noteExemplar: the previous exemplar is
+// unpinned and the new pin's id is stored for the next round.
+func noteHandoff(p *Pinner, e *entry, t *Trace) {
+	p.Pin(t)
+	if e.exID != "" {
+		p.Unpin(e.exID)
+	}
+	e.exID = t.ID
+}

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"io"
 	"sync"
 
@@ -65,7 +66,7 @@ func (s *leasedStream) Next(ctx context.Context) (cwp.StreamEvent, error) {
 	if err != nil {
 		s.mu.Lock()
 		s.done = true
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			s.connErr = odbc.ConnectionError(err)
 		}
 		s.mu.Unlock()

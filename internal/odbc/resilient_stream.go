@@ -2,6 +2,7 @@ package odbc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,7 +45,7 @@ func (e *resilientExecutor) ExecStream(ctx context.Context, sql string) (ResultS
 				return &resilientStream{e: e, inner: st, cancel: cancel, peeked: &ev, real: realStream(st)}, nil
 			}
 			_ = st.Close()
-			if perr == io.EOF {
+			if errors.Is(perr, io.EOF) {
 				// Empty request (no statements): clean immediate end.
 				d.brk.Success()
 				return &resilientStream{e: e, cancel: cancel, done: true, err: io.EOF}, nil
@@ -126,7 +127,7 @@ func (s *resilientStream) Next(ctx context.Context) (cwp.StreamEvent, error) {
 	s.err = err
 	d := s.e.d
 	switch {
-	case err == io.EOF:
+	case errors.Is(err, io.EOF):
 		d.brk.Success()
 	case ConnectionError(err):
 		// Mid-stream connection death. Rows may already be with the

@@ -223,7 +223,7 @@ func (s *Stream) finish(err error) {
 	s.done = true
 	s.err = err
 	var be *BackendError
-	healthy := err == io.EOF || errors.As(err, &be)
+	healthy := errors.Is(err, io.EOF) || errors.As(err, &be)
 	if healthy {
 		if s.restoreDeadline {
 			_ = s.c.conn.SetDeadline(time.Time{})

@@ -470,7 +470,7 @@ func (r *Registry) noteExemplar(e *entry, o *Obs) {
 	}
 	e.exMu.Lock()
 	defer e.exMu.Unlock()
-	if atomic.LoadInt32(&e.evicted) != 0 || o.DurNs <= e.exDurNs {
+	if atomic.LoadInt32(&e.evicted) != 0 || o.DurNs <= atomic.LoadInt64(&e.exDurNs) {
 		return
 	}
 	if r.cfg.Pinner != nil {

@@ -15,10 +15,48 @@ trap 'rm -rf "$tmpdir"' EXIT
 go vet ./...
 
 # hyperqlint: the project-specific analyzers (span lifecycle, lock-vs-I/O,
-# frontend code registry, context propagation, wire error handling — see
-# DESIGN.md §10). Any diagnostic fails the build.
+# frontend code registry, context propagation, wire error handling, plus the
+# data-flow suite: resource leaks, SQL taint, sentinel comparisons, atomics
+# discipline — see DESIGN.md §10 and §15). Any diagnostic fails the build.
+# Results are cached under $TMPDIR/hyperqlint-cache keyed by file-content
+# hashes; the timing line shows the analyzed/cached split (a warm run over
+# an unchanged tree replays in well under a second).
 go build -o "$tmpdir/hyperqlint" ./cmd/hyperqlint
 "$tmpdir/hyperqlint" ./...
+
+# Suppression budget: every //hyperqlint:ignore is an audited deviation, and
+# their number may only shrink unless scripts/lint_budget.txt is raised in
+# the same change. Counts exclude internal/lint/ (the suite's own engine
+# tests and fixtures suppress synthetic analyzers on purpose).
+suppress_counts="$(git ls-files '*.go' ':!internal/lint/**' \
+    | xargs grep -ho '//hyperqlint:ignore [a-z,]*' 2>/dev/null \
+    | awk '{n=split($2,a,","); for(i=1;i<=n;i++) if (a[i] != "") c[a[i]]++} END{for(k in c) print k, c[k]}' \
+    || true)"
+budget_fail=0
+while read -r analyzer count; do
+    [[ -z "$analyzer" ]] && continue
+    budget="$(awk -v a="$analyzer" '$1 == a {print $2}' scripts/lint_budget.txt)"
+    if [[ -z "$budget" ]]; then
+        echo "check.sh: //hyperqlint:ignore ${analyzer} has no budget line in scripts/lint_budget.txt (found ${count})" >&2
+        budget_fail=1
+    elif (( count > budget )); then
+        echo "check.sh: suppression budget exceeded for ${analyzer}: ${count} > ${budget} (fix the finding or raise scripts/lint_budget.txt deliberately)" >&2
+        budget_fail=1
+    elif (( count < budget )); then
+        echo "check.sh: suppression budget for ${analyzer} has headroom (${count} < ${budget}); ratchet scripts/lint_budget.txt down"
+    fi
+done <<<"$suppress_counts"
+while read -r analyzer budget; do
+    [[ -z "$analyzer" || "$analyzer" == \#* ]] && continue
+    if ! grep -q "^${analyzer} " <<<"$suppress_counts"; then
+        if (( budget > 0 )); then
+            echo "check.sh: suppression budget for ${analyzer} has headroom (0 < ${budget}); ratchet scripts/lint_budget.txt down"
+        fi
+    fi
+done < scripts/lint_budget.txt
+if (( budget_fail )); then
+    exit 1
+fi
 
 go build ./...
 
